@@ -1,0 +1,54 @@
+//! Microbenchmarks for the learning-to-rank stack behind LHS: LambdaMART
+//! training (the offline cost §4.6 mentions) and per-sample scoring (the
+//! online cost folded into Table 2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use histal_ltr::{LambdaMart, LambdaMartConfig, QueryGroup, Ranker, RankingDataset};
+
+fn dataset(groups: usize, docs: usize, feats: usize) -> RankingDataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let mut ds = RankingDataset::new();
+    for _ in 0..groups {
+        let features: Vec<Vec<f64>> = (0..docs)
+            .map(|_| (0..feats).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let relevance: Vec<f64> = features.iter().map(|f| (f[0] * 4.0).floor()).collect();
+        ds.push(QueryGroup::new(features, relevance));
+    }
+    ds
+}
+
+fn bench_lambdamart(c: &mut Criterion) {
+    let ds = dataset(20, 24, 11);
+    c.bench_function("lambdamart_fit_20x24", |b| {
+        b.iter(|| {
+            black_box(LambdaMart::fit(
+                &ds,
+                &LambdaMartConfig {
+                    n_trees: 50,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    let model = LambdaMart::fit(&ds, &LambdaMartConfig::default());
+    let row: Vec<f64> = (0..11).map(|i| i as f64 / 11.0).collect();
+    c.bench_function("lambdamart_score", |b| {
+        b.iter(|| black_box(model.score(&row)))
+    });
+    let rows: Vec<Vec<f64>> = (0..75).map(|_| row.clone()).collect();
+    c.bench_function("lambdamart_score_candidates75", |b| {
+        b.iter(|| black_box(model.score_batch(&rows)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lambdamart
+}
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Table 2 — per-iteration overhead of the history-aware strategies.
+//!
+//! The paper argues (§4.6) that WSHS/FHS/LHS add only `O(1)` work on top
+//! of the evaluation pass every strategy already performs, since the
+//! historical scores are reused rather than recomputed. This bench
+//! measures exactly that: the time to fold a pool's histories into
+//! selection scores under each policy, plus the LHS ranking path, for a
+//! 10 000-sample pool — directly comparable against the base strategy's
+//! "current score only" fold.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use histal_core::eval::SampleEval;
+use histal_core::history::HistoryStore;
+use histal_core::lhs::{candidate_set, LhsFeatureConfig};
+use histal_core::strategy::combinators::mmr_select;
+use histal_core::strategy::{kcenter_select, HistoryPolicy, MmrConfig};
+use histal_ltr::{LambdaMart, LambdaMartConfig, QueryGroup, Ranker, RankingDataset};
+use histal_text::SparseVec;
+use histal_tseries::ArPredictor;
+
+const POOL: usize = 10_000;
+const ITERS: usize = 10;
+
+fn build_history() -> HistoryStore {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut h = HistoryStore::new(POOL);
+    for _ in 0..ITERS {
+        for id in 0..POOL {
+            h.append(id, rng.gen());
+        }
+    }
+    h
+}
+
+fn build_evals() -> Vec<SampleEval> {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    (0..POOL)
+        .map(|_| {
+            let p: f64 = rng.gen();
+            SampleEval::from_probs(vec![p, 1.0 - p])
+        })
+        .collect()
+}
+
+fn bench_history_policies(c: &mut Criterion) {
+    let history = build_history();
+    let mut group = c.benchmark_group("table2_selection_scoring");
+    for (name, policy) in [
+        ("basic_current_only", HistoryPolicy::CurrentOnly),
+        ("HUS_k3", HistoryPolicy::Hus { k: 3 }),
+        ("WSHS_l3", HistoryPolicy::Wshs { l: 3 }),
+        (
+            "FHS_l3",
+            HistoryPolicy::Fhs {
+                l: 3,
+                w_score: 0.5,
+                w_fluct: 0.5,
+            },
+        ),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for id in 0..POOL {
+                    acc += policy.final_score(history.seq(id));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lhs_path(c: &mut Criterion) {
+    let history = build_history();
+    let evals = build_evals();
+    // A small trained ranker + predictor, as the deployed LHS would hold.
+    let mut ds = RankingDataset::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for _ in 0..8 {
+        let feats: Vec<Vec<f64>> = (0..20)
+            .map(|_| (0..9).map(|_| rng.gen()).collect())
+            .collect();
+        let rels: Vec<f64> = (0..20).map(|i| (i % 4) as f64).collect();
+        ds.push(QueryGroup::new(feats, rels));
+    }
+    let ranker = LambdaMart::fit(
+        &ds,
+        &LambdaMartConfig {
+            n_trees: 30,
+            ..Default::default()
+        },
+    );
+    let predictor = ArPredictor::fit(&[(0..20).map(|i| i as f64 / 20.0).collect()], 3);
+    let features = LhsFeatureConfig {
+        window: 3,
+        ..Default::default()
+    };
+
+    c.bench_function("table2_LHS_candidate_rank", |b| {
+        b.iter(|| {
+            let candidates = candidate_set(&evals, 75);
+            let rows: Vec<Vec<f64>> = candidates
+                .iter()
+                .map(|&pos| features.extract(history.seq(pos), &evals[pos], &predictor))
+                .collect();
+            black_box(ranker.score_batch(&rows))
+        })
+    });
+}
+
+fn bench_batch_selectors(c: &mut Criterion) {
+    // 1 000-candidate pool with sparse reps, batch of 25.
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let n = 1_000;
+    let reps: Vec<SparseVec> = (0..n)
+        .map(|_| {
+            let pairs: Vec<(u32, f32)> =
+                (0..30).map(|_| (rng.gen_range(0..4096u32), 1.0)).collect();
+            SparseVec::from_pairs(pairs)
+        })
+        .collect();
+    let unlabeled: Vec<usize> = (0..n).collect();
+    let scores: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+    c.bench_function("mmr_select_1000x25", |b| {
+        b.iter(|| {
+            black_box(mmr_select(
+                &scores,
+                &unlabeled,
+                &reps,
+                25,
+                &MmrConfig::default(),
+            ))
+        })
+    });
+    c.bench_function("kcenter_select_1000x25", |b| {
+        b.iter(|| black_box(kcenter_select(&scores, &unlabeled, &reps, 25)))
+    });
+}
+
+fn bench_history_append(c: &mut Criterion) {
+    c.bench_function("table2_history_append_pool", |b| {
+        b.iter(|| {
+            let mut h = HistoryStore::with_max_len(POOL, 3);
+            for id in 0..POOL {
+                h.append(id, black_box(0.5));
+            }
+            black_box(h.recorded_len(0))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_history_policies,
+    bench_lhs_path,
+    bench_batch_selectors,
+    bench_history_append
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbenchmarks for the historical-sequence feature kit — the per-
+//! sample constants behind the Table 2 overhead argument.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use histal_tseries::{
+    autocorrelation, exp_weighted_sum, mann_kendall, window_variance, ArPredictor, HoltPredictor,
+    LstmConfig, LstmPredictor, SequencePredictor,
+};
+
+fn bench_features(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let seq: Vec<f64> = (0..20).map(|_| rng.gen()).collect();
+    c.bench_function("wshs_window3", |b| {
+        b.iter(|| black_box(exp_weighted_sum(&seq, 3)))
+    });
+    c.bench_function("fluctuation_window3", |b| {
+        b.iter(|| black_box(window_variance(&seq, 3)))
+    });
+    c.bench_function("mann_kendall_20", |b| {
+        b.iter(|| black_box(mann_kendall(&seq)))
+    });
+    c.bench_function("autocorrelation_lag1", |b| {
+        b.iter(|| black_box(autocorrelation(&seq, 1)))
+    });
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let train: Vec<Vec<f64>> = (0..50)
+        .map(|_| (0..20).map(|_| rng.gen()).collect())
+        .collect();
+    let seq: Vec<f64> = (0..20).map(|_| rng.gen()).collect();
+
+    let ar = ArPredictor::fit(&train, 3);
+    c.bench_function("ar3_predict_next", |b| {
+        b.iter(|| black_box(ar.predict_next(&seq)))
+    });
+
+    let lstm = LstmPredictor::fit(
+        &train,
+        LstmConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    c.bench_function("lstm_predict_next", |b| {
+        b.iter(|| black_box(lstm.predict_next(&seq)))
+    });
+    let holt = HoltPredictor::fit(&train);
+    c.bench_function("holt_predict_next", |b| {
+        b.iter(|| black_box(holt.predict_next(&seq)))
+    });
+    c.bench_function("lstm_fit_50seqs", |b| {
+        b.iter(|| {
+            let mut r = ChaCha8Rng::seed_from_u64(31);
+            black_box(LstmPredictor::fit(
+                &train,
+                LstmConfig {
+                    epochs: 2,
+                    ..Default::default()
+                },
+                &mut r,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_features, bench_predictors
+}
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Experiment harness CLI — regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! histal-experiments <command> [--full] [--quick] [--repeats N] [--scale F]
+//!                    [--targets a,b,c] [--variant paper|ar|linear|autocorr]
+//!
+//! Commands:
+//!   table2     Measured per-round strategy cost  (Table 2)
+//!   table3     Text dataset statistics           (Table 3)
+//!   table4     NER dataset statistics            (Table 4)
+//!   fig3-text  General strategies, text          (Figure 3, rows 1–3)
+//!   fig3-ner   General strategies, NER           (Figure 3, row 4)
+//!   table5     Annotation cost to target acc.    (Table 5)
+//!   fig4       SOTA strategies + history         (Figure 4)
+//!   fig5       Hyper-parameter sensitivity       (Figure 5)
+//!   table6     Scores of selected samples        (Table 6)
+//!   table7     LHS feature ablation              (Table 7)
+//!   all        Everything above in order
+//! ```
+//!
+//! Table 2 (efficiency) is a Criterion bench:
+//! `cargo bench -p histal-bench --bench strategy_overhead`.
+
+use histal_bench::experiments::{self, Table7Variant};
+use histal_bench::tasks::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let command = args[0].as_str();
+    // `compare` consumes its two strategy specs positionally.
+    let mut positional: Vec<String> = Vec::new();
+    let mut scale = Scale::quick();
+    let mut targets = vec![0.72, 0.73, 0.735];
+    let mut variant = Table7Variant::Paper;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::full(),
+            "--quick" => scale = Scale::quick(),
+            "--repeats" => {
+                i += 1;
+                scale.repeats = parse(&args, i, "repeats");
+            }
+            "--scale" => {
+                i += 1;
+                scale.factor = parse(&args, i, "scale");
+            }
+            "--targets" => {
+                i += 1;
+                targets = args
+                    .get(i)
+                    .unwrap_or_else(|| bad_flag("targets"))
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| bad_flag("targets")))
+                    .collect();
+            }
+            "--variant" => {
+                i += 1;
+                variant = match args.get(i).map(String::as_str) {
+                    Some("paper") => Table7Variant::Paper,
+                    Some("ar") => Table7Variant::ArPredictor,
+                    Some("linear") => Table7Variant::LinearRanker,
+                    Some("autocorr") => Table7Variant::Autocorr,
+                    _ => bad_flag("variant"),
+                };
+            }
+            other if !other.starts_with("--") => positional.push(other.to_string()),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage_and_exit();
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "# scale factor {:.2}, repeats {} — use --full for paper-scale runs",
+        scale.factor, scale.repeats
+    );
+    let start = std::time::Instant::now();
+    match command {
+        "table3" => experiments::table3(),
+        "table4" => experiments::table4(),
+        "fig3-text" => {
+            experiments::fig3_text(&scale);
+        }
+        "fig3-ner" => {
+            experiments::fig3_ner(&scale);
+        }
+        "table5" => experiments::table5(&scale, &targets),
+        "fig4" => experiments::fig4(&scale),
+        "fig5" => experiments::fig5(&scale),
+        "table6" => experiments::table6(&scale),
+        "table7" => experiments::table7(&scale, variant),
+        "ceiling" => experiments::ceiling(&scale),
+        "table2" => experiments::table2(&scale),
+        "fig2" => experiments::fig2(&scale),
+        "noise" => experiments::noise(&scale),
+        "agnostic" => experiments::agnostic(&scale),
+        "imbalance" => experiments::imbalance(&scale),
+        "sweep-batch" => experiments::sweep_batch(&scale),
+        "compare" => {
+            if positional.len() != 2 {
+                eprintln!("usage: histal-experiments compare <strategyA> <strategyB> [--full]");
+                std::process::exit(2);
+            }
+            experiments::compare(&scale, &positional[0], &positional[1]);
+        }
+        "significance" => experiments::significance(&scale),
+        "all" => {
+            experiments::fig2(&scale);
+            experiments::table2(&scale);
+            experiments::table3();
+            experiments::table4();
+            experiments::fig3_text(&scale);
+            experiments::fig3_ner(&scale);
+            experiments::table5(&scale, &targets);
+            experiments::fig4(&scale);
+            experiments::fig5(&scale);
+            experiments::table6(&scale);
+            experiments::table7(&scale, variant);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            usage_and_exit();
+        }
+    }
+    eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> T {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| bad_flag(name))
+}
+
+fn bad_flag(name: &str) -> ! {
+    eprintln!("invalid or missing value for --{name}");
+    std::process::exit(2);
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|all> \
+         [--full|--quick] [--repeats N] [--scale F] [--targets a,b,c] [--variant paper|ar|linear|autocorr]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,526 @@
+//! The pool-based active learning driver.
+//!
+//! [`ActiveLearner`] owns the pool, the oracle labels, the test split, the
+//! underlying model, the [`HistoryStore`], and a [`Strategy`], and runs
+//! the iterative select–annotate–retrain loop of §2. It is generic over
+//! [`Model`], so the same driver executes both the text-classification
+//! and NER experiments (and user-provided models).
+
+use rand::prelude::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use histal_text::SparseVec;
+use histal_tseries::{exp_weighted_sum, window_variance};
+
+use crate::error::StrategyError;
+use crate::eval::SampleEval;
+use crate::history::HistoryStore;
+use crate::lhs::LhsSelector;
+use crate::model::Model;
+use crate::stopping::{StopReason, StoppingRule};
+use crate::strategy::combinators::{apply_density, kcenter_select, mmr_select};
+use crate::strategy::Strategy;
+
+/// Static configuration of an active-learning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Samples annotated per round.
+    pub batch_size: usize,
+    /// Number of selection rounds (the curve gets `rounds + 1` points).
+    pub rounds: usize,
+    /// Size of the random initial labeled set `s₀`.
+    pub init_labeled: usize,
+    /// Optional cap on retained history length (`O(l·N)` memory mode).
+    pub history_max_len: Option<usize>,
+    /// Return the full per-sample history matrix in
+    /// [`RunResult::history`] (off by default — it is `O(rounds · N)`).
+    pub record_history: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 25,
+            rounds: 20,
+            init_labeled: 25,
+            history_max_len: None,
+            record_history: false,
+        }
+    }
+}
+
+/// One point of the learning curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Labeled-set size when the metric was measured.
+    pub n_labeled: usize,
+    /// Test metric after training on that labeled set.
+    pub metric: f64,
+}
+
+/// Per-round bookkeeping, including the Table 6 diagnostics and the
+/// wall-clock breakdown behind the Table 2 efficiency argument.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Pool ids selected this round.
+    pub selected: Vec<usize>,
+    /// Mean WSHS score (window 3) of the selected samples at selection
+    /// time — the quantity reported in Table 6.
+    pub mean_wshs_of_selected: f64,
+    /// Mean history fluctuation (window-3 variance) of the selected
+    /// samples — the FHS column of Table 6.
+    pub mean_fluct_of_selected: f64,
+    /// Time spent training the model this round (milliseconds).
+    pub fit_ms: f64,
+    /// Time spent evaluating the unlabeled pool — the `O(T)` cost every
+    /// strategy pays (milliseconds).
+    pub eval_ms: f64,
+    /// Time spent folding histories and selecting the batch — the extra
+    /// cost of the history-aware strategies (milliseconds).
+    pub select_ms: f64,
+}
+
+/// The output of a full run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Human-readable strategy name (e.g. `"WSHS(entropy)"`, `"LHS(LC)"`).
+    pub strategy_name: String,
+    /// Learning curve: metric after the initial set, then after each batch.
+    pub curve: Vec<CurvePoint>,
+    /// Per-round selections and diagnostics.
+    pub rounds: Vec<RoundRecord>,
+    /// Per-sample historical evaluation sequences (indexed by pool id;
+    /// a sample's sequence stops growing once it is labeled). Empty
+    /// unless [`PoolConfig::record_history`] was set.
+    #[serde(default)]
+    pub history: Vec<Vec<f64>>,
+}
+
+impl RunResult {
+    /// Metric at the largest labeled-set size.
+    pub fn final_metric(&self) -> f64 {
+        self.curve.last().map(|p| p.metric).unwrap_or(0.0)
+    }
+}
+
+/// Diagnostic window used for the Table 6 statistics.
+const DIAG_WINDOW: usize = 3;
+
+/// A pool-based active learner (problem setting of §2, Figure 1).
+pub struct ActiveLearner<M: Model> {
+    model: M,
+    samples: Vec<M::Sample>,
+    oracle_labels: Vec<M::Label>,
+    test_samples: Vec<M::Sample>,
+    test_labels: Vec<M::Label>,
+    strategy: Strategy,
+    lhs: Option<LhsSelector>,
+    config: PoolConfig,
+    /// Optional sparse representations for density/MMR combinators.
+    representations: Option<Vec<SparseVec>>,
+    rng: ChaCha8Rng,
+    seed: u64,
+}
+
+impl<M: Model> ActiveLearner<M> {
+    /// Create a learner over a pool with hidden oracle labels and a fixed
+    /// test split. `seed` makes the whole run deterministic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        model: M,
+        samples: Vec<M::Sample>,
+        oracle_labels: Vec<M::Label>,
+        test_samples: Vec<M::Sample>,
+        test_labels: Vec<M::Label>,
+        strategy: Strategy,
+        config: PoolConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            samples.len(),
+            oracle_labels.len(),
+            "pool samples/labels misaligned"
+        );
+        assert_eq!(
+            test_samples.len(),
+            test_labels.len(),
+            "test samples/labels misaligned"
+        );
+        assert!(config.batch_size > 0, "batch size must be positive");
+        Self {
+            model,
+            samples,
+            oracle_labels,
+            test_samples,
+            test_labels,
+            strategy,
+            lhs: None,
+            config,
+            representations: None,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Attach a trained LHS selector; selection then ranks a candidate set
+    /// with the learned ranker instead of sorting by the history policy.
+    pub fn with_lhs(mut self, lhs: LhsSelector) -> Self {
+        self.lhs = Some(lhs);
+        self
+    }
+
+    /// Attach sparse representations enabling the density / MMR
+    /// combinators. `reps[i]` must describe pool sample `i`.
+    pub fn with_representations(mut self, reps: Vec<SparseVec>) -> Self {
+        assert_eq!(
+            reps.len(),
+            self.samples.len(),
+            "one representation per pool sample"
+        );
+        self.representations = Some(reps);
+        self
+    }
+
+    /// Run the full loop. Returns an error if the strategy requires a
+    /// capability the model does not provide.
+    pub fn run(&mut self) -> Result<RunResult, StrategyError> {
+        self.run_until(&StoppingRule::none())
+            .map(|(result, _)| result)
+    }
+
+    /// Run until the configured rounds complete or `rule` fires, whichever
+    /// comes first. Returns the run and why it stopped.
+    pub fn run_until(
+        &mut self,
+        rule: &StoppingRule,
+    ) -> Result<(RunResult, StopReason), StrategyError> {
+        let n = self.samples.len();
+        let mut history = match self.config.history_max_len {
+            Some(cap) => HistoryStore::with_max_len(n, cap),
+            None => HistoryStore::new(n),
+        };
+        // Initial random labeled set s₀.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut self.rng);
+        let init = self.config.init_labeled.min(n);
+        let mut labeled: Vec<usize> = order[..init].to_vec();
+        let mut is_labeled = vec![false; n];
+        for &i in &labeled {
+            is_labeled[i] = true;
+        }
+
+        let mut curve = Vec::with_capacity(self.config.rounds + 1);
+        let mut rounds = Vec::with_capacity(self.config.rounds);
+        let caps = self.strategy.base.caps();
+
+        let needs_prob_history = self.strategy.hkld.is_some();
+        let mut prob_history: Vec<Vec<Vec<f64>>> = if needs_prob_history {
+            vec![Vec::new(); n]
+        } else {
+            Vec::new()
+        };
+
+        let mut stop_reason = StopReason::RoundsExhausted;
+        // When the pool empties we have already recorded the metric for
+        // the full labeled set this round; the post-loop record would
+        // duplicate that curve point.
+        let mut recorded_final = false;
+        for round in 0..self.config.rounds {
+            let fit_start = std::time::Instant::now();
+            self.fit_and_record(&labeled, &mut curve);
+            let fit_ms = fit_start.elapsed().as_secs_f64() * 1e3;
+            if let Some(reason) = rule.should_stop(&curve) {
+                stop_reason = reason;
+                return Ok((self.finish(curve, rounds, history), stop_reason));
+            }
+            let unlabeled: Vec<usize> = (0..n).filter(|&i| !is_labeled[i]).collect();
+            if unlabeled.is_empty() {
+                stop_reason = StopReason::PoolExhausted;
+                recorded_final = true;
+                break;
+            }
+            // Evaluate the pool in parallel with per-sample deterministic
+            // seeds, then score.
+            let eval_start = std::time::Instant::now();
+            let evals: Vec<SampleEval> = unlabeled
+                .par_iter()
+                .map(|&id| {
+                    let s = mix_seed(self.seed, round as u64, id as u64);
+                    self.model.eval_sample(&self.samples[id], &caps, s)
+                })
+                .collect();
+            let eval_ms = eval_start.elapsed().as_secs_f64() * 1e3;
+
+            let select_start = std::time::Instant::now();
+            let mut base_scores = Vec::with_capacity(unlabeled.len());
+            for eval in &evals {
+                let r: f64 = self.rng.gen();
+                base_scores.push(self.strategy.base.base_score(eval, r)?);
+            }
+            for (&id, &score) in unlabeled.iter().zip(&base_scores) {
+                history.append(id, score);
+            }
+            if needs_prob_history {
+                let cap = self.config.history_max_len.unwrap_or(usize::MAX);
+                for (&id, eval) in unlabeled.iter().zip(&evals) {
+                    let seq = &mut prob_history[id];
+                    seq.push(eval.probs.clone());
+                    if seq.len() > cap {
+                        seq.remove(0);
+                    }
+                }
+            }
+            let mut final_scores: Vec<f64> = if let Some(k) = self.strategy.hkld {
+                // HKLD (Davy & Luz 2007): the committee is the models of
+                // the last k iterations; score = mean KL of each member's
+                // posterior from the committee mean.
+                unlabeled
+                    .iter()
+                    .map(|&id| hkld_score(&prob_history[id], k))
+                    .collect()
+            } else {
+                unlabeled
+                    .iter()
+                    .map(|&id| self.strategy.history.final_score(history.seq(id)))
+                    .collect()
+            };
+            if let (Some(cfg), Some(reps)) = (&self.strategy.density, &self.representations) {
+                apply_density(&mut final_scores, &unlabeled, reps, cfg, &mut self.rng);
+            }
+
+            let batch = self.config.batch_size.min(unlabeled.len());
+            let picked_positions: Vec<usize> = if let Some(lhs) = &self.lhs {
+                lhs.select(&unlabeled, &evals, &history, batch)
+            } else if let (Some(cfg), Some(reps)) = (&self.strategy.mmr, &self.representations) {
+                mmr_select(&final_scores, &unlabeled, reps, batch, cfg)
+            } else if let (true, Some(reps)) = (self.strategy.kcenter, &self.representations) {
+                kcenter_select(&final_scores, &unlabeled, reps, batch)
+            } else {
+                top_k(&final_scores, batch)
+            };
+            let select_ms = select_start.elapsed().as_secs_f64() * 1e3;
+
+            let selected: Vec<usize> = picked_positions.iter().map(|&p| unlabeled[p]).collect();
+            let (mean_wshs, mean_fluct) = selection_diagnostics(&selected, &history);
+            for &id in &selected {
+                is_labeled[id] = true;
+                labeled.push(id);
+            }
+            rounds.push(RoundRecord {
+                round,
+                selected,
+                mean_wshs_of_selected: mean_wshs,
+                mean_fluct_of_selected: mean_fluct,
+                fit_ms,
+                eval_ms,
+                select_ms,
+            });
+        }
+        // Metric after the final batch.
+        if !recorded_final {
+            self.fit_and_record(&labeled, &mut curve);
+        }
+        if let Some(reason) = rule.should_stop(&curve) {
+            stop_reason = reason;
+        }
+        Ok((self.finish(curve, rounds, history), stop_reason))
+    }
+
+    fn finish(
+        &self,
+        curve: Vec<CurvePoint>,
+        rounds: Vec<RoundRecord>,
+        history: HistoryStore,
+    ) -> RunResult {
+        let strategy_name = if self.lhs.is_some() {
+            format!("LHS({})", self.strategy.base.name())
+        } else {
+            self.strategy.name()
+        };
+        let history = if self.config.record_history {
+            history.into_sequences()
+        } else {
+            Vec::new()
+        };
+        RunResult {
+            strategy_name,
+            curve,
+            rounds,
+            history,
+        }
+    }
+
+    fn fit_and_record(&mut self, labeled: &[usize], curve: &mut Vec<CurvePoint>) {
+        let samples: Vec<&M::Sample> = labeled.iter().map(|&i| &self.samples[i]).collect();
+        let labels: Vec<&M::Label> = labeled.iter().map(|&i| &self.oracle_labels[i]).collect();
+        self.model.fit(&samples, &labels, &mut self.rng);
+        let test_s: Vec<&M::Sample> = self.test_samples.iter().collect();
+        let test_l: Vec<&M::Label> = self.test_labels.iter().collect();
+        let metric = self.model.metric(&test_s, &test_l);
+        curve.push(CurvePoint {
+            n_labeled: labeled.len(),
+            metric,
+        });
+    }
+
+    /// Consume the learner, returning the trained model (e.g. to inspect
+    /// it after a run).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+/// Positions of the `k` largest scores, best first. Ties break toward the
+/// lower index for determinism.
+pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Mix a run seed, round and sample id into an independent stream seed.
+pub fn mix_seed(seed: u64, round: u64, id: u64) -> u64 {
+    let mut h =
+        seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ id.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+/// HKLD score: mean KL divergence of the last-`k` posteriors from their
+/// mean. Returns 0 with fewer than two recorded posteriors.
+pub fn hkld_score(prob_seq: &[Vec<f64>], k: usize) -> f64 {
+    let start = prob_seq.len().saturating_sub(k);
+    let window = &prob_seq[start..];
+    let members: Vec<&Vec<f64>> = window.iter().filter(|p| !p.is_empty()).collect();
+    if members.len() < 2 {
+        return 0.0;
+    }
+    let dim = members[0].len();
+    if members.iter().any(|p| p.len() != dim) {
+        return 0.0;
+    }
+    let mut avg = vec![0.0; dim];
+    for p in &members {
+        for (a, v) in avg.iter_mut().zip(p.iter()) {
+            *a += v;
+        }
+    }
+    for a in &mut avg {
+        *a /= members.len() as f64;
+    }
+    let kl = |p: &[f64], q: &[f64]| -> f64 {
+        p.iter()
+            .zip(q)
+            .filter(|(&pi, _)| pi > 0.0)
+            .map(|(&pi, &qi)| pi * (pi / qi.max(1e-12)).ln())
+            .sum()
+    };
+    // Gibbs' inequality guarantees non-negativity; clamp away the
+    // floating-point noise that can leave a tiny negative residue.
+    (members.iter().map(|p| kl(p, &avg)).sum::<f64>() / members.len() as f64).max(0.0)
+}
+
+fn selection_diagnostics(selected: &[usize], history: &HistoryStore) -> (f64, f64) {
+    if selected.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut wshs = 0.0;
+    let mut fluct = 0.0;
+    for &id in selected {
+        let seq = history.seq(id);
+        wshs += exp_weighted_sum(seq, DIAG_WINDOW);
+        fluct += window_variance(seq, DIAG_WINDOW);
+    }
+    let n = selected.len() as f64;
+    (wshs / n, fluct / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_descending() {
+        assert_eq!(top_k(&[0.1, 0.9, 0.5], 2), vec![1, 2]);
+        assert_eq!(top_k(&[0.5, 0.5], 2), vec![0, 1]);
+        assert_eq!(top_k(&[1.0], 5), vec![0]);
+        assert!(top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn mix_seed_varies_by_all_inputs() {
+        let base = mix_seed(1, 2, 3);
+        assert_ne!(base, mix_seed(2, 2, 3));
+        assert_ne!(base, mix_seed(1, 3, 3));
+        assert_ne!(base, mix_seed(1, 2, 4));
+        assert_eq!(base, mix_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn hkld_zero_for_insufficient_history() {
+        assert_eq!(hkld_score(&[], 3), 0.0);
+        assert_eq!(hkld_score(&[vec![0.5, 0.5]], 3), 0.0);
+    }
+
+    #[test]
+    fn hkld_zero_for_agreeing_committee() {
+        let seq = vec![vec![0.7, 0.3]; 4];
+        assert!(hkld_score(&seq, 4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hkld_positive_for_disagreement_and_uses_window() {
+        let seq = vec![
+            vec![0.99, 0.01], // outside window of k = 2
+            vec![0.9, 0.1],
+            vec![0.1, 0.9],
+        ];
+        let disagree = hkld_score(&seq, 2);
+        assert!(disagree > 0.0);
+        // Full window includes the extreme first posterior → larger KL.
+        assert!(hkld_score(&seq, 3) > disagree);
+    }
+
+    #[test]
+    fn hkld_tolerates_dimension_mismatch() {
+        let seq = vec![vec![0.5, 0.5], vec![0.3, 0.3, 0.4]];
+        assert_eq!(hkld_score(&seq, 2), 0.0);
+    }
+
+    #[test]
+    fn diagnostics_empty_selection() {
+        let h = HistoryStore::new(4);
+        assert_eq!(selection_diagnostics(&[], &h), (0.0, 0.0));
+    }
+
+    #[test]
+    fn diagnostics_average_over_selection() {
+        let mut h = HistoryStore::new(2);
+        for v in [0.0, 1.0, 0.0] {
+            h.append(0, v);
+        }
+        for v in [0.5, 0.5, 0.5] {
+            h.append(1, v);
+        }
+        let (w, f) = selection_diagnostics(&[0, 1], &h);
+        let w_expected =
+            (exp_weighted_sum(&[0.0, 1.0, 0.0], 3) + exp_weighted_sum(&[0.5, 0.5, 0.5], 3)) / 2.0;
+        let f_expected = (window_variance(&[0.0, 1.0, 0.0], 3) + 0.0) / 2.0;
+        assert!((w - w_expected).abs() < 1e-12);
+        assert!((f - f_expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for strategy evaluation.
+
+use std::fmt;
+
+/// Errors raised when a strategy asks for a quantity the underlying model
+/// did not provide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyError {
+    /// The base strategy needs a capability (`egl`, `bald`, `mnlp`, …) the
+    /// model's [`crate::eval::SampleEval`] left unset.
+    MissingCapability {
+        /// Strategy name, e.g. `"EGL"`.
+        strategy: &'static str,
+        /// Missing field, e.g. `"egl"`.
+        field: &'static str,
+    },
+    /// The margin strategy needs at least two classes of probabilities.
+    NotEnoughClasses {
+        /// Number of classes the eval actually carried.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingCapability { strategy, field } => write!(
+                f,
+                "strategy {strategy} requires the model to provide `{field}` \
+                 (enable it in EvalCaps / the model configuration)"
+            ),
+            Self::NotEnoughClasses { got } => {
+                write!(
+                    f,
+                    "margin strategy needs ≥ 2 class probabilities, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = StrategyError::MissingCapability {
+            strategy: "EGL",
+            field: "egl",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("EGL") && msg.contains("egl"));
+    }
+
+    #[test]
+    fn error_trait_impl() {
+        let e: Box<dyn std::error::Error> = Box::new(StrategyError::NotEnoughClasses { got: 1 });
+        assert!(e.to_string().contains("got 1"));
+    }
+}

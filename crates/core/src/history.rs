@@ -1,0 +1,157 @@
+//! Storage for historical evaluation sequences.
+//!
+//! `H_t(x) = [φ_1(x), …, φ_t(x)]` for every pool sample `x`. The paper's
+//! efficiency analysis (Table 2) notes that strategies only ever read the
+//! last `l` scores, so the store can optionally truncate each sequence to
+//! a maximum retained length, bounding memory at `O(l · N)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-sample historical evaluation sequences, indexed by pool position.
+///
+/// ```
+/// use histal_core::history::HistoryStore;
+/// let mut h = HistoryStore::with_max_len(2, 3);
+/// for round in 0..5 {
+///     h.append(0, round as f64 / 10.0);
+/// }
+/// // Only the last 3 scores are retained (the O(l·N) mode of Table 2).
+/// assert_eq!(h.seq(0), &[0.2, 0.3, 0.4]);
+/// assert_eq!(h.current(1), None);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryStore {
+    seqs: Vec<Vec<f64>>,
+    /// Maximum retained sequence length; `None` keeps everything.
+    max_len: Option<usize>,
+}
+
+impl HistoryStore {
+    /// A store for `n_samples` sequences with unbounded retention.
+    pub fn new(n_samples: usize) -> Self {
+        Self {
+            seqs: vec![Vec::new(); n_samples],
+            max_len: None,
+        }
+    }
+
+    /// A store that retains only the last `max_len` scores per sample —
+    /// the `O(l·N)` space mode of Table 2.
+    pub fn with_max_len(n_samples: usize, max_len: usize) -> Self {
+        assert!(max_len > 0, "retention window must be positive");
+        Self {
+            seqs: vec![Vec::new(); n_samples],
+            max_len: Some(max_len),
+        }
+    }
+
+    /// Number of tracked samples.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// True when tracking no samples.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Append this iteration's score for sample `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn append(&mut self, id: usize, score: f64) {
+        let seq = &mut self.seqs[id];
+        seq.push(score);
+        if let Some(cap) = self.max_len {
+            if seq.len() > cap {
+                seq.remove(0);
+            }
+        }
+    }
+
+    /// The retained sequence for sample `id` (oldest first).
+    pub fn seq(&self, id: usize) -> &[f64] {
+        &self.seqs[id]
+    }
+
+    /// The most recent score, if any.
+    pub fn current(&self, id: usize) -> Option<f64> {
+        self.seqs[id].last().copied()
+    }
+
+    /// Iterations recorded for sample `id` (capped by retention).
+    pub fn recorded_len(&self, id: usize) -> usize {
+        self.seqs[id].len()
+    }
+
+    /// All non-empty sequences, cloned — training corpus for the LHS
+    /// next-score predictor.
+    pub fn non_empty_sequences(&self) -> Vec<Vec<f64>> {
+        self.seqs
+            .iter()
+            .filter(|s| !s.is_empty())
+            .cloned()
+            .collect()
+    }
+
+    /// Consume the store, returning every sequence indexed by sample id.
+    pub fn into_sequences(self) -> Vec<Vec<f64>> {
+        self.seqs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut h = HistoryStore::new(3);
+        h.append(1, 0.5);
+        h.append(1, 0.7);
+        assert_eq!(h.seq(1), &[0.5, 0.7]);
+        assert_eq!(h.current(1), Some(0.7));
+        assert!(h.seq(0).is_empty());
+        assert_eq!(h.current(0), None);
+    }
+
+    #[test]
+    fn retention_caps_length_keeping_latest() {
+        let mut h = HistoryStore::with_max_len(1, 3);
+        for i in 0..5 {
+            h.append(0, i as f64);
+        }
+        assert_eq!(h.seq(0), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut h = HistoryStore::new(1);
+        for i in 0..100 {
+            h.append(0, i as f64);
+        }
+        assert_eq!(h.recorded_len(0), 100);
+    }
+
+    #[test]
+    fn non_empty_sequences_skips_empty() {
+        let mut h = HistoryStore::new(3);
+        h.append(0, 1.0);
+        h.append(2, 2.0);
+        let seqs = h.non_empty_sequences();
+        assert_eq!(seqs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_append_panics() {
+        let mut h = HistoryStore::new(1);
+        h.append(5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_retention_panics() {
+        let _ = HistoryStore::with_max_len(1, 0);
+    }
+}

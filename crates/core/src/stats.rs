@@ -1,0 +1,266 @@
+//! Statistical comparison of active-learning runs.
+//!
+//! The paper reports that its methods "significantly promote existing
+//! methods"; this module provides the machinery to back such claims:
+//! a Wilcoxon signed-rank test over paired per-point curve differences
+//! and a paired bootstrap test over per-repeat summary statistics.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::driver::RunResult;
+
+/// Result of a two-sided paired significance test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// The test statistic (W for Wilcoxon, mean difference for bootstrap).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Mean of the paired differences (`a − b`): positive means `a` wins.
+    pub mean_diff: f64,
+}
+
+impl TestResult {
+    /// Significant at level `alpha` *and* in favour of the first input.
+    pub fn significantly_better(&self, alpha: f64) -> bool {
+        self.p_value < alpha && self.mean_diff > 0.0
+    }
+}
+
+/// Wilcoxon signed-rank test on paired samples (normal approximation
+/// with tie correction — adequate for n ≥ 10, which curve comparisons
+/// easily reach). Zero differences are dropped per the standard
+/// procedure.
+///
+/// ```
+/// use histal_core::stats::wilcoxon_signed_rank;
+/// let variant: Vec<f64> = (0..15).map(|i| 0.6 + 0.01 * i as f64).collect();
+/// let base: Vec<f64> = variant.iter().map(|x| x - 0.02).collect();
+/// let t = wilcoxon_signed_rank(&variant, &base);
+/// assert!(t.significantly_better(0.05));
+/// ```
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> TestResult {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| d.abs() > 1e-15)
+        .collect();
+    let mean_diff = if a.is_empty() {
+        0.0
+    } else {
+        a.iter().zip(b).map(|(x, y)| x - y).sum::<f64>() / a.len() as f64
+    };
+    let n = diffs.len();
+    if n == 0 {
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+            mean_diff,
+        };
+    }
+    // Rank |d| ascending with mid-ranks for ties.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        diffs[i]
+            .abs()
+            .partial_cmp(&diffs[j].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && (diffs[order[j + 1]].abs() - diffs[order[i]].abs()).abs() < 1e-15 {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = mid;
+        }
+        i = j + 1;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(&d, _)| d > 0.0)
+        .map(|(_, &r)| r)
+        .sum();
+    let nf = n as f64;
+    let mean_w = nf * (nf + 1.0) / 4.0;
+    let var_w = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0;
+    if var_w <= 0.0 {
+        return TestResult {
+            statistic: w_plus,
+            p_value: 1.0,
+            mean_diff,
+        };
+    }
+    // Continuity-corrected z.
+    let z = (w_plus - mean_w - 0.5 * (w_plus - mean_w).signum()) / var_w.sqrt();
+    let p = 2.0 * (1.0 - std_normal_cdf(z.abs()));
+    TestResult {
+        statistic: w_plus,
+        p_value: p.clamp(0.0, 1.0),
+        mean_diff,
+    }
+}
+
+/// Paired bootstrap test: resample the paired differences `iters` times
+/// and report the two-sided p-value of the sign of the mean.
+pub fn paired_bootstrap(a: &[f64], b: &[f64], iters: usize, seed: u64) -> TestResult {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len();
+    let mean_diff = if n == 0 {
+        0.0
+    } else {
+        diffs.iter().sum::<f64>() / n as f64
+    };
+    if n == 0 || diffs.iter().all(|d| d.abs() < 1e-15) {
+        return TestResult {
+            statistic: mean_diff,
+            p_value: 1.0,
+            mean_diff,
+        };
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut opposite = 0usize;
+    for _ in 0..iters {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += diffs[rng.gen_range(0..n)];
+        }
+        let resampled = acc / n as f64;
+        if (resampled >= 0.0) != (mean_diff >= 0.0) || resampled == 0.0 {
+            opposite += 1;
+        }
+    }
+    // Two-sided p with the +1 smoothing that keeps p > 0.
+    let p = 2.0 * (opposite as f64 + 1.0) / (iters as f64 + 1.0);
+    TestResult {
+        statistic: mean_diff,
+        p_value: p.min(1.0),
+        mean_diff,
+    }
+}
+
+/// Wilcoxon over the aligned learning curves of two strategies.
+///
+/// # Panics
+/// Panics if the curves have different lengths.
+pub fn compare_curves(a: &RunResult, b: &RunResult) -> TestResult {
+    assert_eq!(a.curve.len(), b.curve.len(), "curves must align");
+    let xs: Vec<f64> = a.curve.iter().map(|p| p.metric).collect();
+    let ys: Vec<f64> = b.curve.iter().map(|p| p.metric).collect();
+    wilcoxon_signed_rank(&xs, &ys)
+}
+
+/// Φ(z) via the Abramowitz–Stegun 7.1.26 erf approximation (|ε| < 1.5e-7).
+fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427007).abs() < 1e-5);
+        assert!((erf(2.0) - 0.9953223).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((std_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wilcoxon_detects_consistent_improvement() {
+        let a: Vec<f64> = (0..20).map(|i| 0.5 + 0.01 * i as f64 + 0.02).collect();
+        let b: Vec<f64> = (0..20).map(|i| 0.5 + 0.01 * i as f64).collect();
+        let t = wilcoxon_signed_rank(&a, &b);
+        assert!(t.p_value < 0.01, "p = {}", t.p_value);
+        assert!(t.significantly_better(0.05));
+    }
+
+    #[test]
+    fn wilcoxon_no_difference() {
+        let a = vec![0.5; 15];
+        let t = wilcoxon_signed_rank(&a, &a);
+        assert_eq!(t.p_value, 1.0);
+        assert!(!t.significantly_better(0.05));
+    }
+
+    #[test]
+    fn wilcoxon_mixed_differences_not_significant() {
+        let a: Vec<f64> = (0..20)
+            .map(|i| 0.5 + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let b = vec![0.5; 20];
+        let t = wilcoxon_signed_rank(&a, &b);
+        assert!(t.p_value > 0.5, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn wilcoxon_direction_matters() {
+        let a = vec![0.4; 12];
+        let b: Vec<f64> = (0..12).map(|i| 0.5 + 0.001 * i as f64).collect();
+        let t = wilcoxon_signed_rank(&a, &b);
+        assert!(t.mean_diff < 0.0);
+        assert!(!t.significantly_better(0.05));
+    }
+
+    #[test]
+    fn bootstrap_consistent_improvement() {
+        let a: Vec<f64> = (0..25).map(|i| 0.6 + 0.001 * (i % 5) as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x - 0.03).collect();
+        let t = paired_bootstrap(&a, &b, 2000, 7);
+        assert!(t.significantly_better(0.05), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn bootstrap_identical_is_insignificant() {
+        let a = vec![0.5; 10];
+        let t = paired_bootstrap(&a, &a, 500, 7);
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn bootstrap_deterministic_under_seed() {
+        let a: Vec<f64> = (0..15).map(|i| 0.5 + 0.01 * (i as f64).sin()).collect();
+        let b = vec![0.5; 15];
+        let t1 = paired_bootstrap(&a, &b, 1000, 3);
+        let t2 = paired_bootstrap(&a, &b, 1000, 3);
+        assert_eq!(t1.p_value, t2.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn misaligned_pairs_panic() {
+        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Representative and diversity combinators (§3.1.2–3.1.3).
+//!
+//! * **Density weighting** (Eq. 7) multiplies the informative score by the
+//!   sample's mean similarity to the unlabeled pool, discounting outliers.
+//! * **MMR diversity** (Eq. 8) greedily selects a batch balancing the
+//!   informative score against the maximum similarity to already-selected
+//!   samples.
+//!
+//! Both operate on sparse bag-of-features representations with cosine
+//! similarity. Mean pool similarity is estimated on a fixed-size random
+//! subsample of the pool (documented deviation: the paper averages over
+//! all of `U`, which is `O(|U|²)` per round; a 256-sample Monte Carlo
+//! estimate preserves the ordering at a fraction of the cost).
+
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use histal_text::SparseVec;
+
+/// Configuration for density (representativeness) weighting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DensityConfig {
+    /// Pool subsample size for the mean-similarity estimate; 0 means use
+    /// the full pool (exact but quadratic).
+    pub sample_size: usize,
+    /// Density exponent β (Settles & Craven 2008 information density):
+    /// `φ(x) · density(x)^β`. β = 1 is the paper's Eq. 7; β = 0 disables
+    /// the weighting.
+    pub beta: f64,
+}
+
+impl Default for DensityConfig {
+    fn default() -> Self {
+        Self {
+            sample_size: 256,
+            beta: 1.0,
+        }
+    }
+}
+
+/// Configuration for MMR batch diversity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MmrConfig {
+    /// Trade-off λ in `λ·φ(x) − (1−λ)·max sim` — 1.0 disables diversity.
+    pub lambda: f64,
+}
+
+impl Default for MmrConfig {
+    fn default() -> Self {
+        Self { lambda: 0.7 }
+    }
+}
+
+/// Multiply each unlabeled sample's score by its estimated mean cosine
+/// similarity to the unlabeled pool (Eq. 7), in place.
+///
+/// `reps[id]` is the representation of pool sample `id`; `unlabeled` lists
+/// the ids currently in `U`, parallel to `scores`.
+pub fn apply_density(
+    scores: &mut [f64],
+    unlabeled: &[usize],
+    reps: &[SparseVec],
+    config: &DensityConfig,
+    rng: &mut ChaCha8Rng,
+) {
+    assert_eq!(scores.len(), unlabeled.len(), "scores/unlabeled misaligned");
+    if unlabeled.is_empty() {
+        return;
+    }
+    let reference: Vec<usize> = if config.sample_size == 0 || unlabeled.len() <= config.sample_size
+    {
+        unlabeled.to_vec()
+    } else {
+        unlabeled
+            .choose_multiple(rng, config.sample_size)
+            .copied()
+            .collect()
+    };
+    for (score, &id) in scores.iter_mut().zip(unlabeled) {
+        let mut sim_sum = 0.0;
+        for &other in &reference {
+            if other != id {
+                sim_sum += reps[id].cosine(&reps[other]);
+            }
+        }
+        let denom = reference
+            .len()
+            .saturating_sub(usize::from(reference.contains(&id)));
+        let density = if denom == 0 {
+            0.0
+        } else {
+            sim_sum / denom as f64
+        };
+        *score *= density.max(0.0).powf(config.beta);
+    }
+}
+
+/// Greedy k-center (core-set) batch selection (Sener & Savarese 2018):
+/// the first pick is the top-scoring sample; every later pick maximizes
+/// the minimum cosine *distance* to the batch selected so far, covering
+/// the pool's geometry.
+///
+/// Returns up to `batch_size` positions into `unlabeled`, in selection
+/// order.
+pub fn kcenter_select(
+    scores: &[f64],
+    unlabeled: &[usize],
+    reps: &[SparseVec],
+    batch_size: usize,
+) -> Vec<usize> {
+    assert_eq!(scores.len(), unlabeled.len(), "scores/unlabeled misaligned");
+    let n = unlabeled.len();
+    let k = batch_size.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let first = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut selected = vec![first];
+    let mut taken = vec![false; n];
+    taken[first] = true;
+    // min distance of each candidate to the selected set so far.
+    let mut min_dist: Vec<f64> = (0..n)
+        .map(|pos| 1.0 - reps[unlabeled[pos]].cosine(&reps[unlabeled[first]]))
+        .collect();
+    while selected.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for pos in 0..n {
+            if taken[pos] {
+                continue;
+            }
+            if best.map_or(true, |(_, d)| min_dist[pos] > d) {
+                best = Some((pos, min_dist[pos]));
+            }
+        }
+        let (pos, _) = match best {
+            Some(b) => b,
+            None => break,
+        };
+        taken[pos] = true;
+        selected.push(pos);
+        let new_rep = &reps[unlabeled[pos]];
+        for other in 0..n {
+            if !taken[other] {
+                let d = 1.0 - new_rep.cosine(&reps[unlabeled[other]]);
+                if d < min_dist[other] {
+                    min_dist[other] = d;
+                }
+            }
+        }
+    }
+    selected
+}
+
+/// Greedy MMR batch selection (Eq. 8): repeatedly pick
+/// `argmax λ·φ(x) − (1−λ)·max_{s ∈ batch} sim(x, s)`.
+///
+/// Returns up to `batch_size` *positions into `unlabeled`* in selection
+/// order. The similarity penalty is taken against the batch selected so
+/// far (standard batch-mode MMR; the first pick is pure argmax).
+pub fn mmr_select(
+    scores: &[f64],
+    unlabeled: &[usize],
+    reps: &[SparseVec],
+    batch_size: usize,
+    config: &MmrConfig,
+) -> Vec<usize> {
+    assert_eq!(scores.len(), unlabeled.len(), "scores/unlabeled misaligned");
+    let n = unlabeled.len();
+    let k = batch_size.min(n);
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    let mut taken = vec![false; n];
+    // Max similarity of each candidate to the selected batch so far.
+    let mut max_sim = vec![0.0f64; n];
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for pos in 0..n {
+            if taken[pos] {
+                continue;
+            }
+            let value = config.lambda * scores[pos] - (1.0 - config.lambda) * max_sim[pos];
+            if best.map_or(true, |(_, b)| value > b) {
+                best = Some((pos, value));
+            }
+        }
+        let (pos, _) = match best {
+            Some(b) => b,
+            None => break,
+        };
+        taken[pos] = true;
+        selected.push(pos);
+        // Update similarity penalties against the newly selected sample.
+        let new_rep = &reps[unlabeled[pos]];
+        for other in 0..n {
+            if !taken[other] {
+                let s = new_rep.cosine(&reps[unlabeled[other]]);
+                if s > max_sim[other] {
+                    max_sim[other] = s;
+                }
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    fn rep(pairs: &[(u32, f32)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn density_downweights_outliers() {
+        // Samples 0..3 share a feature; sample 3 is orthogonal.
+        let reps = vec![
+            rep(&[(0, 1.0)]),
+            rep(&[(0, 1.0), (1, 0.2)]),
+            rep(&[(0, 1.0), (2, 0.2)]),
+            rep(&[(9, 1.0)]),
+        ];
+        let unlabeled = [0, 1, 2, 3];
+        let mut scores = vec![1.0; 4];
+        apply_density(
+            &mut scores,
+            &unlabeled,
+            &reps,
+            &DensityConfig {
+                sample_size: 0,
+                beta: 1.0,
+            },
+            &mut rng(),
+        );
+        assert!(
+            scores[0] > scores[3],
+            "outlier must be down-weighted: {scores:?}"
+        );
+        assert_eq!(scores[3], 0.0);
+    }
+
+    #[test]
+    fn density_empty_pool_is_noop() {
+        let mut scores: Vec<f64> = vec![];
+        apply_density(&mut scores, &[], &[], &DensityConfig::default(), &mut rng());
+    }
+
+    #[test]
+    fn mmr_lambda_one_is_pure_topk() {
+        let reps = vec![rep(&[(0, 1.0)]); 4];
+        let unlabeled = [0, 1, 2, 3];
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        let picks = mmr_select(&scores, &unlabeled, &reps, 2, &MmrConfig { lambda: 1.0 });
+        assert_eq!(picks, vec![1, 3]);
+    }
+
+    #[test]
+    fn mmr_penalizes_duplicates() {
+        // Two near-identical high scorers and one distinct medium scorer:
+        // with strong diversity, the second pick is the distinct sample.
+        let reps = vec![rep(&[(0, 1.0)]), rep(&[(0, 1.0)]), rep(&[(5, 1.0)])];
+        let unlabeled = [0, 1, 2];
+        let scores = [0.9, 0.89, 0.5];
+        let picks = mmr_select(&scores, &unlabeled, &reps, 2, &MmrConfig { lambda: 0.3 });
+        assert_eq!(picks[0], 0);
+        assert_eq!(picks[1], 2, "duplicate must lose to the diverse sample");
+    }
+
+    #[test]
+    fn mmr_batch_larger_than_pool() {
+        let reps = vec![rep(&[(0, 1.0)]); 2];
+        let picks = mmr_select(&[0.5, 0.4], &[0, 1], &reps, 10, &MmrConfig::default());
+        assert_eq!(picks.len(), 2);
+    }
+
+    #[test]
+    fn mmr_empty_pool() {
+        let picks = mmr_select(&[], &[], &[], 5, &MmrConfig::default());
+        assert!(picks.is_empty());
+    }
+
+    #[test]
+    fn density_beta_zero_is_noop() {
+        let reps = vec![rep(&[(0, 1.0)]), rep(&[(9, 1.0)])];
+        let unlabeled = [0, 1];
+        let mut scores = vec![0.8, 0.3];
+        apply_density(
+            &mut scores,
+            &unlabeled,
+            &reps,
+            &DensityConfig {
+                sample_size: 0,
+                beta: 0.0,
+            },
+            &mut rng(),
+        );
+        assert_eq!(scores, vec![0.8, 0.3]);
+    }
+
+    #[test]
+    fn kcenter_starts_at_top_score_then_covers() {
+        // Two identical high scorers and one distant point: k-center must
+        // take the top scorer, then jump to the distant point.
+        let reps = vec![rep(&[(0, 1.0)]), rep(&[(0, 1.0)]), rep(&[(7, 1.0)])];
+        let picks = kcenter_select(&[0.9, 0.8, 0.1], &[0, 1, 2], &reps, 2);
+        assert_eq!(picks, vec![0, 2]);
+    }
+
+    #[test]
+    fn kcenter_handles_small_pools() {
+        let reps = vec![rep(&[(0, 1.0)])];
+        assert_eq!(kcenter_select(&[0.5], &[0], &reps, 5), vec![0]);
+        assert!(kcenter_select(&[], &[], &[], 3,).is_empty());
+    }
+}

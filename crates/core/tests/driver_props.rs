@@ -1,0 +1,136 @@
+//! Property-based tests of the full active-learning driver, using a
+//! deterministic mock model so the loop's structural invariants are
+//! checked across random pool sizes, batch sizes and strategies.
+
+use proptest::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use histal_core::driver::{ActiveLearner, PoolConfig};
+use histal_core::eval::{EvalCaps, SampleEval};
+use histal_core::model::Model;
+use histal_core::strategy::{BaseStrategy, HistoryPolicy, Strategy as AlStrategy};
+
+/// Posterior fixed by the sample value; fit is a no-op.
+#[derive(Clone)]
+struct FixedModel;
+
+impl Model for FixedModel {
+    type Sample = f64;
+    type Label = usize;
+
+    fn fit(&mut self, _: &[&f64], _: &[&usize], _: &mut ChaCha8Rng) {}
+
+    fn eval_sample(&self, sample: &f64, _: &EvalCaps, _: u64) -> SampleEval {
+        let p = sample.clamp(0.0, 1.0);
+        SampleEval::from_probs(vec![p, 1.0 - p])
+    }
+
+    fn metric(&self, samples: &[&f64], labels: &[&usize]) -> f64 {
+        let correct = samples
+            .iter()
+            .zip(labels)
+            .filter(|(&&x, &&y)| usize::from(x >= 0.5) == y)
+            .count();
+        correct as f64 / samples.len().max(1) as f64
+    }
+}
+
+fn strategies() -> impl Strategy<Value = AlStrategy> {
+    prop_oneof![
+        Just(AlStrategy::new(BaseStrategy::Entropy)),
+        Just(AlStrategy::new(BaseStrategy::LeastConfidence)),
+        Just(AlStrategy::new(BaseStrategy::Random)),
+        Just(AlStrategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l: 3 })),
+        Just(AlStrategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Fhs {
+            l: 3,
+            w_score: 0.5,
+            w_fluct: 0.5,
+        })),
+        Just(AlStrategy::new(BaseStrategy::Entropy).with_hkld(3)),
+    ]
+}
+
+fn run(
+    n: usize,
+    batch: usize,
+    rounds: usize,
+    strategy: AlStrategy,
+    seed: u64,
+) -> histal_core::RunResult {
+    let pool: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+    let labels: Vec<usize> = pool.iter().map(|&x| usize::from(x >= 0.5)).collect();
+    let mut learner = ActiveLearner::new(
+        FixedModel,
+        pool,
+        labels,
+        vec![0.1, 0.9],
+        vec![0, 1],
+        strategy,
+        PoolConfig {
+            batch_size: batch,
+            rounds,
+            init_labeled: batch,
+            history_max_len: None,
+            record_history: true,
+        },
+        seed,
+    );
+    learner.run().expect("mock model supports all chosen strategies")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Structural invariants hold for every pool/batch/strategy combo:
+    /// no duplicate selections, monotone labeled counts, curve length
+    /// bounded by rounds + 1, history lengths bounded by rounds.
+    #[test]
+    fn driver_invariants(
+        n in 10usize..120,
+        batch in 1usize..12,
+        rounds in 1usize..8,
+        strategy in strategies(),
+        seed in 0u64..1000,
+    ) {
+        let r = run(n, batch, rounds, strategy, seed);
+        prop_assert!(r.curve.len() <= rounds + 1);
+        // Labeled counts strictly increase across curve points.
+        for w in r.curve.windows(2) {
+            prop_assert!(w[1].n_labeled > w[0].n_labeled);
+            prop_assert!(w[1].n_labeled - w[0].n_labeled <= batch);
+        }
+        // No sample selected twice, and never one from the initial set.
+        let mut seen = std::collections::HashSet::new();
+        for round in &r.rounds {
+            prop_assert!(round.selected.len() <= batch);
+            for &id in &round.selected {
+                prop_assert!(id < n);
+                prop_assert!(seen.insert(id), "sample {id} selected twice");
+            }
+        }
+        // Histories never exceed the number of selection rounds.
+        for seq in &r.history {
+            prop_assert!(seq.len() <= rounds);
+        }
+        // Total labeled never exceeds the pool.
+        prop_assert!(r.curve.last().unwrap().n_labeled <= n);
+    }
+
+    /// Identical seeds reproduce runs exactly; different seeds change the
+    /// random initial set.
+    #[test]
+    fn driver_determinism(
+        n in 20usize..80,
+        seed in 0u64..500,
+        strategy in strategies(),
+    ) {
+        let a = run(n, 5, 3, strategy.clone(), seed);
+        let b = run(n, 5, 3, strategy, seed);
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            prop_assert_eq!(&ra.selected, &rb.selected);
+        }
+        for (pa, pb) in a.curve.iter().zip(&b.curve) {
+            prop_assert_eq!(pa.metric, pb.metric);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the significance tests and run analysis.
+
+use proptest::prelude::*;
+
+use histal_core::analysis::{area_under_curve, deficiency};
+use histal_core::driver::{CurvePoint, RunResult};
+use histal_core::stats::{paired_bootstrap, wilcoxon_signed_rank};
+
+fn run_from(metrics: &[f64]) -> RunResult {
+    RunResult {
+        strategy_name: "p".into(),
+        curve: metrics
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| CurvePoint {
+                n_labeled: 10 * (i + 1),
+                metric: m,
+            })
+            .collect(),
+        rounds: vec![],
+        history: vec![],
+    }
+}
+
+fn samples_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, 1..30)
+}
+
+proptest! {
+    /// p-values are probabilities.
+    #[test]
+    fn p_values_in_unit_interval(a in samples_strategy(), shift in -0.2f64..0.2) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let w = wilcoxon_signed_rank(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&w.p_value), "wilcoxon p {}", w.p_value);
+        let boot = paired_bootstrap(&a, &b, 200, 1);
+        prop_assert!((0.0..=1.0).contains(&boot.p_value), "bootstrap p {}", boot.p_value);
+    }
+
+    /// Swapping the inputs negates the mean difference and preserves the
+    /// p-value (two-sided symmetry).
+    #[test]
+    fn wilcoxon_symmetry(a in samples_strategy(), b_shift in -0.3f64..0.3) {
+        let b: Vec<f64> = a.iter().map(|x| (x + b_shift).abs()).collect();
+        let ab = wilcoxon_signed_rank(&a, &b);
+        let ba = wilcoxon_signed_rank(&b, &a);
+        prop_assert!((ab.mean_diff + ba.mean_diff).abs() < 1e-12);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+    }
+
+    /// A uniformly shifted-up variant can never be "significantly worse".
+    #[test]
+    fn dominating_variant_never_significantly_worse(a in samples_strategy(), lift in 0.0f64..0.2) {
+        let better: Vec<f64> = a.iter().map(|x| x + lift).collect();
+        let t = wilcoxon_signed_rank(&better, &a);
+        prop_assert!(t.mean_diff >= -1e-12);
+    }
+
+    /// ALC lies within the metric range of the curve.
+    #[test]
+    fn auc_within_metric_range(metrics in prop::collection::vec(0.0f64..1.0, 1..20)) {
+        let r = run_from(&metrics);
+        let auc = area_under_curve(&r);
+        let lo = metrics.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = metrics.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(auc >= lo - 1e-12 && auc <= hi + 1e-12, "auc {auc} outside [{lo}, {hi}]");
+    }
+
+    /// Deficiency is positive, and reciprocal under argument swap when
+    /// both curves leave room under the ceiling.
+    #[test]
+    fn deficiency_reciprocal(metrics in prop::collection::vec(0.0f64..0.9, 2..15), lift in 0.01f64..0.09) {
+        let a = run_from(&metrics);
+        let lifted: Vec<f64> = metrics.iter().map(|m| m + lift).collect();
+        let b = run_from(&lifted);
+        let dab = deficiency(&a, &b);
+        let dba = deficiency(&b, &a);
+        prop_assert!(dab > 0.0 && dba > 0.0);
+        prop_assert!((dab * dba - 1.0).abs() < 1e-9, "{dab} * {dba} != 1");
+        // The lifted curve dominates → its deficiency vs the base < 1.
+        prop_assert!(dba <= 1.0 + 1e-12);
+    }
+}

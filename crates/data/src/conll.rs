@@ -1,0 +1,201 @@
+//! CoNLL column-format I/O.
+//!
+//! The synthetic corpora drive the reproduction, but a downstream user
+//! with real CoNLL-2002/2003 files should be able to plug them straight
+//! in. This module parses and writes the standard format: one token per
+//! line (`token<sep>…<sep>tag`, whitespace-separated columns, last
+//! column is the tag), blank lines separating sentences, optional
+//! `-DOCSTART-` document markers.
+
+use std::io::{BufRead, Write};
+
+use histal_core::tags::TagScheme;
+
+use crate::ner::NerSentence;
+
+/// Errors from CoNLL parsing.
+#[derive(Debug)]
+pub enum ConllError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A non-blank line had no columns.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ConllError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "CoNLL I/O error: {e}"),
+            Self::MalformedLine { line } => write!(f, "malformed CoNLL line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for ConllError {}
+
+impl From<std::io::Error> for ConllError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parse CoNLL-format text into sentences. BIO tags in the last column
+/// are converted to `scheme`'s BIOES ids (unknown entity types map to
+/// `O`). `-DOCSTART-` lines and empty sentences are skipped.
+pub fn parse_conll<R: BufRead>(
+    reader: R,
+    scheme: &TagScheme,
+) -> Result<Vec<NerSentence>, ConllError> {
+    let mut sentences = Vec::new();
+    let mut tokens: Vec<String> = Vec::new();
+    let mut bio: Vec<String> = Vec::new();
+    let flush = |tokens: &mut Vec<String>, bio: &mut Vec<String>, out: &mut Vec<NerSentence>| {
+        if !tokens.is_empty() {
+            let bio_refs: Vec<&str> = bio.iter().map(String::as_str).collect();
+            out.push(NerSentence {
+                tokens: std::mem::take(tokens),
+                tags: scheme.bio_to_bioes(&bio_refs),
+            });
+            bio.clear();
+        }
+    };
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            flush(&mut tokens, &mut bio, &mut sentences);
+            continue;
+        }
+        let mut cols = trimmed.split_whitespace();
+        let token = cols
+            .next()
+            .ok_or(ConllError::MalformedLine { line: i + 1 })?;
+        if token == "-DOCSTART-" {
+            flush(&mut tokens, &mut bio, &mut sentences);
+            continue;
+        }
+        let tag = cols.last().unwrap_or("O");
+        // Single-column lines carry no tag; treat the token as O.
+        let tag = if tag == token { "O" } else { tag };
+        tokens.push(token.to_string());
+        bio.push(tag.to_string());
+    }
+    flush(&mut tokens, &mut bio, &mut sentences);
+    Ok(sentences)
+}
+
+/// Read a CoNLL file from disk.
+pub fn read_conll(
+    path: &std::path::Path,
+    scheme: &TagScheme,
+) -> Result<Vec<NerSentence>, ConllError> {
+    let f = std::fs::File::open(path)?;
+    parse_conll(std::io::BufReader::new(f), scheme)
+}
+
+/// Write sentences in two-column CoNLL format with BIO tags.
+pub fn write_conll<W: Write>(
+    writer: &mut W,
+    sentences: &[NerSentence],
+    scheme: &TagScheme,
+) -> Result<(), ConllError> {
+    for s in sentences {
+        let bio = scheme.bioes_to_bio(&s.tags);
+        for (tok, tag) in s.tokens.iter().zip(&bio) {
+            writeln!(writer, "{tok} {tag}")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histal_core::tags::Position;
+
+    fn scheme() -> TagScheme {
+        TagScheme::conll()
+    }
+
+    const SAMPLE: &str = "\
+-DOCSTART- -X- O O
+
+EU NNP B-ORG
+rejects VBZ O
+German JJ B-MISC
+call NN O
+
+Peter NNP B-PER
+Blackburn NNP I-PER
+";
+
+    #[test]
+    fn parses_conll2003_style() {
+        let s = scheme();
+        let sents = parse_conll(SAMPLE.as_bytes(), &s).unwrap();
+        assert_eq!(sents.len(), 2);
+        assert_eq!(sents[0].tokens, vec!["EU", "rejects", "German", "call"]);
+        assert_eq!(sents[0].tags[0], s.tag(Position::S, 1)); // S-ORG
+        assert_eq!(sents[0].tags[1], 0);
+        assert_eq!(sents[0].tags[2], s.tag(Position::S, 3)); // S-MISC
+        assert_eq!(
+            sents[1].tags,
+            vec![s.tag(Position::B, 0), s.tag(Position::E, 0)] // Peter Blackburn = PER
+        );
+    }
+
+    #[test]
+    fn round_trips_through_write() {
+        let s = scheme();
+        let sents = parse_conll(SAMPLE.as_bytes(), &s).unwrap();
+        let mut buf = Vec::new();
+        write_conll(&mut buf, &sents, &s).unwrap();
+        let reparsed = parse_conll(buf.as_slice(), &s).unwrap();
+        assert_eq!(reparsed.len(), sents.len());
+        for (a, b) in reparsed.iter().zip(&sents) {
+            assert_eq!(a.tokens, b.tokens);
+            assert_eq!(a.tags, b.tags);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse_conll("".as_bytes(), &scheme()).unwrap().is_empty());
+        assert!(parse_conll("\n\n\n".as_bytes(), &scheme())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn single_column_lines_are_untagged_tokens() {
+        let sents = parse_conll("hello\nworld\n".as_bytes(), &scheme()).unwrap();
+        assert_eq!(sents.len(), 1);
+        assert_eq!(sents[0].tags, vec![0, 0]);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let s = scheme();
+        let sents = parse_conll(SAMPLE.as_bytes(), &s).unwrap();
+        let path = std::env::temp_dir().join(format!("histal-conll-{}.txt", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            write_conll(&mut f, &sents, &s).unwrap();
+        }
+        let back = read_conll(&path, &s).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].tokens, vec!["Peter", "Blackburn"]);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err =
+            read_conll(std::path::Path::new("/nonexistent/histal.conll"), &scheme()).unwrap_err();
+        assert!(matches!(err, ConllError::Io(_)));
+    }
+}

@@ -1,0 +1,52 @@
+//! Property-based tests: the generated NER corpora survive a CoNLL
+//! write/parse round trip, and the LTR generator keeps its invariants
+//! under arbitrary specs.
+
+use proptest::prelude::*;
+
+use histal_data::{parse_conll, write_conll, LtrDataset, LtrSpec, NerDataset, NerSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generated NER sentences round-trip through the CoNLL text format:
+    /// tokens and tag sequences survive exactly (BIOES → BIO → BIOES is
+    /// lossless for well-formed sequences).
+    #[test]
+    fn ner_conll_round_trip(n in 3usize..25, seed in 0u64..200) {
+        let d = NerDataset::generate(&NerSpec::tiny(n, seed));
+        let mut buf = Vec::new();
+        write_conll(&mut buf, &d.train, &d.scheme).unwrap();
+        let back = parse_conll(buf.as_slice(), &d.scheme).unwrap();
+        prop_assert_eq!(back.len(), d.train.len());
+        for (a, b) in back.iter().zip(&d.train) {
+            prop_assert_eq!(&a.tokens, &b.tokens);
+            prop_assert_eq!(&a.tags, &b.tags);
+        }
+    }
+
+    /// LTR generation invariants hold across the spec space.
+    #[test]
+    fn ltr_spec_space(
+        n_queries in 1usize..40,
+        docs in 3usize..12,
+        n_grades in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        let spec = LtrSpec {
+            n_queries,
+            docs_per_query: docs,
+            n_grades,
+            seed,
+            ..Default::default()
+        };
+        let d = LtrDataset::generate(&spec);
+        prop_assert_eq!(d.len(), n_queries);
+        for q in &d.queries {
+            prop_assert!(q.features.len() >= 2);
+            let max = q.relevance.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(max < n_grades as f64);
+            prop_assert!(q.relevance.iter().all(|&r| r >= 0.0));
+        }
+    }
+}

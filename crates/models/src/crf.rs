@@ -1,0 +1,1015 @@
+//! Linear-chain CRF sequence tagger.
+//!
+//! The BiLSTM-CNNs-CRF stand-in for the NER task. Emission scores are
+//! linear in hashed token features (word identity, neighbours, character
+//! n-grams, shape — the information the reference model's CNN/embedding
+//! layers provide); transitions, start and end scores are dense. Training
+//! minimizes the exact negative log-likelihood via forward–backward;
+//! decoding is Viterbi. The sequence-level query-strategy quantities are
+//! exact:
+//!
+//! * `1 − P(ŷ|x)` (least confidence over the best path),
+//! * MNLP (Eq. 13): the length-normalized best-path log-probability,
+//! * per-token marginal entropies (mean = the sequence entropy score),
+//! * top-2 path margin via 2-best Viterbi (Scheffer et al. 2001),
+//! * MC-dropout BALD via per-token Viterbi variation ratios (the
+//!   sequence-model BALD of Siddhant & Lipton 2018),
+//! * bootstrap-committee QBC over token marginals (Eq. 6).
+
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::identity_op)]
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use histal_core::eval::{EvalCaps, SampleEval};
+use histal_core::metrics::span_f1;
+use histal_core::model::Model;
+use histal_core::tags::TagScheme;
+use histal_text::{char_ngrams, FeatureHasher, SparseVec};
+
+use crate::math::logsumexp;
+
+/// A featurized sentence: one sparse emission-feature vector per token.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Sentence {
+    /// Per-token emission features.
+    pub token_feats: Vec<SparseVec>,
+}
+
+impl Sentence {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.token_feats.len()
+    }
+
+    /// True for the empty sentence.
+    pub fn is_empty(&self) -> bool {
+        self.token_feats.is_empty()
+    }
+
+    /// Standard NER feature template: current/previous/next word,
+    /// lowercased word, character 3-grams, and shape flags (capitalized,
+    /// all-caps, digit), all hashed into one space.
+    pub fn featurize(tokens: &[String], hasher: &FeatureHasher) -> Self {
+        let token_feats = (0..tokens.len())
+            .map(|i| {
+                let mut feats: Vec<String> = Vec::with_capacity(12);
+                let w = &tokens[i];
+                feats.push(format!("w={w}"));
+                feats.push(format!("lw={}", w.to_lowercase()));
+                if i > 0 {
+                    feats.push(format!("w-1={}", tokens[i - 1]));
+                } else {
+                    feats.push("BOS".to_string());
+                }
+                if i + 1 < tokens.len() {
+                    feats.push(format!("w+1={}", tokens[i + 1]));
+                } else {
+                    feats.push("EOS".to_string());
+                }
+                for g in char_ngrams(w, 3) {
+                    feats.push(format!("c3={g}"));
+                }
+                if w.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    feats.push("cap".to_string());
+                }
+                if w.chars().all(|c| c.is_uppercase()) && w.len() > 1 {
+                    feats.push("allcap".to_string());
+                }
+                if w.chars().any(|c| c.is_ascii_digit()) {
+                    feats.push("digit".to_string());
+                }
+                hasher.hash_bag_normalized(feats.iter().map(String::as_str))
+            })
+            .collect();
+        Self { token_feats }
+    }
+}
+
+/// Hyper-parameters for [`CrfTagger`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrfConfig {
+    /// Hashed emission feature width.
+    pub n_features: u32,
+    /// SGD epochs per [`Model::fit`] call.
+    pub epochs: usize,
+    /// SGD step size.
+    pub lr: f64,
+    /// L2 decay on touched emission weights and all transitions.
+    pub l2: f64,
+    /// Inference-time emission-feature dropout for BALD.
+    pub dropout: f64,
+    /// Training-time emission-feature dropout (the reference model trains
+    /// with dropout); also the source of the round-to-round score
+    /// fluctuation the history strategies exploit.
+    pub train_dropout: f64,
+    /// MC-dropout passes for BALD.
+    pub mc_passes: usize,
+    /// Fine-tune across fits (paper behaviour) or retrain from zero.
+    pub warm_start: bool,
+    /// Bootstrap committee size for QBC; 0 disables committee training.
+    pub committee: usize,
+    /// Epochs per committee member.
+    pub committee_epochs: usize,
+    /// Tag inventory (provides the span-F1 metric).
+    pub scheme: TagScheme,
+}
+
+impl Default for CrfConfig {
+    fn default() -> Self {
+        Self {
+            n_features: 1 << 16,
+            epochs: 8,
+            lr: 0.3,
+            l2: 1e-6,
+            dropout: 0.2,
+            train_dropout: 0.25,
+            mc_passes: 8,
+            warm_start: true,
+            committee: 0,
+            committee_epochs: 3,
+            scheme: TagScheme::conll(),
+        }
+    }
+}
+
+/// The CRF model (paper Task 2 substrate).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrfTagger {
+    config: CrfConfig,
+    n_labels: usize,
+    /// Row-major `n_labels × n_features` emission weights.
+    emit: Vec<f64>,
+    /// `trans[prev * n_labels + cur]`.
+    trans: Vec<f64>,
+    start: Vec<f64>,
+    end: Vec<f64>,
+    /// Bootstrap committee members (empty unless `config.committee > 0`).
+    committee: Vec<CrfTagger>,
+}
+
+impl CrfTagger {
+    /// A fresh zero-weight tagger.
+    pub fn new(config: CrfConfig) -> Self {
+        let n_labels = config.scheme.n_labels();
+        assert!(n_labels >= 2, "need at least two labels");
+        assert!(
+            (0.0..1.0).contains(&config.dropout),
+            "dropout must be in [0, 1)"
+        );
+        let nf = config.n_features as usize;
+        Self {
+            emit: vec![0.0; n_labels * nf],
+            trans: vec![0.0; n_labels * n_labels],
+            start: vec![0.0; n_labels],
+            end: vec![0.0; n_labels],
+            n_labels,
+            committee: Vec::new(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CrfConfig {
+        &self.config
+    }
+
+    /// Number of labels.
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// Emission score matrix `E[t][y]` for a sentence.
+    fn emissions(&self, s: &Sentence) -> Vec<Vec<f64>> {
+        let nf = self.config.n_features as usize;
+        s.token_feats
+            .iter()
+            .map(|x| {
+                (0..self.n_labels)
+                    .map(|y| x.dot_dense(&self.emit[y * nf..(y + 1) * nf]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Emission scores under a random dropout mask.
+    fn emissions_dropout(&self, s: &Sentence, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
+        let nf = self.config.n_features as usize;
+        let keep = 1.0 - self.config.dropout;
+        let scale = 1.0 / keep;
+        s.token_feats
+            .iter()
+            .map(|x| {
+                let mut row = vec![0.0; self.n_labels];
+                for (idx, val) in x.iter() {
+                    // Out-of-range hashed indices are ignored, matching dot_dense.
+                    if (idx as usize) < nf && rng.gen::<f64>() < keep {
+                        let v = val as f64 * scale;
+                        for (y, r) in row.iter_mut().enumerate() {
+                            *r += self.emit[y * nf + idx as usize] * v;
+                        }
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Log-space forward pass; returns `(alpha, logZ)`.
+    fn forward(&self, e: &[Vec<f64>]) -> (Vec<Vec<f64>>, f64) {
+        let t_len = e.len();
+        let l = self.n_labels;
+        let mut alpha = vec![vec![0.0; l]; t_len];
+        for y in 0..l {
+            alpha[0][y] = self.start[y] + e[0][y];
+        }
+        let mut scratch = vec![0.0; l];
+        for t in 1..t_len {
+            for y in 0..l {
+                for (p, s) in scratch.iter_mut().enumerate() {
+                    *s = alpha[t - 1][p] + self.trans[p * l + y];
+                }
+                alpha[t][y] = logsumexp(&scratch) + e[t][y];
+            }
+        }
+        let final_scores: Vec<f64> = (0..l).map(|y| alpha[t_len - 1][y] + self.end[y]).collect();
+        let log_z = logsumexp(&final_scores);
+        (alpha, log_z)
+    }
+
+    /// Log-space backward pass.
+    fn backward(&self, e: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let t_len = e.len();
+        let l = self.n_labels;
+        let mut beta = vec![vec![0.0; l]; t_len];
+        beta[t_len - 1].copy_from_slice(&self.end);
+        let mut scratch = vec![0.0; l];
+        for t in (0..t_len - 1).rev() {
+            for y in 0..l {
+                for (n, s) in scratch.iter_mut().enumerate() {
+                    *s = self.trans[y * l + n] + e[t + 1][n] + beta[t + 1][n];
+                }
+                beta[t][y] = logsumexp(&scratch);
+            }
+        }
+        beta
+    }
+
+    /// Per-token posterior marginals `γ_t(y)`.
+    pub fn marginals(&self, s: &Sentence) -> Vec<Vec<f64>> {
+        if s.is_empty() {
+            return Vec::new();
+        }
+        let e = self.emissions(s);
+        let (alpha, log_z) = self.forward(&e);
+        let beta = self.backward(&e);
+        alpha
+            .iter()
+            .zip(&beta)
+            .map(|(a, b)| {
+                a.iter()
+                    .zip(b)
+                    .map(|(&ai, &bi)| (ai + bi - log_z).exp())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Viterbi decoding: `(best tag sequence, unnormalized path score)`.
+    pub fn viterbi(&self, s: &Sentence) -> (Vec<u16>, f64) {
+        if s.is_empty() {
+            return (Vec::new(), 0.0);
+        }
+        let e = self.emissions(s);
+        self.viterbi_on(&e)
+    }
+
+    fn viterbi_on(&self, e: &[Vec<f64>]) -> (Vec<u16>, f64) {
+        let t_len = e.len();
+        let l = self.n_labels;
+        let mut delta = vec![vec![0.0; l]; t_len];
+        let mut back = vec![vec![0u16; l]; t_len];
+        for y in 0..l {
+            delta[0][y] = self.start[y] + e[0][y];
+        }
+        for t in 1..t_len {
+            for y in 0..l {
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0u16;
+                for p in 0..l {
+                    let v = delta[t - 1][p] + self.trans[p * l + y];
+                    if v > best {
+                        best = v;
+                        arg = p as u16;
+                    }
+                }
+                delta[t][y] = best + e[t][y];
+                back[t][y] = arg;
+            }
+        }
+        let (mut cur, mut best) = (0usize, f64::NEG_INFINITY);
+        for y in 0..l {
+            let v = delta[t_len - 1][y] + self.end[y];
+            if v > best {
+                best = v;
+                cur = y;
+            }
+        }
+        let mut tags = vec![0u16; t_len];
+        tags[t_len - 1] = cur as u16;
+        for t in (1..t_len).rev() {
+            cur = back[t][cur] as usize;
+            tags[t - 1] = cur as u16;
+        }
+        (tags, best)
+    }
+
+    /// 2-best Viterbi: scores of the best and second-best label paths.
+    /// Standard k-best lattice recursion with k = 2: each `(t, y)` cell
+    /// keeps its two highest-scoring prefixes. Returns `(best, second)`;
+    /// `second` is `NEG_INFINITY` when only one path exists (single label).
+    pub fn viterbi2(&self, s: &Sentence) -> (f64, f64) {
+        if s.is_empty() {
+            return (0.0, f64::NEG_INFINITY);
+        }
+        let e = self.emissions(s);
+        let t_len = e.len();
+        let l = self.n_labels;
+        // delta[t][y] = (best, second) prefix score ending in y.
+        let mut delta = vec![(f64::NEG_INFINITY, f64::NEG_INFINITY); l];
+        for (y, d) in delta.iter_mut().enumerate() {
+            d.0 = self.start[y] + e[0][y];
+        }
+        let mut next = vec![(f64::NEG_INFINITY, f64::NEG_INFINITY); l];
+        for t in 1..t_len {
+            for (y, n) in next.iter_mut().enumerate() {
+                let (mut b1, mut b2) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for (p, d) in delta.iter().enumerate() {
+                    let tr = self.trans[p * l + y];
+                    for cand in [d.0 + tr, d.1 + tr] {
+                        if cand > b1 {
+                            b2 = b1;
+                            b1 = cand;
+                        } else if cand > b2 {
+                            b2 = cand;
+                        }
+                    }
+                }
+                *n = (b1 + e[t][y], b2 + e[t][y]);
+            }
+            std::mem::swap(&mut delta, &mut next);
+        }
+        let (mut b1, mut b2) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for (y, d) in delta.iter().enumerate() {
+            for cand in [d.0 + self.end[y], d.1 + self.end[y]] {
+                if cand > b1 {
+                    b2 = b1;
+                    b1 = cand;
+                } else if cand > b2 {
+                    b2 = cand;
+                }
+            }
+        }
+        (b1, b2)
+    }
+
+    /// Sequence margin uncertainty: `1 − (P₁ − P₂)` where `P₁, P₂` are
+    /// the normalized probabilities of the two best paths — the sequence
+    /// analogue of top-2 margin sampling (Scheffer et al. 2001).
+    pub fn sequence_margin(&self, s: &Sentence) -> f64 {
+        if s.is_empty() {
+            return 0.0;
+        }
+        let e = self.emissions(s);
+        let (_, log_z) = self.forward(&e);
+        let (best, second) = self.viterbi2(s);
+        let p1 = (best - log_z).exp();
+        let p2 = if second.is_finite() {
+            (second - log_z).exp()
+        } else {
+            0.0
+        };
+        1.0 - (p1 - p2)
+    }
+
+    /// Unnormalized score of a given path.
+    fn path_score(&self, e: &[Vec<f64>], tags: &[u16]) -> f64 {
+        let l = self.n_labels;
+        let mut score = self.start[tags[0] as usize] + e[0][tags[0] as usize];
+        for t in 1..tags.len() {
+            score +=
+                self.trans[tags[t - 1] as usize * l + tags[t] as usize] + e[t][tags[t] as usize];
+        }
+        score + self.end[*tags.last().expect("non-empty path") as usize]
+    }
+
+    /// Exact negative log-likelihood of `(s, tags)` — exposed for the
+    /// gradient-check test.
+    pub fn nll(&self, s: &Sentence, tags: &[u16]) -> f64 {
+        assert_eq!(s.len(), tags.len(), "sentence/tags misaligned");
+        if s.is_empty() {
+            return 0.0;
+        }
+        let e = self.emissions(s);
+        let (_, log_z) = self.forward(&e);
+        log_z - self.path_score(&e, tags)
+    }
+
+    /// One SGD step on the exact NLL gradient of one sentence, with
+    /// inverted dropout on the emission features.
+    fn sgd_step(&mut self, s: &Sentence, tags: &[u16], lr: f64, l2: f64, rng: &mut ChaCha8Rng) {
+        if s.is_empty() {
+            return;
+        }
+        let l = self.n_labels;
+        let nf = self.config.n_features as usize;
+        // Sample one mask per token for this step; reuse it for the
+        // forward pass and the gradient.
+        let keep = 1.0 - self.config.train_dropout;
+        let masked: Vec<Vec<(u32, f64)>> = s
+            .token_feats
+            .iter()
+            .map(|x| {
+                x.iter()
+                    .filter(|&(idx, _)| (idx as usize) < nf)
+                    .filter_map(|(idx, val)| {
+                        if self.config.train_dropout == 0.0 || rng.gen::<f64>() < keep {
+                            Some((idx, val as f64 / keep))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let e: Vec<Vec<f64>> = masked
+            .iter()
+            .map(|feats| {
+                (0..l)
+                    .map(|y| {
+                        feats
+                            .iter()
+                            .map(|&(idx, v)| self.emit[y * nf + idx as usize] * v)
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect();
+        let (alpha, log_z) = self.forward(&e);
+        let beta = self.backward(&e);
+        // Emission gradient: (γ_t(y) − δ) x_t, on the masked features.
+        for (t, feats) in masked.iter().enumerate() {
+            for y in 0..l {
+                let gamma = (alpha[t][y] + beta[t][y] - log_z).exp();
+                let g = gamma - if tags[t] as usize == y { 1.0 } else { 0.0 };
+                if g.abs() < 1e-12 {
+                    continue;
+                }
+                let row = &mut self.emit[y * nf..(y + 1) * nf];
+                for &(idx, v) in feats {
+                    let w = &mut row[idx as usize];
+                    *w -= lr * (g * v + l2 * *w);
+                }
+            }
+        }
+        // Transition gradient: ξ_t(p,y) − observed.
+        for t in 0..s.len() - 1 {
+            for p in 0..l {
+                for y in 0..l {
+                    let xi = (alpha[t][p] + self.trans[p * l + y] + e[t + 1][y] + beta[t + 1][y]
+                        - log_z)
+                        .exp();
+                    let obs = if tags[t] as usize == p && tags[t + 1] as usize == y {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    let w = &mut self.trans[p * l + y];
+                    *w -= lr * ((xi - obs) + l2 * *w);
+                }
+            }
+        }
+        // Start/end gradients.
+        for y in 0..l {
+            let gamma0 = (alpha[0][y] + beta[0][y] - log_z).exp();
+            self.start[y] -= lr * (gamma0 - if tags[0] as usize == y { 1.0 } else { 0.0 });
+            let t_last = s.len() - 1;
+            let gamma_t = (alpha[t_last][y] + beta[t_last][y] - log_z).exp();
+            self.end[y] -= lr * (gamma_t - if tags[t_last] as usize == y { 1.0 } else { 0.0 });
+        }
+    }
+
+    /// Committee disagreement for QBC: mean over tokens of the mean KL
+    /// divergence of each member's marginal distribution from the
+    /// committee mean. `None` if no committee was trained.
+    pub fn qbc_kl(&self, s: &Sentence) -> Option<f64> {
+        if self.committee.is_empty() || s.is_empty() {
+            return if self.committee.is_empty() {
+                None
+            } else {
+                Some(0.0)
+            };
+        }
+        let member_marginals: Vec<Vec<Vec<f64>>> =
+            self.committee.iter().map(|m| m.marginals(s)).collect();
+        let c = member_marginals.len() as f64;
+        let l = self.n_labels;
+        let mut acc = 0.0;
+        for t in 0..s.len() {
+            let mut avg = vec![0.0; l];
+            for mm in &member_marginals {
+                for (a, v) in avg.iter_mut().zip(&mm[t]) {
+                    *a += v / c;
+                }
+            }
+            let mut kl_sum = 0.0;
+            for mm in &member_marginals {
+                kl_sum += crate::math::kl_divergence(&mm[t], &avg);
+            }
+            acc += kl_sum / c;
+        }
+        Some(acc / s.len() as f64)
+    }
+
+    /// BALD via MC dropout: mean per-token Viterbi variation ratio.
+    pub fn bald(&self, s: &Sentence, rng: &mut ChaCha8Rng) -> f64 {
+        if s.is_empty() {
+            return 0.0;
+        }
+        let passes = self.config.mc_passes.max(2);
+        let mut votes = vec![std::collections::HashMap::new(); s.len()];
+        for _ in 0..passes {
+            let e = self.emissions_dropout(s, rng);
+            let (tags, _) = self.viterbi_on(&e);
+            for (t, &tag) in tags.iter().enumerate() {
+                *votes[t].entry(tag).or_insert(0u32) += 1;
+            }
+        }
+        let mut acc = 0.0;
+        for v in &votes {
+            let mode = v.values().copied().max().unwrap_or(0);
+            acc += 1.0 - mode as f64 / passes as f64;
+        }
+        acc / s.len() as f64
+    }
+}
+
+impl Model for CrfTagger {
+    type Sample = Sentence;
+    type Label = Vec<u16>;
+
+    fn fit(&mut self, samples: &[&Sentence], labels: &[&Vec<u16>], rng: &mut ChaCha8Rng) {
+        if samples.is_empty() {
+            return;
+        }
+        if !self.config.warm_start {
+            let nf = self.config.n_features as usize;
+            self.emit = vec![0.0; self.n_labels * nf];
+            self.trans = vec![0.0; self.n_labels * self.n_labels];
+            self.start = vec![0.0; self.n_labels];
+            self.end = vec![0.0; self.n_labels];
+        }
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _ in 0..self.config.epochs {
+            rand::seq::SliceRandom::shuffle(&mut order[..], rng);
+            for &i in &order {
+                self.sgd_step(samples[i], labels[i], self.config.lr, self.config.l2, rng);
+            }
+        }
+        // Bootstrap committee for QBC (trained from scratch each fit).
+        self.committee.clear();
+        for _ in 0..self.config.committee {
+            let mut member_cfg = self.config.clone();
+            member_cfg.committee = 0;
+            member_cfg.epochs = self.config.committee_epochs;
+            member_cfg.warm_start = false;
+            let mut member = CrfTagger::new(member_cfg);
+            let n = samples.len();
+            let boot: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let boot_s: Vec<&Sentence> = boot.iter().map(|&i| samples[i]).collect();
+            let boot_l: Vec<&Vec<u16>> = boot.iter().map(|&i| labels[i]).collect();
+            member.fit(&boot_s, &boot_l, rng);
+            self.committee.push(member);
+        }
+    }
+
+    fn eval_sample(&self, sample: &Sentence, caps: &EvalCaps, seed: u64) -> SampleEval {
+        if sample.is_empty() {
+            return SampleEval::default();
+        }
+        let e = self.emissions(sample);
+        let (alpha, log_z) = self.forward(&e);
+        let beta = self.backward(&e);
+        let (_, best_score) = self.viterbi_on(&e);
+        let best_logprob = best_score - log_z;
+
+        // Mean per-token marginal entropy.
+        let mut entropy = 0.0;
+        for (a, b) in alpha.iter().zip(&beta) {
+            let probs: Vec<f64> = a
+                .iter()
+                .zip(b)
+                .map(|(&ai, &bi)| (ai + bi - log_z).exp())
+                .collect();
+            entropy += histal_core::eval::entropy_of(&probs);
+        }
+        entropy /= sample.len() as f64;
+
+        let mut eval = SampleEval {
+            probs: Vec::new(),
+            entropy,
+            least_confidence: 1.0 - best_logprob.exp(),
+            // Top-2 path margin (sequence analogue of margin sampling);
+            // 2-best Viterbi costs a second lattice pass, so it is gated.
+            margin: if caps.margin {
+                let (_, second) = self.viterbi2(sample);
+                let p1 = best_logprob.exp();
+                let p2 = if second.is_finite() {
+                    (second - log_z).exp()
+                } else {
+                    0.0
+                };
+                Some(1.0 - (p1 - p2))
+            } else {
+                None
+            },
+            ..Default::default()
+        };
+        if caps.mnlp {
+            // Eq. 13 as an uncertainty: −(1/n) log P(ŷ|x) ≥ 0.
+            eval.mnlp = Some(-best_logprob / sample.len() as f64);
+        }
+        if caps.bald {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            eval.bald = Some(self.bald(sample, &mut rng));
+        }
+        if caps.qbc {
+            eval.qbc_kl = self.qbc_kl(sample);
+        }
+        if caps.egl || caps.egl_word {
+            // Gradient-length strategies are not implemented for the CRF
+            // substrate (the paper only runs LC/MNLP/BALD-family
+            // strategies on NER); the fields remain None and the strategy
+            // surfaces a MissingCapability error.
+        }
+        eval
+    }
+
+    fn metric(&self, samples: &[&Sentence], labels: &[&Vec<u16>]) -> f64 {
+        let scheme = &self.config.scheme;
+        let pred_spans: Vec<Vec<(usize, usize, usize)>> = samples
+            .iter()
+            .map(|s| scheme.decode_spans(&self.viterbi(s).0))
+            .collect();
+        let gold_spans: Vec<Vec<(usize, usize, usize)>> =
+            labels.iter().map(|l| scheme.decode_spans(l)).collect();
+        span_f1(&pred_spans, &gold_spans).f1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histal_core::tags::Position;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Tiny scheme: one entity type → 5 labels.
+    fn tiny_config() -> CrfConfig {
+        CrfConfig {
+            n_features: 1 << 10,
+            epochs: 10,
+            mc_passes: 6,
+            train_dropout: 0.0,
+            scheme: TagScheme::new(["X"]),
+            ..Default::default()
+        }
+    }
+
+    fn sent(tokens: &[&str]) -> Sentence {
+        let toks: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Sentence::featurize(&toks, &FeatureHasher::new(1 << 10))
+    }
+
+    /// Enumerate all paths to brute-force the partition function.
+    fn brute_force_logz(m: &CrfTagger, s: &Sentence) -> f64 {
+        let e = m.emissions(s);
+        let l = m.n_labels();
+        let t_len = s.len();
+        let mut scores = Vec::new();
+        let n_paths = l.pow(t_len as u32);
+        for code in 0..n_paths {
+            let mut c = code;
+            let tags: Vec<u16> = (0..t_len)
+                .map(|_| {
+                    let y = (c % l) as u16;
+                    c /= l;
+                    y
+                })
+                .collect();
+            scores.push(m.path_score(&e, &tags));
+        }
+        logsumexp(&scores)
+    }
+
+    fn randomize(m: &mut CrfTagger, seed: u64) {
+        let mut r = rng(seed);
+        for w in m.emit.iter_mut().take(4096) {
+            *w = r.gen_range(-1.0..1.0);
+        }
+        for w in m.trans.iter_mut() {
+            *w = r.gen_range(-1.0..1.0);
+        }
+        for w in m.start.iter_mut().chain(m.end.iter_mut()) {
+            *w = r.gen_range(-1.0..1.0);
+        }
+    }
+
+    #[test]
+    fn forward_matches_brute_force() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 1);
+        let s = sent(&["a", "b", "c"]);
+        let e = m.emissions(&s);
+        let (_, log_z) = m.forward(&e);
+        let brute = brute_force_logz(&m, &s);
+        assert!((log_z - brute).abs() < 1e-9, "{log_z} vs {brute}");
+    }
+
+    #[test]
+    fn marginals_sum_to_one_and_match_brute_force() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 2);
+        let s = sent(&["x", "y"]);
+        let marg = m.marginals(&s);
+        for row in &marg {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // Brute-force marginal of label 0 at t=0.
+        let e = m.emissions(&s);
+        let l = m.n_labels();
+        let (mut num, mut all) = (Vec::new(), Vec::new());
+        for y0 in 0..l {
+            for y1 in 0..l {
+                let score = m.path_score(&e, &[y0 as u16, y1 as u16]);
+                all.push(score);
+                if y0 == 0 {
+                    num.push(score);
+                }
+            }
+        }
+        let expected = (logsumexp(&num) - logsumexp(&all)).exp();
+        assert!((marg[0][0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 3);
+        let s = sent(&["p", "q", "r"]);
+        let e = m.emissions(&s);
+        let (tags, score) = m.viterbi(&s);
+        // Brute force.
+        let l = m.n_labels();
+        let mut best = f64::NEG_INFINITY;
+        let mut best_tags = Vec::new();
+        for code in 0..l.pow(3) {
+            let mut c = code;
+            let path: Vec<u16> = (0..3)
+                .map(|_| {
+                    let y = (c % l) as u16;
+                    c /= l;
+                    y
+                })
+                .collect();
+            let v = m.path_score(&e, &path);
+            if v > best {
+                best = v;
+                best_tags = path;
+            }
+        }
+        assert!((score - best).abs() < 1e-9);
+        assert_eq!(tags, best_tags);
+    }
+
+    #[test]
+    fn nll_gradient_check_on_transitions() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 4);
+        let s = sent(&["m", "n"]);
+        let tags = vec![1u16, 2u16];
+        // Analytic gradient on trans[1][2]: one sgd_step with lr encodes
+        // −lr·grad; recover grad by differencing weights (l2 = 0).
+        let l = m.n_labels();
+        let before = m.trans[1 * l + 2];
+        let mut stepped = m.clone();
+        stepped.sgd_step(&s, &tags, 1e-3, 0.0, &mut rng(0));
+        let analytic = (before - stepped.trans[1 * l + 2]) / 1e-3;
+        // Numeric gradient.
+        let eps = 1e-6;
+        let mut plus = m.clone();
+        plus.trans[1 * l + 2] += eps;
+        let mut minus = m.clone();
+        minus.trans[1 * l + 2] -= eps;
+        let numeric = (plus.nll(&s, &tags) - minus.nll(&s, &tags)) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-4,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn learns_simple_tagging_pattern() {
+        // "ent" tokens are single-token entities, everything else O.
+        let scheme = TagScheme::new(["X"]);
+        let s_tag = scheme.tag(Position::S, 0);
+        let mut sentences = Vec::new();
+        let mut tag_seqs = Vec::new();
+        for i in 0..30 {
+            let filler = format!("w{i}");
+            let toks = [filler.as_str(), "ent", "other"];
+            sentences.push(sent(&toks));
+            tag_seqs.push(vec![0u16, s_tag, 0u16]);
+        }
+        let mut m = CrfTagger::new(tiny_config());
+        let s_refs: Vec<&Sentence> = sentences.iter().collect();
+        let l_refs: Vec<&Vec<u16>> = tag_seqs.iter().collect();
+        m.fit(&s_refs, &l_refs, &mut rng(5));
+        let (tags, _) = m.viterbi(&sent(&["w99", "ent", "other"]));
+        assert_eq!(tags[1], s_tag, "entity token must be tagged S-X: {tags:?}");
+        assert_eq!(tags[0], 0);
+        assert_eq!(tags[2], 0);
+        let f1 = m.metric(&s_refs, &l_refs);
+        assert!(f1 > 0.9, "training F1 {f1}");
+    }
+
+    #[test]
+    fn dropout_training_still_learns() {
+        let scheme = TagScheme::new(["X"]);
+        let s_tag = scheme.tag(Position::S, 0);
+        let mut sentences = Vec::new();
+        let mut tag_seqs = Vec::new();
+        for i in 0..30 {
+            let filler = format!("w{i}");
+            let toks = [filler.as_str(), "ent", "other"];
+            sentences.push(sent(&toks));
+            tag_seqs.push(vec![0u16, s_tag, 0u16]);
+        }
+        let mut cfg = tiny_config();
+        cfg.train_dropout = 0.25;
+        let mut m = CrfTagger::new(cfg);
+        let s_refs: Vec<&Sentence> = sentences.iter().collect();
+        let l_refs: Vec<&Vec<u16>> = tag_seqs.iter().collect();
+        m.fit(&s_refs, &l_refs, &mut rng(15));
+        let f1 = m.metric(&s_refs, &l_refs);
+        assert!(f1 > 0.8, "dropout-trained F1 {f1}");
+    }
+
+    #[test]
+    fn mnlp_normalizes_length_bias() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 6);
+        let caps = EvalCaps {
+            mnlp: true,
+            ..Default::default()
+        };
+        let short = m.eval_sample(&sent(&["a", "b"]), &caps, 0);
+        let long = m.eval_sample(&sent(&["a", "b", "a", "b", "a", "b", "a", "b"]), &caps, 0);
+        // LC grows with length (P(best path) shrinks multiplicatively)…
+        assert!(long.least_confidence >= short.least_confidence - 1e-9);
+        // …while MNLP is per-token and must stay the same order of magnitude.
+        let ratio = long.mnlp.unwrap() / short.mnlp.unwrap().max(1e-9);
+        assert!(ratio < 4.0, "MNLP still length-biased: ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_sentence_is_safe() {
+        let m = CrfTagger::new(tiny_config());
+        let empty = Sentence::default();
+        let (tags, score) = m.viterbi(&empty);
+        assert!(tags.is_empty());
+        assert_eq!(score, 0.0);
+        let eval = m.eval_sample(
+            &empty,
+            &EvalCaps {
+                mnlp: true,
+                bald: true,
+                ..Default::default()
+            },
+            0,
+        );
+        assert_eq!(eval.entropy, 0.0);
+        assert!(m.marginals(&empty).is_empty());
+    }
+
+    #[test]
+    fn bald_deterministic_per_seed_and_bounded() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 7);
+        let s = sent(&["u", "v", "w"]);
+        let a = m.bald(&s, &mut rng(42));
+        let b = m.bald(&s, &mut rng(42));
+        assert_eq!(a, b);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn viterbi2_matches_brute_force() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 21);
+        let s = sent(&["a", "b", "c"]);
+        let e = m.emissions(&s);
+        let l = m.n_labels();
+        let mut scores = Vec::new();
+        for code in 0..l.pow(3) {
+            let mut c = code;
+            let path: Vec<u16> = (0..3)
+                .map(|_| {
+                    let y = (c % l) as u16;
+                    c /= l;
+                    y
+                })
+                .collect();
+            scores.push(m.path_score(&e, &path));
+        }
+        scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let (b1, b2) = m.viterbi2(&s);
+        assert!((b1 - scores[0]).abs() < 1e-9, "{b1} vs {}", scores[0]);
+        assert!((b2 - scores[1]).abs() < 1e-9, "{b2} vs {}", scores[1]);
+    }
+
+    #[test]
+    fn sequence_margin_in_unit_interval_and_in_eval() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 22);
+        let s = sent(&["p", "q"]);
+        let margin = m.sequence_margin(&s);
+        assert!((0.0..=1.0 + 1e-9).contains(&margin), "margin {margin}");
+        let caps = EvalCaps {
+            margin: true,
+            ..Default::default()
+        };
+        let eval = m.eval_sample(&s, &caps, 0);
+        assert!((eval.margin.unwrap() - margin).abs() < 1e-9);
+        // Not computed unless requested (it costs a second lattice pass).
+        assert!(m.eval_sample(&s, &EvalCaps::default(), 0).margin.is_none());
+    }
+
+    #[test]
+    fn qbc_requires_committee() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 23);
+        assert!(m.qbc_kl(&sent(&["x"])).is_none());
+        let caps = EvalCaps {
+            qbc: true,
+            ..Default::default()
+        };
+        assert!(m.eval_sample(&sent(&["x"]), &caps, 0).qbc_kl.is_none());
+    }
+
+    #[test]
+    fn qbc_with_committee_is_nonnegative() {
+        let scheme = TagScheme::new(["X"]);
+        let s_tag = scheme.tag(Position::S, 0);
+        let mut sentences = Vec::new();
+        let mut tag_seqs = Vec::new();
+        for i in 0..12 {
+            let filler = format!("w{i}");
+            sentences.push(sent(&[filler.as_str(), "ent"]));
+            tag_seqs.push(vec![0u16, s_tag]);
+        }
+        let mut cfg = tiny_config();
+        cfg.committee = 3;
+        cfg.committee_epochs = 2;
+        let mut m = CrfTagger::new(cfg);
+        let s_refs: Vec<&Sentence> = sentences.iter().collect();
+        let l_refs: Vec<&Vec<u16>> = tag_seqs.iter().collect();
+        m.fit(&s_refs, &l_refs, &mut rng(24));
+        let kl = m.qbc_kl(&sent(&["w99", "ent"])).unwrap();
+        assert!(kl >= 0.0 && kl.is_finite());
+        // Determinism via eval_sample seed path.
+        let caps = EvalCaps {
+            qbc: true,
+            ..Default::default()
+        };
+        let a = m.eval_sample(&sent(&["zz"]), &caps, 5);
+        let b = m.eval_sample(&sent(&["zz"]), &caps, 5);
+        assert_eq!(a.qbc_kl, b.qbc_kl);
+    }
+
+    #[test]
+    fn egl_caps_left_unset_for_crf() {
+        let m = CrfTagger::new(tiny_config());
+        let caps = EvalCaps {
+            egl: true,
+            ..Default::default()
+        };
+        let eval = m.eval_sample(&sent(&["a"]), &caps, 0);
+        assert!(eval.egl.is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared numerical kernels.
+
+/// Numerically stable softmax of `logits`, in place.
+pub fn softmax_inplace(logits: &mut [f64]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in logits.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in logits.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Numerically stable `ln Σ exp(xs)`.
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// KL divergence `D(p || q)` in nats; terms with `p_i = 0` contribute 0,
+/// and `q` is floored at `1e-12` to avoid infinities from sampling noise.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    p.iter()
+        .zip(q)
+        .filter(|(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| pi * (pi / qi.max(1e-12)).ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut v);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![1000.0, 1001.0];
+        softmax_inplace(&mut a);
+        let mut b = vec![0.0, 1.0];
+        softmax_inplace(&mut b);
+        assert!((a[0] - b[0]).abs() < 1e-12);
+        assert!(a.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut v: Vec<f64> = vec![];
+        softmax_inplace(&mut v);
+    }
+
+    #[test]
+    fn logsumexp_matches_naive_when_safe() {
+        let xs = [0.5, -0.2, 1.3];
+        let naive = xs.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        assert!((logsumexp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logsumexp_handles_large_values() {
+        let v = logsumexp(&[1e4, 1e4]);
+        assert!((v - (1e4 + (2f64).ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logsumexp_empty_is_neg_inf() {
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.3, 0.7];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_and_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let pq = kl_divergence(&p, &q);
+        let qp = kl_divergence(&q, &p);
+        assert!(pq > 0.0 && qp > 0.0);
+        assert!((pq - qp).abs() > 1e-6);
+    }
+
+    #[test]
+    fn kl_tolerates_zero_q_via_floor() {
+        let v = kl_divergence(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!(v.is_finite() && v > 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the ranking model and Naive Bayes.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use histal_core::eval::EvalCaps;
+use histal_core::model::Model;
+use histal_models::{Document, NaiveBayes, NaiveBayesConfig, RankingModel, RankingModelConfig};
+use histal_text::FeatureHasher;
+
+fn query_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, 12), 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The top-document distribution is a simplex for any query, trained
+    /// or not.
+    #[test]
+    fn ranking_distribution_simplex(query in query_strategy()) {
+        let untrained = RankingModel::new(RankingModelConfig::default());
+        let p = untrained.top_doc_distribution(&query);
+        prop_assert_eq!(p.len(), query.len());
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// Ranking metric (mean NDCG) is bounded in [0, 1].
+    #[test]
+    fn ranking_metric_bounded(query in query_strategy()) {
+        let m = RankingModel::new(RankingModelConfig::default());
+        let rels: Vec<f64> = (0..query.len()).map(|i| (i % 3) as f64).collect();
+        let s = [&query];
+        let l_owned = [rels];
+        let l: Vec<&Vec<f64>> = l_owned.iter().collect();
+        let v = m.metric(&s, &l);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "ndcg {v}");
+    }
+
+    /// NB posteriors stay on the simplex for arbitrary token bags, before
+    /// and after fitting on arbitrary labeled data.
+    #[test]
+    fn nb_posterior_simplex(
+        docs in prop::collection::vec(prop::collection::vec("[a-f]{1,3}", 1..6), 1..10),
+    ) {
+        let hasher = FeatureHasher::new(1 << 10);
+        let featurized: Vec<Document> =
+            docs.iter().map(|t| Document::from_tokens(t, &hasher)).collect();
+        let labels: Vec<usize> = (0..featurized.len()).map(|i| i % 2).collect();
+        let mut m = NaiveBayes::new(NaiveBayesConfig {
+            n_features: 1 << 10,
+            ..Default::default()
+        });
+        let s: Vec<&Document> = featurized.iter().collect();
+        let l: Vec<&usize> = labels.iter().collect();
+        m.fit(&s, &l, &mut ChaCha8Rng::seed_from_u64(1));
+        for d in &featurized {
+            let e = m.eval_sample(d, &EvalCaps::default(), 0);
+            prop_assert!((e.probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&e.least_confidence));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! N-gram expansion for bag-of-n-grams features.
+
+/// Produce all contiguous word n-grams of order `1..=max_n`, joined with
+/// `"_"`. Unigrams are the tokens themselves.
+///
+/// ```
+/// use histal_text::ngrams;
+/// let toks = ["a", "b", "c"].map(String::from);
+/// assert_eq!(
+///     ngrams(&toks, 2),
+///     vec!["a", "b", "c", "a_b", "b_c"].into_iter().map(String::from).collect::<Vec<_>>()
+/// );
+/// ```
+pub fn ngrams(tokens: &[String], max_n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(tokens.len() * max_n.max(1));
+    for n in 1..=max_n.max(1) {
+        if n > tokens.len() {
+            break;
+        }
+        for window in tokens.windows(n) {
+            out.push(window.join("_"));
+        }
+    }
+    out
+}
+
+/// Character n-grams of a single token, padded with `^`/`$` boundary marks.
+/// Used as sub-word features for the CRF emission templates (the paper's
+/// BiLSTM-CNNs-CRF uses character CNNs for the same purpose).
+pub fn char_ngrams(token: &str, n: usize) -> Vec<String> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(token.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    if padded.len() < n {
+        return vec![padded.iter().collect()];
+    }
+    padded
+        .windows(n)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(ts: &[&str]) -> Vec<String> {
+        ts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unigrams_only() {
+        assert_eq!(ngrams(&toks(&["x", "y"]), 1), toks(&["x", "y"]));
+    }
+
+    #[test]
+    fn bigrams_appended_after_unigrams() {
+        assert_eq!(
+            ngrams(&toks(&["a", "b", "c"]), 2),
+            toks(&["a", "b", "c", "a_b", "b_c"])
+        );
+    }
+
+    #[test]
+    fn order_capped_by_length() {
+        assert_eq!(ngrams(&toks(&["a"]), 3), toks(&["a"]));
+    }
+
+    #[test]
+    fn max_n_zero_treated_as_one() {
+        assert_eq!(ngrams(&toks(&["a", "b"]), 0), toks(&["a", "b"]));
+    }
+
+    #[test]
+    fn empty_tokens() {
+        assert!(ngrams(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn char_trigrams_with_boundaries() {
+        assert_eq!(char_ngrams("ab", 3), vec!["^ab", "ab$"]);
+    }
+
+    #[test]
+    fn char_ngrams_short_token_single_window() {
+        assert_eq!(char_ngrams("", 3), vec!["^$"]);
+    }
+
+    #[test]
+    fn char_ngrams_zero_n() {
+        assert!(char_ngrams("abc", 0).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! TF–IDF re-weighting of hashed feature vectors.
+//!
+//! Frequent background tokens dominate raw bag-of-words vectors and wash
+//! out the class-indicative tail. The smoothed IDF
+//! `ln((N + 1)/(df + 1)) + 1` learned over a corpus of hashed bags
+//! re-weights buckets by informativeness; transformed vectors are
+//! L2-normalized (the `sklearn`-compatible convention).
+
+use serde::{Deserialize, Serialize};
+
+use crate::sparse::SparseVec;
+
+/// A fitted IDF table over hashed feature buckets.
+///
+/// ```
+/// use histal_text::{FeatureHasher, TfIdf};
+/// let h = FeatureHasher::new(1 << 12);
+/// let corpus: Vec<_> = ["the cat", "the dog", "the fish"]
+///     .iter()
+///     .map(|s| h.hash_bag(s.split(' ')))
+///     .collect();
+/// let tfidf = TfIdf::fit(&corpus, 1 << 12);
+/// // "the" appears everywhere → lower IDF than "cat".
+/// assert!(tfidf.idf(h.bucket("the").0) < tfidf.idf(h.bucket("cat").0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TfIdf {
+    idf: Vec<f32>,
+}
+
+impl TfIdf {
+    /// Fit bucket document frequencies over `corpus`. `n_buckets` must
+    /// cover every index present in the corpus (indices beyond it are
+    /// ignored at transform time).
+    pub fn fit(corpus: &[SparseVec], n_buckets: u32) -> Self {
+        let mut df = vec![0u32; n_buckets as usize];
+        for v in corpus {
+            for (idx, _) in v.iter() {
+                if let Some(d) = df.get_mut(idx as usize) {
+                    *d += 1;
+                }
+            }
+        }
+        let n = corpus.len() as f32;
+        let idf = df
+            .into_iter()
+            .map(|d| ((n + 1.0) / (d as f32 + 1.0)).ln() + 1.0)
+            .collect();
+        Self { idf }
+    }
+
+    /// Number of buckets in the table.
+    pub fn n_buckets(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// IDF weight of one bucket (1.0 + ln(N+1) for never-seen buckets;
+    /// 0.0 for out-of-range indices).
+    pub fn idf(&self, bucket: u32) -> f32 {
+        self.idf.get(bucket as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Re-weight and L2-normalize a vector.
+    pub fn transform(&self, v: &SparseVec) -> SparseVec {
+        let pairs: Vec<(u32, f32)> = v
+            .iter()
+            .map(|(idx, val)| (idx, val * self.idf(idx)))
+            .collect();
+        let mut out = SparseVec::from_pairs(pairs);
+        let norm = out.norm();
+        if norm > 0.0 {
+            out.scale((1.0 / norm) as f32);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f32)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn rare_buckets_outweigh_common_ones() {
+        // Bucket 0 appears in every doc; bucket 1 in one.
+        let corpus = vec![sv(&[(0, 1.0), (1, 1.0)]), sv(&[(0, 1.0)]), sv(&[(0, 1.0)])];
+        let t = TfIdf::fit(&corpus, 4);
+        assert!(t.idf(1) > t.idf(0));
+    }
+
+    #[test]
+    fn transform_is_unit_norm() {
+        let corpus = vec![sv(&[(0, 2.0), (1, 1.0)])];
+        let t = TfIdf::fit(&corpus, 4);
+        let out = t.transform(&sv(&[(0, 3.0), (1, 1.0)]));
+        assert!((out.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_vector_stays_empty() {
+        let t = TfIdf::fit(&[], 4);
+        assert!(t.transform(&SparseVec::new()).is_empty());
+    }
+
+    #[test]
+    fn unseen_bucket_gets_max_idf() {
+        let corpus = vec![sv(&[(0, 1.0)]); 5];
+        let t = TfIdf::fit(&corpus, 4);
+        assert!(t.idf(3) > t.idf(0));
+        // Out-of-range bucket contributes zero weight.
+        assert_eq!(t.idf(99), 0.0);
+        let out = t.transform(&sv(&[(99, 1.0)]));
+        assert_eq!(out.norm(), 0.0);
+    }
+
+    #[test]
+    fn idf_formula_hand_checked() {
+        // N = 3, df = 1: ln(4/2) + 1
+        let corpus = vec![sv(&[(0, 1.0)]), sv(&[(1, 1.0)]), sv(&[(1, 1.0)])];
+        let t = TfIdf::fit(&corpus, 2);
+        assert!((t.idf(0) - ((4.0f32 / 2.0).ln() + 1.0)).abs() < 1e-6);
+        assert!((t.idf(1) - ((4.0f32 / 3.0).ln() + 1.0)).abs() < 1e-6);
+    }
+}

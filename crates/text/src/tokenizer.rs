@@ -1,0 +1,110 @@
+//! Deterministic rule-based tokenization.
+//!
+//! The synthetic corpora are generated token-by-token, so the tokenizer's
+//! main job in this workspace is (a) round-tripping generated sentences and
+//! (b) handling user-supplied text in the examples. It splits on whitespace,
+//! detaches leading/trailing ASCII punctuation as standalone tokens, and
+//! keeps internal punctuation (e.g. `don't`, `3.14`) intact.
+
+/// Split `text` into tokens.
+///
+/// Rules:
+/// * whitespace separates tokens;
+/// * a maximal run of leading or trailing ASCII punctuation on a word is
+///   emitted as its own token, one token per punctuation character;
+/// * internal punctuation is preserved.
+///
+/// ```
+/// use histal_text::tokenize;
+/// assert_eq!(tokenize("Hello, world!"), vec!["Hello", ",", "world", "!"]);
+/// assert_eq!(tokenize("don't stop"), vec!["don't", "stop"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for word in text.split_whitespace() {
+        push_word(word, &mut out);
+    }
+    out
+}
+
+/// [`tokenize`] followed by ASCII lowercasing of every token.
+pub fn tokenize_lower(text: &str) -> Vec<String> {
+    let mut toks = tokenize(text);
+    for t in &mut toks {
+        t.make_ascii_lowercase();
+    }
+    toks
+}
+
+fn push_word(word: &str, out: &mut Vec<String>) {
+    // Find the core of the word: strip leading/trailing ASCII punctuation.
+    let bytes = word.as_bytes();
+    let mut start = 0;
+    while start < bytes.len() && bytes[start].is_ascii_punctuation() {
+        start += 1;
+    }
+    let mut end = bytes.len();
+    while end > start && bytes[end - 1].is_ascii_punctuation() {
+        end -= 1;
+    }
+    // Leading punctuation, one token each.
+    for &b in &bytes[..start] {
+        out.push((b as char).to_string());
+    }
+    if start < end {
+        out.push(word[start..end].to_string());
+    }
+    for &b in &bytes[end..] {
+        out.push((b as char).to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(tokenize("a b  c\td"), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn detaches_trailing_punctuation() {
+        assert_eq!(tokenize("end."), vec!["end", "."]);
+        assert_eq!(tokenize("wow!!"), vec!["wow", "!", "!"]);
+    }
+
+    #[test]
+    fn detaches_leading_punctuation() {
+        assert_eq!(tokenize("\"quoted\""), vec!["\"", "quoted", "\""]);
+    }
+
+    #[test]
+    fn keeps_internal_punctuation() {
+        assert_eq!(tokenize("don't"), vec!["don't"]);
+        assert_eq!(tokenize("3.14"), vec!["3.14"]);
+        assert_eq!(tokenize("state-of-the-art"), vec!["state-of-the-art"]);
+    }
+
+    #[test]
+    fn pure_punctuation_word() {
+        assert_eq!(tokenize("..."), vec![".", ".", "."]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn lowercasing() {
+        assert_eq!(tokenize_lower("Hello WORLD"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        // Non-ASCII characters are never treated as punctuation.
+        assert_eq!(tokenize("naïve café"), vec!["naïve", "café"]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Exact (vocabulary-indexed) bag-of-n-grams vectorization.
+//!
+//! The hashing trick ([`crate::FeatureHasher`]) is collision-prone by
+//! design; when the vocabulary fits in memory and exact, interpretable
+//! feature indices matter (error analysis, per-word weight inspection),
+//! a [`BowVectorizer`] built over a [`Vocab`] is the right tool. Both
+//! produce [`SparseVec`]s, so the models accept either.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ngrams::ngrams;
+use crate::sparse::SparseVec;
+use crate::vocab::{Vocab, UNK_ID};
+
+/// Exact bag-of-n-grams vectorizer over a fitted vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BowVectorizer {
+    vocab: Vocab,
+    /// Maximum n-gram order.
+    max_n: usize,
+    /// Drop tokens not in the vocabulary instead of mapping them to the
+    /// `<unk>` bucket.
+    drop_unknown: bool,
+}
+
+impl BowVectorizer {
+    /// Fit a vectorizer on a tokenized corpus: every n-gram up to
+    /// `max_n` seen at least `min_count` times gets its own feature
+    /// index.
+    pub fn fit(corpus: &[Vec<String>], max_n: usize, min_count: u64) -> Self {
+        let mut vocab = Vocab::new();
+        for doc in corpus {
+            for gram in ngrams(doc, max_n) {
+                vocab.add(&gram);
+            }
+        }
+        let vocab = if min_count > 1 {
+            vocab.pruned(min_count)
+        } else {
+            vocab
+        };
+        Self {
+            vocab,
+            max_n,
+            drop_unknown: true,
+        }
+    }
+
+    /// Map unknown n-grams to the shared `<unk>` index instead of
+    /// dropping them.
+    pub fn with_unknown_bucket(mut self) -> Self {
+        self.drop_unknown = false;
+        self
+    }
+
+    /// Feature-space width (vocabulary size including `<unk>`).
+    pub fn n_features(&self) -> u32 {
+        self.vocab.len() as u32
+    }
+
+    /// The underlying vocabulary (for index → n-gram inspection).
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Vectorize one tokenized document: n-gram counts, L2-normalized.
+    pub fn transform(&self, tokens: &[String]) -> SparseVec {
+        let pairs: Vec<(u32, f32)> = ngrams(tokens, self.max_n)
+            .into_iter()
+            .filter_map(|g| {
+                let id = self.vocab.get(&g);
+                if id == UNK_ID && self.drop_unknown {
+                    None
+                } else {
+                    Some((id, 1.0))
+                }
+            })
+            .collect();
+        let mut v = SparseVec::from_pairs(pairs);
+        let n = v.norm();
+        if n > 0.0 {
+            v.scale((1.0 / n) as f32);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ts: &[&str]) -> Vec<String> {
+        ts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn fit_transform_roundtrip() {
+        let corpus = vec![doc(&["good", "movie"]), doc(&["bad", "movie"])];
+        let v = BowVectorizer::fit(&corpus, 1, 1);
+        assert_eq!(v.n_features(), 4); // <unk>, good, movie, bad
+        let x = v.transform(&doc(&["good", "movie"]));
+        assert_eq!(x.nnz(), 2);
+        assert!((x.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn indices_are_interpretable() {
+        let corpus = vec![doc(&["alpha", "beta"])];
+        let v = BowVectorizer::fit(&corpus, 1, 1);
+        let x = v.transform(&doc(&["alpha"]));
+        let idx = x.indices()[0];
+        assert_eq!(v.vocab().token(idx), Some("alpha"));
+    }
+
+    #[test]
+    fn unknown_tokens_dropped_by_default() {
+        let corpus = vec![doc(&["known"])];
+        let v = BowVectorizer::fit(&corpus, 1, 1);
+        assert!(v.transform(&doc(&["mystery"])).is_empty());
+        let with_unk = v.with_unknown_bucket();
+        let x = with_unk.transform(&doc(&["mystery"]));
+        assert_eq!(x.indices(), &[UNK_ID]);
+    }
+
+    #[test]
+    fn min_count_prunes_rare_grams() {
+        let corpus = vec![doc(&["common", "rare"]), doc(&["common"])];
+        let v = BowVectorizer::fit(&corpus, 1, 2);
+        assert!(v.vocab().contains("common"));
+        assert!(!v.vocab().contains("rare"));
+    }
+
+    #[test]
+    fn bigrams_get_features() {
+        let corpus = vec![doc(&["not", "good"]), doc(&["not", "good"])];
+        let v = BowVectorizer::fit(&corpus, 2, 1);
+        assert!(v.vocab().contains("not_good"));
+        let x = v.transform(&doc(&["not", "good"]));
+        assert_eq!(x.nnz(), 3); // not, good, not_good
+    }
+
+    #[test]
+    fn empty_document_is_empty() {
+        let v = BowVectorizer::fit(&[doc(&["a"])], 1, 1);
+        assert!(v.transform(&[]).is_empty());
+    }
+}

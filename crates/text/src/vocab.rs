@@ -1,0 +1,189 @@
+//! Frequency-counted vocabulary with id assignment and pruning.
+//!
+//! The dataset generators use a [`Vocab`] both to *emit* tokens (sampling by
+//! id) and to report the `|V|` statistics of Table 3; the CRF uses one to
+//! map tokens to emission-template ids.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Reserved id for out-of-vocabulary tokens.
+pub const UNK_ID: u32 = 0;
+/// The string form of the OOV token.
+pub const UNK_TOKEN: &str = "<unk>";
+
+/// A bidirectional token ↔ id map with frequency counts.
+///
+/// Id 0 is always [`UNK_TOKEN`]. Ids are assigned in first-seen order, which
+/// keeps vocabularies deterministic for a deterministic token stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// An empty vocabulary containing only the `<unk>` entry.
+    pub fn new() -> Self {
+        let mut token_to_id = HashMap::new();
+        token_to_id.insert(UNK_TOKEN.to_string(), UNK_ID);
+        Self {
+            token_to_id,
+            id_to_token: vec![UNK_TOKEN.to_string()],
+            counts: vec![0],
+        }
+    }
+
+    /// Build a vocabulary from an iterator of token streams.
+    pub fn from_corpus<'a, I, S>(sentences: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = &'a str>,
+    {
+        let mut v = Self::new();
+        for sent in sentences {
+            for tok in sent {
+                v.add(tok);
+            }
+        }
+        v
+    }
+
+    /// Insert one occurrence of `token`, assigning a fresh id on first
+    /// sight. Returns the token's id.
+    pub fn add(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.token_to_id.get(token) {
+            self.counts[id as usize] += 1;
+            return id;
+        }
+        let id = self.id_to_token.len() as u32;
+        self.token_to_id.insert(token.to_string(), id);
+        self.id_to_token.push(token.to_string());
+        self.counts.push(1);
+        id
+    }
+
+    /// Look up a token, returning [`UNK_ID`] for unknown tokens.
+    pub fn get(&self, token: &str) -> u32 {
+        self.token_to_id.get(token).copied().unwrap_or(UNK_ID)
+    }
+
+    /// True if `token` has been added.
+    pub fn contains(&self, token: &str) -> bool {
+        self.token_to_id.contains_key(token)
+    }
+
+    /// The token for an id; `None` if out of range.
+    pub fn token(&self, id: u32) -> Option<&str> {
+        self.id_to_token.get(id as usize).map(String::as_str)
+    }
+
+    /// Occurrence count of an id (0 for out-of-range ids).
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of entries including `<unk>`.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when only `<unk>` is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Return a new vocabulary containing only tokens seen at least
+    /// `min_count` times (plus `<unk>`). Ids are reassigned densely in the
+    /// original order.
+    pub fn pruned(&self, min_count: u64) -> Vocab {
+        let mut v = Vocab::new();
+        for id in 1..self.id_to_token.len() {
+            if self.counts[id] >= min_count {
+                let tok = &self.id_to_token[id];
+                let new_id = v.add(tok);
+                // `add` set the count to 1; restore the real count.
+                v.counts[new_id as usize] = self.counts[id];
+            }
+        }
+        v
+    }
+
+    /// Iterate `(token, id, count)` over real (non-unk) entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32, u64)> + '_ {
+        (1..self.id_to_token.len())
+            .map(move |i| (self.id_to_token[i].as_str(), i as u32, self.counts[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_contains_only_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.len(), 1);
+        assert!(v.is_empty());
+        assert_eq!(v.token(UNK_ID), Some(UNK_TOKEN));
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let mut v = Vocab::new();
+        assert_eq!(v.add("a"), 1);
+        assert_eq!(v.add("b"), 2);
+        assert_eq!(v.add("a"), 1);
+        assert_eq!(v.count(1), 2);
+        assert_eq!(v.count(2), 1);
+    }
+
+    #[test]
+    fn get_unknown_is_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.get("missing"), UNK_ID);
+    }
+
+    #[test]
+    fn from_corpus_counts_everything() {
+        let v = Vocab::from_corpus([["the", "cat"], ["the", "dog"]]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.count(v.get("the")), 2);
+    }
+
+    #[test]
+    fn pruning_drops_rare_tokens_and_preserves_counts() {
+        let mut v = Vocab::new();
+        for _ in 0..3 {
+            v.add("common");
+        }
+        v.add("rare");
+        let p = v.pruned(2);
+        assert!(p.contains("common"));
+        assert!(!p.contains("rare"));
+        assert_eq!(p.count(p.get("common")), 3);
+    }
+
+    #[test]
+    fn iter_skips_unk() {
+        let mut v = Vocab::new();
+        v.add("x");
+        let entries: Vec<_> = v.iter().collect();
+        assert_eq!(entries, vec![("x", 1, 1)]);
+    }
+
+    #[test]
+    fn token_out_of_range_is_none() {
+        let v = Vocab::new();
+        assert_eq!(v.token(42), None);
+        assert_eq!(v.count(42), 0);
+    }
+}

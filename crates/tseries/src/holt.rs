@@ -1,0 +1,135 @@
+//! Holt's linear (double) exponential smoothing — a trend-aware
+//! next-score predictor that needs no training corpus at all.
+//!
+//! Sits between the persistence/AR baselines and the LSTM: it adapts to
+//! level and trend online from the queried sequence itself, which makes
+//! it the right predictor when no compatible history corpus exists to
+//! fit AR/LSTM on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SequencePredictor;
+
+/// Holt's linear smoothing with level gain `alpha` and trend gain `beta`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HoltPredictor {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Default for HoltPredictor {
+    fn default() -> Self {
+        Self::new(0.5, 0.3)
+    }
+}
+
+impl HoltPredictor {
+    /// Create a predictor with the given gains.
+    ///
+    /// # Panics
+    /// Panics if either gain lies outside `(0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        Self { alpha, beta }
+    }
+
+    /// Pick the `(alpha, beta)` pair from a small grid minimizing one-step
+    /// squared error on `sequences` — a cheap stand-in for full MLE.
+    pub fn fit(sequences: &[Vec<f64>]) -> Self {
+        let grid = [0.2, 0.4, 0.6, 0.8, 1.0];
+        let mut best = (Self::default(), f64::INFINITY);
+        for &a in &grid {
+            for &b in &grid {
+                let cand = Self::new(a, b);
+                let mut err = 0.0;
+                let mut n = 0usize;
+                for seq in sequences {
+                    for t in 1..seq.len() {
+                        let pred = cand.predict_next(&seq[..t]);
+                        err += (pred - seq[t]).powi(2);
+                        n += 1;
+                    }
+                }
+                if n > 0 && err < best.1 {
+                    best = (cand, err);
+                }
+            }
+        }
+        best.0
+    }
+}
+
+impl SequencePredictor for HoltPredictor {
+    fn predict_next(&self, seq: &[f64]) -> f64 {
+        match seq.len() {
+            0 => 0.0,
+            1 => seq[0],
+            _ => {
+                let mut level = seq[0];
+                let mut trend = seq[1] - seq[0];
+                for &x in &seq[1..] {
+                    let prev_level = level;
+                    level = self.alpha * x + (1.0 - self.alpha) * (level + trend);
+                    trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+                }
+                let y = level + trend;
+                if y.is_finite() {
+                    y
+                } else {
+                    *seq.last().expect("non-empty")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sequence_predicts_constant() {
+        let h = HoltPredictor::default();
+        let p = h.predict_next(&[0.4; 10]);
+        assert!((p - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_trend_extrapolated() {
+        let h = HoltPredictor::new(0.8, 0.8);
+        let seq: Vec<f64> = (0..10).map(|i| 0.1 * i as f64).collect();
+        let p = h.predict_next(&seq);
+        assert!((p - 1.0).abs() < 0.05, "predicted {p}, expected ≈ 1.0");
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        let h = HoltPredictor::default();
+        assert_eq!(h.predict_next(&[]), 0.0);
+        assert_eq!(h.predict_next(&[0.7]), 0.7);
+    }
+
+    #[test]
+    fn fit_prefers_trend_tracking_on_trends() {
+        let seqs: Vec<Vec<f64>> = (0..5)
+            .map(|s| (0..12).map(|t| s as f64 * 0.1 + 0.05 * t as f64).collect())
+            .collect();
+        let fitted = HoltPredictor::fit(&seqs);
+        let pred = fitted.predict_next(&seqs[0]);
+        let expected = 0.05 * 12.0;
+        assert!((pred - expected).abs() < 0.03, "pred {pred} vs {expected}");
+    }
+
+    #[test]
+    fn fit_with_no_data_is_default() {
+        let fitted = HoltPredictor::fit(&[]);
+        assert!((fitted.alpha - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = HoltPredictor::new(0.0, 0.5);
+    }
+}

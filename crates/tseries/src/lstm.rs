@@ -1,0 +1,467 @@
+//! A small scalar-sequence LSTM used to predict the next evaluation score.
+//!
+//! The paper trains "a simple LSTM" on historical evaluation sequences: the
+//! scores of the past `k` iterations are the input and the current score is
+//! the regression target. The history sequences here are scalar and short
+//! (tens of steps), so a hand-written single-layer LSTM with full
+//! backpropagation-through-time and Adam is both faithful and fast — no
+//! tensor framework required (the calibration note flags candle/tch as
+//! immature for exactly this kind of loop).
+
+#![allow(clippy::needless_range_loop)]
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::SequencePredictor;
+
+/// Hyper-parameters for [`LstmPredictor::fit`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmConfig {
+    /// Hidden state width.
+    pub hidden: usize,
+    /// Input window length `k`: the last `k` scores predict the next one.
+    pub window: usize,
+    /// Training epochs over the extracted windows.
+    pub epochs: usize,
+    /// Adam step size.
+    pub lr: f64,
+    /// Gradient L2-norm clip; 0 disables clipping.
+    pub clip: f64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 8,
+            window: 5,
+            epochs: 30,
+            lr: 0.02,
+            clip: 5.0,
+        }
+    }
+}
+
+/// Flat parameter block: the four gate weight matrices stacked as
+/// `[i; f; o; g]`, each `hidden × (1 + hidden)`, the gate biases, and the
+/// scalar output head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Params {
+    hidden: usize,
+    /// `4*hidden` rows × `(1 + hidden)` columns, row-major.
+    w: Vec<f64>,
+    /// `4*hidden` gate biases.
+    b: Vec<f64>,
+    /// Output head weights (`hidden`) and bias.
+    wy: Vec<f64>,
+    by: f64,
+}
+
+impl Params {
+    fn zeros(hidden: usize) -> Self {
+        Self {
+            hidden,
+            w: vec![0.0; 4 * hidden * (1 + hidden)],
+            b: vec![0.0; 4 * hidden],
+            wy: vec![0.0; hidden],
+            by: 0.0,
+        }
+    }
+
+    fn init<R: Rng + ?Sized>(hidden: usize, rng: &mut R) -> Self {
+        let mut p = Self::zeros(hidden);
+        let scale = 1.0 / ((1 + hidden) as f64).sqrt();
+        for w in &mut p.w {
+            *w = rng.gen_range(-scale..scale);
+        }
+        for w in &mut p.wy {
+            *w = rng.gen_range(-scale..scale);
+        }
+        // Forget-gate bias of 1.0 (standard initialization) so gradients
+        // flow through short sequences from the first epoch.
+        for j in 0..hidden {
+            p.b[hidden + j] = 1.0;
+        }
+        p
+    }
+
+    /// Iterate all parameters as one flat view for the optimizer.
+    fn len(&self) -> usize {
+        self.w.len() + self.b.len() + self.wy.len() + 1
+    }
+
+    fn get(&self, i: usize) -> f64 {
+        let (nw, nb, ny) = (self.w.len(), self.b.len(), self.wy.len());
+        if i < nw {
+            self.w[i]
+        } else if i < nw + nb {
+            self.b[i - nw]
+        } else if i < nw + nb + ny {
+            self.wy[i - nw - nb]
+        } else {
+            self.by
+        }
+    }
+
+    fn get_mut(&mut self, i: usize) -> &mut f64 {
+        let (nw, nb, ny) = (self.w.len(), self.b.len(), self.wy.len());
+        if i < nw {
+            &mut self.w[i]
+        } else if i < nw + nb {
+            &mut self.b[i - nw]
+        } else if i < nw + nb + ny {
+            &mut self.wy[i - nw - nb]
+        } else {
+            &mut self.by
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-step forward activations retained for BPTT.
+struct StepCache {
+    x: f64,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    o: Vec<f64>,
+    g: Vec<f64>,
+    c: Vec<f64>,
+    h: Vec<f64>,
+}
+
+/// An LSTM regression model over scalar sequences.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmPredictor {
+    params: Params,
+    config: LstmConfig,
+    /// Mean training target — fallback prediction for empty histories.
+    fallback: f64,
+}
+
+impl LstmPredictor {
+    /// Train on `sequences`: every window of `config.window` consecutive
+    /// scores predicts the following score. Deterministic given `rng`.
+    pub fn fit<R: Rng + ?Sized>(sequences: &[Vec<f64>], config: LstmConfig, rng: &mut R) -> Self {
+        assert!(config.hidden > 0, "hidden size must be positive");
+        assert!(config.window > 0, "window must be positive");
+        let mut pairs: Vec<(Vec<f64>, f64)> = Vec::new();
+        for seq in sequences {
+            if seq.len() < 2 {
+                continue;
+            }
+            for t in 1..seq.len() {
+                let start = t.saturating_sub(config.window);
+                pairs.push((seq[start..t].to_vec(), seq[t]));
+            }
+        }
+        let fallback = if pairs.is_empty() {
+            0.0
+        } else {
+            pairs.iter().map(|(_, y)| *y).sum::<f64>() / pairs.len() as f64
+        };
+        let mut model = Self {
+            params: Params::init(config.hidden, rng),
+            config,
+            fallback,
+        };
+        if pairs.is_empty() {
+            return model;
+        }
+        let n = model.params.len();
+        let (mut m1, mut m2) = (vec![0.0; n], vec![0.0; n]);
+        let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+        let mut step = 0usize;
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        for _ in 0..model.config.epochs {
+            // Fisher–Yates shuffle for SGD order.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &idx in &order {
+                let (window, target) = &pairs[idx];
+                let grads = model.backward(window, *target);
+                step += 1;
+                let lr = model.config.lr;
+                let clip = model.config.clip;
+                let mut norm = 0.0;
+                for g in grads.iter() {
+                    norm += g * g;
+                }
+                norm = norm.sqrt();
+                let scale = if clip > 0.0 && norm > clip {
+                    clip / norm
+                } else {
+                    1.0
+                };
+                for i in 0..n {
+                    let g = grads[i] * scale;
+                    m1[i] = b1 * m1[i] + (1.0 - b1) * g;
+                    m2[i] = b2 * m2[i] + (1.0 - b2) * g * g;
+                    let mh = m1[i] / (1.0 - b1.powi(step as i32));
+                    let vh = m2[i] / (1.0 - b2.powi(step as i32));
+                    *model.params.get_mut(i) -= lr * mh / (vh.sqrt() + eps);
+                }
+            }
+        }
+        model
+    }
+
+    /// Mean squared error over the window/target pairs extractable from
+    /// `sequences` — convenience for tests and tuning.
+    pub fn mse(&self, sequences: &[Vec<f64>]) -> f64 {
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        for seq in sequences {
+            for t in 1..seq.len() {
+                let start = t.saturating_sub(self.config.window);
+                let pred = self.forward(&seq[start..t]).0;
+                let d = pred - seq[t];
+                acc += d * d;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            acc / count as f64
+        }
+    }
+
+    /// Forward pass; returns `(prediction, caches)`.
+    fn forward(&self, window: &[f64]) -> (f64, Vec<StepCache>) {
+        let h_dim = self.params.hidden;
+        let mut h = vec![0.0; h_dim];
+        let mut c = vec![0.0; h_dim];
+        let mut caches = Vec::with_capacity(window.len());
+        for &x in window {
+            let mut cache = StepCache {
+                x,
+                h_prev: h.clone(),
+                c_prev: c.clone(),
+                i: vec![0.0; h_dim],
+                f: vec![0.0; h_dim],
+                o: vec![0.0; h_dim],
+                g: vec![0.0; h_dim],
+                c: vec![0.0; h_dim],
+                h: vec![0.0; h_dim],
+            };
+            let in_dim = 1 + h_dim;
+            for gate in 0..4 {
+                for j in 0..h_dim {
+                    let row = gate * h_dim + j;
+                    let base = row * in_dim;
+                    let mut a = self.params.b[row] + self.params.w[base] * x;
+                    for (k, &hv) in h.iter().enumerate() {
+                        a += self.params.w[base + 1 + k] * hv;
+                    }
+                    let v = if gate == 3 { a.tanh() } else { sigmoid(a) };
+                    match gate {
+                        0 => cache.i[j] = v,
+                        1 => cache.f[j] = v,
+                        2 => cache.o[j] = v,
+                        _ => cache.g[j] = v,
+                    }
+                }
+            }
+            for j in 0..h_dim {
+                cache.c[j] = cache.f[j] * c[j] + cache.i[j] * cache.g[j];
+                cache.h[j] = cache.o[j] * cache.c[j].tanh();
+            }
+            h = cache.h.clone();
+            c = cache.c.clone();
+            caches.push(cache);
+        }
+        let mut y = self.params.by;
+        for j in 0..h_dim {
+            y += self.params.wy[j] * h[j];
+        }
+        (y, caches)
+    }
+
+    /// Full BPTT for one `(window, target)` pair; returns the flat gradient
+    /// (same layout as [`Params`]).
+    fn backward(&self, window: &[f64], target: f64) -> Vec<f64> {
+        let h_dim = self.params.hidden;
+        let in_dim = 1 + h_dim;
+        let (pred, caches) = self.forward(window);
+        let mut grads = Params::zeros(h_dim);
+        let dy = pred - target; // d(0.5*(pred-y)^2)/dpred
+        grads.by = dy;
+        let last_h: Vec<f64> = caches
+            .last()
+            .map(|c| c.h.clone())
+            .unwrap_or_else(|| vec![0.0; h_dim]);
+        for j in 0..h_dim {
+            grads.wy[j] = dy * last_h[j];
+        }
+        let mut dh: Vec<f64> = self.params.wy.iter().map(|w| dy * w).collect();
+        let mut dc = vec![0.0; h_dim];
+        for cache in caches.iter().rev() {
+            let mut dh_prev = vec![0.0; h_dim];
+            let mut dc_prev = vec![0.0; h_dim];
+            for j in 0..h_dim {
+                let tanh_c = cache.c[j].tanh();
+                let do_j = dh[j] * tanh_c;
+                let dcj = dc[j] + dh[j] * cache.o[j] * (1.0 - tanh_c * tanh_c);
+                let di = dcj * cache.g[j];
+                let df = dcj * cache.c_prev[j];
+                let dg = dcj * cache.i[j];
+                dc_prev[j] = dcj * cache.f[j];
+                // Pre-activation gradients.
+                let dai = di * cache.i[j] * (1.0 - cache.i[j]);
+                let daf = df * cache.f[j] * (1.0 - cache.f[j]);
+                let dao = do_j * cache.o[j] * (1.0 - cache.o[j]);
+                let dag = dg * (1.0 - cache.g[j] * cache.g[j]);
+                for (gate, da) in [(0, dai), (1, daf), (2, dao), (3, dag)] {
+                    let row = gate * h_dim + j;
+                    let base = row * in_dim;
+                    grads.b[row] += da;
+                    grads.w[base] += da * cache.x;
+                    for k in 0..h_dim {
+                        grads.w[base + 1 + k] += da * cache.h_prev[k];
+                        dh_prev[k] += da * self.params.w[base + 1 + k];
+                    }
+                }
+            }
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+        (0..grads.len()).map(|i| grads.get(i)).collect()
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.config.window
+    }
+}
+
+impl SequencePredictor for LstmPredictor {
+    fn predict_next(&self, seq: &[f64]) -> f64 {
+        if seq.is_empty() {
+            return self.fallback;
+        }
+        let start = seq.len().saturating_sub(self.config.window);
+        let (y, _) = self.forward(&seq[start..]);
+        if y.is_finite() {
+            y
+        } else {
+            self.fallback
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    /// Numerical gradient check: the analytic BPTT gradient must match the
+    /// central finite difference on every parameter of a tiny net.
+    #[test]
+    fn gradient_check() {
+        let mut r = rng();
+        let config = LstmConfig {
+            hidden: 3,
+            window: 4,
+            epochs: 0,
+            lr: 0.0,
+            clip: 0.0,
+        };
+        let model = LstmPredictor {
+            params: Params::init(3, &mut r),
+            config,
+            fallback: 0.0,
+        };
+        let window = [0.2, -0.4, 0.9, 0.1];
+        let target = 0.5;
+        let analytic = model.backward(&window, target);
+        let eps = 1e-6;
+        for p_idx in 0..model.params.len() {
+            let mut plus = model.clone();
+            *plus.params.get_mut(p_idx) += eps;
+            let mut minus = model.clone();
+            *minus.params.get_mut(p_idx) -= eps;
+            let lp = {
+                let (y, _) = plus.forward(&window);
+                0.5 * (y - target) * (y - target)
+            };
+            let lm = {
+                let (y, _) = minus.forward(&window);
+                0.5 * (y - target) * (y - target)
+            };
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[p_idx]).abs() < 1e-4,
+                "param {p_idx}: numeric {numeric} vs analytic {}",
+                analytic[p_idx]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_constant_sequence() {
+        let seqs = vec![vec![0.7; 12]; 8];
+        let model = LstmPredictor::fit(&seqs, LstmConfig::default(), &mut rng());
+        let pred = model.predict_next(&[0.7, 0.7, 0.7, 0.7]);
+        assert!((pred - 0.7).abs() < 0.05, "pred {pred}");
+    }
+
+    #[test]
+    fn learns_linear_trend_better_than_mean() {
+        // Sequences increasing by 0.05 per step from varied starts.
+        let seqs: Vec<Vec<f64>> = (0..20)
+            .map(|s| (0..15).map(|t| 0.01 * s as f64 + 0.05 * t as f64).collect())
+            .collect();
+        let model = LstmPredictor::fit(&seqs, LstmConfig::default(), &mut rng());
+        let trained_mse = model.mse(&seqs);
+        // Baseline: always predict the corpus mean.
+        let all: Vec<f64> = seqs.iter().flatten().copied().collect();
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        let mut base = 0.0;
+        let mut n = 0;
+        for s in &seqs {
+            for t in 1..s.len() {
+                base += (mean - s[t]) * (mean - s[t]);
+                n += 1;
+            }
+        }
+        base /= n as f64;
+        assert!(
+            trained_mse < base * 0.5,
+            "mse {trained_mse} vs mean-baseline {base}"
+        );
+    }
+
+    #[test]
+    fn empty_history_predicts_fallback() {
+        let seqs = vec![vec![0.3, 0.3, 0.3]];
+        let model = LstmPredictor::fit(&seqs, LstmConfig::default(), &mut rng());
+        assert!((model.predict_next(&[]) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_training_data_is_safe() {
+        let model = LstmPredictor::fit(&[], LstmConfig::default(), &mut rng());
+        assert_eq!(model.predict_next(&[]), 0.0);
+        assert!(model.predict_next(&[0.5]).is_finite());
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let seqs = vec![vec![0.1, 0.5, 0.2, 0.8, 0.4]; 4];
+        let a = LstmPredictor::fit(&seqs, LstmConfig::default(), &mut rng());
+        let b = LstmPredictor::fit(&seqs, LstmConfig::default(), &mut rng());
+        assert_eq!(a.predict_next(&[0.3, 0.9]), b.predict_next(&[0.3, 0.9]));
+    }
+}

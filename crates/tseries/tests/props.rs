@@ -1,0 +1,103 @@
+//! Property-based tests for the historical-sequence feature kit.
+
+use proptest::prelude::*;
+
+use histal_tseries::{
+    exp_weighted_sum, exp_weights, last_window, mann_kendall, uniform_sum, variance,
+    window_variance, ArPredictor, SequencePredictor,
+};
+
+fn seq_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, 0..40)
+}
+
+proptest! {
+    /// WSHS with window 1 always degrades to the current score (the
+    /// paper's compatibility claim for l = 1).
+    #[test]
+    fn wshs_l1_is_current(seq in seq_strategy()) {
+        let expected = seq.last().copied().unwrap_or(0.0);
+        prop_assert!((exp_weighted_sum(&seq, 1) - expected).abs() < 1e-12);
+    }
+
+    /// The weighted sum is bounded by the plain sum of window magnitudes
+    /// (all weights ≤ 1).
+    #[test]
+    fn wshs_bounded_by_window_l1_norm(seq in seq_strategy(), l in 1usize..10) {
+        let bound: f64 = last_window(&seq, l).iter().map(|v| v.abs()).sum();
+        prop_assert!(exp_weighted_sum(&seq, l).abs() <= bound + 1e-9);
+    }
+
+    /// Appending an element only changes the weighted sum through the
+    /// window: computing on the last l elements directly is identical.
+    #[test]
+    fn wshs_depends_only_on_window(seq in seq_strategy(), l in 1usize..8) {
+        let window = last_window(&seq, l).to_vec();
+        prop_assert!((exp_weighted_sum(&seq, l) - exp_weighted_sum(&window, l)).abs() < 1e-12);
+    }
+
+    /// Weights are normalized powers of two, strictly increasing.
+    #[test]
+    fn weights_increasing(n in 1usize..20) {
+        let w = exp_weights(n);
+        prop_assert_eq!(w.len(), n);
+        prop_assert!((w[n - 1] - 1.0).abs() < 1e-12);
+        for i in 1..n {
+            prop_assert!((w[i] - 2.0 * w[i - 1]).abs() < 1e-12);
+        }
+    }
+
+    /// Variance is non-negative and shift-invariant.
+    #[test]
+    fn variance_nonneg_shift_invariant(seq in seq_strategy(), shift in -5.0f64..5.0) {
+        let v = variance(&seq);
+        prop_assert!(v >= 0.0);
+        let shifted: Vec<f64> = seq.iter().map(|x| x + shift).collect();
+        prop_assert!((variance(&shifted) - v).abs() < 1e-6);
+    }
+
+    /// Window variance never exceeds the full-sequence bound implied by
+    /// the range (popoviciu): V ≤ (max-min)²/4.
+    #[test]
+    fn variance_popoviciu(seq in prop::collection::vec(-10.0f64..10.0, 2..40), l in 2usize..10) {
+        let w = last_window(&seq, l);
+        let max = w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = w.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!(window_variance(&seq, l) <= (max - min).powi(2) / 4.0 + 1e-9);
+    }
+
+    /// Mann–Kendall: tau bounded, reversing the sequence flips S.
+    #[test]
+    fn mk_tau_bounds_and_antisymmetry(seq in prop::collection::vec(-10.0f64..10.0, 2..25)) {
+        let mk = mann_kendall(&seq);
+        prop_assert!(mk.tau >= -1.0 && mk.tau <= 1.0);
+        let mut rev = seq.clone();
+        rev.reverse();
+        let mk_rev = mann_kendall(&rev);
+        prop_assert_eq!(mk.s, -mk_rev.s);
+    }
+
+    /// MK variance is non-negative and ties never increase it.
+    #[test]
+    fn mk_variance_nonneg(seq in prop::collection::vec(-3.0f64..3.0, 2..25)) {
+        prop_assert!(mann_kendall(&seq).var_s >= 0.0);
+    }
+
+    /// Uniform sum equals sum of the window.
+    #[test]
+    fn uniform_sum_matches_manual(seq in seq_strategy(), k in 1usize..10) {
+        let manual: f64 = last_window(&seq, k).iter().sum();
+        prop_assert!((uniform_sum(&seq, k) - manual).abs() < 1e-9);
+    }
+
+    /// AR predictions are always finite, whatever the training corpus.
+    #[test]
+    fn ar_predictions_finite(
+        train in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 0..15), 0..6),
+        query in seq_strategy(),
+        order in 1usize..5,
+    ) {
+        let model = ArPredictor::fit(&train, order);
+        prop_assert!(model.predict_next(&query).is_finite());
+    }
+}

@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every table/figure. Text experiments at paper scale; NER at
+# half scale (documented in EXPERIMENTS.md).
+set -x
+BIN=target/release/histal-experiments
+$BIN table3 > logs/table3.log 2>&1
+$BIN table4 > logs/table4.log 2>&1
+$BIN table2 --full > logs/table2.log 2>&1
+$BIN fig5 --full > logs/fig5.log 2>&1
+$BIN fig3-text --full > logs/fig3_text.log 2>&1
+$BIN table5 --full --repeats 5 > logs/table5.log 2>&1
+$BIN table6 --full > logs/table6.log 2>&1
+$BIN table7 --full > logs/table7.log 2>&1
+$BIN table7 --full --variant ar > logs/table7_ar.log 2>&1
+$BIN table7 --full --variant linear > logs/table7_linear.log 2>&1
+$BIN fig3-ner --scale 0.5 --repeats 2 > logs/fig3_ner.log 2>&1
+$BIN fig4 --scale 0.5 --repeats 2 > logs/fig4.log 2>&1
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,360 @@
+//! End-to-end integration tests of the active-learning loop on the text
+//! classification task: driver × strategies × classifier × synthetic data.
+
+mod common;
+
+use common::{late_curve_mean, run_text, tiny_text_task};
+use histal::prelude::*;
+
+fn quick_config() -> PoolConfig {
+    PoolConfig {
+        batch_size: 20,
+        rounds: 8,
+        init_labeled: 20,
+        history_max_len: None,
+        record_history: false,
+    }
+}
+
+#[test]
+fn curve_has_expected_shape() {
+    let task = tiny_text_task(2, 600, 11);
+    let result = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy),
+        quick_config(),
+        1,
+    );
+    // rounds + 1 points, labeled counts increasing by batch size.
+    assert_eq!(result.curve.len(), 9);
+    assert_eq!(result.curve[0].n_labeled, 20);
+    assert_eq!(result.curve[8].n_labeled, 20 + 8 * 20);
+    // Learning happened: final metric far above chance.
+    assert!(
+        result.final_metric() > 0.65,
+        "final {}",
+        result.final_metric()
+    );
+    // Early metric below late metric (learning curve rises overall).
+    assert!(result.curve[0].metric < result.final_metric());
+}
+
+#[test]
+fn runs_are_deterministic_under_seed() {
+    let task = tiny_text_task(2, 400, 12);
+    let a = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy),
+        quick_config(),
+        7,
+    );
+    let b = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy),
+        quick_config(),
+        7,
+    );
+    for (pa, pb) in a.curve.iter().zip(&b.curve) {
+        assert_eq!(pa.metric, pb.metric);
+    }
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.selected, rb.selected);
+    }
+    // And a different seed changes the run.
+    let c = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy),
+        quick_config(),
+        8,
+    );
+    assert!(a.rounds[0].selected != c.rounds[0].selected);
+}
+
+#[test]
+fn entropy_beats_random_on_average() {
+    // Average three seeds to damp run-to-run noise.
+    let task = tiny_text_task(2, 800, 13);
+    let mut ent = 0.0;
+    let mut rnd = 0.0;
+    for seed in [1, 2, 3] {
+        ent += late_curve_mean(&run_text(
+            &task,
+            Strategy::new(BaseStrategy::Entropy),
+            quick_config(),
+            seed,
+        ));
+        rnd += late_curve_mean(&run_text(
+            &task,
+            Strategy::new(BaseStrategy::Random),
+            quick_config(),
+            seed,
+        ));
+    }
+    assert!(
+        ent > rnd - 0.02,
+        "entropy ({ent:.4}) should not lose clearly to random ({rnd:.4})"
+    );
+}
+
+#[test]
+fn all_basic_strategies_run_to_completion() {
+    let task = tiny_text_task(2, 300, 14);
+    let cfg = PoolConfig {
+        batch_size: 15,
+        rounds: 4,
+        init_labeled: 15,
+        history_max_len: None,
+        record_history: false,
+    };
+    for base in [
+        BaseStrategy::Random,
+        BaseStrategy::Entropy,
+        BaseStrategy::LeastConfidence,
+        BaseStrategy::Margin,
+        BaseStrategy::Egl,
+        BaseStrategy::EglWord,
+        BaseStrategy::Bald,
+    ] {
+        let r = run_text(&task, Strategy::new(base), cfg.clone(), 5);
+        assert_eq!(r.curve.len(), 5, "strategy {:?}", base);
+        assert!(
+            r.final_metric() > 0.5,
+            "strategy {:?} metric {}",
+            base,
+            r.final_metric()
+        );
+    }
+}
+
+#[test]
+fn qbc_requires_committee_model() {
+    // Default classifier has no committee → QBC must fail cleanly.
+    let task = tiny_text_task(2, 200, 15);
+    let model = TextClassifier::new(TextClassifierConfig {
+        n_classes: 2,
+        n_features: 1 << 12,
+        epochs: 3,
+        ..Default::default()
+    });
+    let mut learner = ActiveLearner::new(
+        model,
+        task.pool_docs.clone(),
+        task.pool_labels.clone(),
+        task.test_docs.clone(),
+        task.test_labels.clone(),
+        Strategy::new(BaseStrategy::QbcKl),
+        PoolConfig {
+            batch_size: 10,
+            rounds: 2,
+            init_labeled: 10,
+            history_max_len: None,
+            record_history: false,
+        },
+        3,
+    );
+    let err = learner.run().unwrap_err();
+    assert!(err.to_string().contains("qbc_kl"));
+}
+
+#[test]
+fn qbc_with_committee_succeeds() {
+    let task = tiny_text_task(2, 250, 16);
+    let model = TextClassifier::new(TextClassifierConfig {
+        n_classes: 2,
+        n_features: 1 << 12,
+        epochs: 3,
+        committee: 3,
+        committee_epochs: 2,
+        ..Default::default()
+    });
+    let mut learner = ActiveLearner::new(
+        model,
+        task.pool_docs.clone(),
+        task.pool_labels.clone(),
+        task.test_docs.clone(),
+        task.test_labels.clone(),
+        Strategy::new(BaseStrategy::QbcKl),
+        PoolConfig {
+            batch_size: 10,
+            rounds: 3,
+            init_labeled: 10,
+            history_max_len: None,
+            record_history: false,
+        },
+        3,
+    );
+    let r = learner.run().expect("committee provides qbc_kl");
+    assert_eq!(r.curve.len(), 4);
+}
+
+#[test]
+fn history_policies_change_selection() {
+    let task = tiny_text_task(2, 500, 17);
+    let cfg = quick_config();
+    let base = run_text(&task, Strategy::new(BaseStrategy::Entropy), cfg.clone(), 9);
+    let wshs = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l: 3 }),
+        cfg.clone(),
+        9,
+    );
+    let fhs = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Fhs {
+            l: 3,
+            w_score: 0.5,
+            w_fluct: 0.5,
+        }),
+        cfg,
+        9,
+    );
+    // Identical seeds: round 0 has no history difference (selection by a
+    // single score), but later rounds must diverge for FHS.
+    assert_eq!(base.rounds[0].selected, wshs.rounds[0].selected);
+    let diverged = base
+        .rounds
+        .iter()
+        .zip(&fhs.rounds)
+        .skip(1)
+        .any(|(a, b)| a.selected != b.selected);
+    assert!(diverged, "FHS never diverged from the base strategy");
+    assert_eq!(wshs.strategy_name, "WSHS(entropy)");
+    assert_eq!(fhs.strategy_name, "FHS(entropy)");
+}
+
+#[test]
+fn wshs_l1_selects_like_base() {
+    let task = tiny_text_task(2, 300, 18);
+    let cfg = PoolConfig {
+        batch_size: 10,
+        rounds: 4,
+        init_labeled: 10,
+        history_max_len: None,
+        record_history: false,
+    };
+    let base = run_text(&task, Strategy::new(BaseStrategy::Entropy), cfg.clone(), 21);
+    let wshs1 = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l: 1 }),
+        cfg,
+        21,
+    );
+    for (a, b) in base.rounds.iter().zip(&wshs1.rounds) {
+        assert_eq!(
+            a.selected, b.selected,
+            "WSHS(l=1) must equal the base strategy"
+        );
+    }
+}
+
+#[test]
+fn history_cap_bounds_memory_without_changing_small_windows() {
+    let task = tiny_text_task(2, 300, 19);
+    let mut cfg = quick_config();
+    cfg.history_max_len = Some(3);
+    let capped = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l: 3 }),
+        cfg,
+        4,
+    );
+    let full = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l: 3 }),
+        quick_config(),
+        4,
+    );
+    // A window-3 strategy reads only the last 3 scores, so capping
+    // retention at 3 must not change any selection.
+    for (a, b) in capped.rounds.iter().zip(&full.rounds) {
+        assert_eq!(a.selected, b.selected);
+    }
+}
+
+#[test]
+fn record_history_exposes_score_matrix() {
+    let task = tiny_text_task(2, 200, 26);
+    let mut cfg = PoolConfig {
+        batch_size: 10,
+        rounds: 5,
+        init_labeled: 10,
+        history_max_len: None,
+        record_history: true,
+    };
+    let r = run_text(&task, Strategy::new(BaseStrategy::Entropy), cfg.clone(), 8);
+    let n_pool = task.pool_docs.len();
+    assert_eq!(r.history.len(), n_pool);
+    // Samples in the initial labeled set were never evaluated; samples
+    // never selected have one score per round.
+    let max_len = r.history.iter().map(Vec::len).max().unwrap();
+    assert_eq!(max_len, 5);
+    assert!(r.history.iter().any(|s| s.is_empty()));
+    // Entropy scores are valid (≤ ln 2 for binary).
+    for seq in &r.history {
+        for &v in seq {
+            assert!((0.0..=(2f64).ln() + 1e-9).contains(&v));
+        }
+    }
+    // Off by default.
+    cfg.record_history = false;
+    let r2 = run_text(&task, Strategy::new(BaseStrategy::Entropy), cfg, 8);
+    assert!(r2.history.is_empty());
+}
+
+#[test]
+fn hkld_baseline_runs_and_diverges_from_entropy() {
+    let task = tiny_text_task(2, 400, 23);
+    let cfg = quick_config();
+    let ent = run_text(&task, Strategy::new(BaseStrategy::Entropy), cfg.clone(), 6);
+    let hkld = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy).with_hkld(3),
+        cfg,
+        6,
+    );
+    assert_eq!(hkld.strategy_name, "HKLD(k=3)");
+    assert!(hkld.final_metric() > 0.5);
+    // From round 2 onward HKLD scores by posterior-history KL, so the
+    // selections must eventually differ from plain entropy.
+    let diverged = ent
+        .rounds
+        .iter()
+        .zip(&hkld.rounds)
+        .skip(1)
+        .any(|(a, b)| a.selected != b.selected);
+    assert!(diverged);
+}
+
+#[test]
+fn round_timings_are_recorded() {
+    let task = tiny_text_task(2, 300, 24);
+    let r = run_text(
+        &task,
+        Strategy::new(BaseStrategy::Entropy),
+        quick_config(),
+        2,
+    );
+    for round in &r.rounds {
+        assert!(round.fit_ms >= 0.0 && round.eval_ms >= 0.0 && round.select_ms >= 0.0);
+        assert!(round.fit_ms.is_finite());
+    }
+    // Something was actually measured.
+    assert!(r.rounds.iter().any(|x| x.fit_ms > 0.0));
+}
+
+#[test]
+fn pool_exhaustion_stops_cleanly() {
+    let task = tiny_text_task(2, 60, 20);
+    let cfg = PoolConfig {
+        batch_size: 25,
+        rounds: 10,
+        init_labeled: 10,
+        history_max_len: None,
+        record_history: false,
+    };
+    let r = run_text(&task, Strategy::new(BaseStrategy::Entropy), cfg, 2);
+    // 60 * 0.7 = 42 pool samples; init 10 + 25 + 7 → exhausted in 2 rounds.
+    let last = r.curve.last().unwrap();
+    assert!(last.n_labeled <= 42);
+    assert!(r.curve.len() <= 11);
+}

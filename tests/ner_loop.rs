@@ -1,0 +1,175 @@
+//! End-to-end NER active learning: CRF tagger × synthetic CoNLL-style
+//! data × LC/MNLP/BALD strategies and the history wrappers.
+
+use histal::prelude::*;
+use histal_text::FeatureHasher;
+
+struct NerTask {
+    pool: Vec<Sentence>,
+    pool_tags: Vec<Vec<u16>>,
+    test: Vec<Sentence>,
+    test_tags: Vec<Vec<u16>>,
+}
+
+fn tiny_ner_task(n: usize, seed: u64) -> NerTask {
+    let data = NerDataset::generate(&NerSpec::tiny(n, seed));
+    let hasher = FeatureHasher::new(1 << 12);
+    let feats = |sents: &[histal_data::ner::NerSentence]| -> (Vec<Sentence>, Vec<Vec<u16>>) {
+        (
+            sents
+                .iter()
+                .map(|s| Sentence::featurize(&s.tokens, &hasher))
+                .collect(),
+            sents.iter().map(|s| s.tags.clone()).collect(),
+        )
+    };
+    let (pool, pool_tags) = feats(&data.train);
+    let (test, test_tags) = feats(&data.test);
+    NerTask {
+        pool,
+        pool_tags,
+        test,
+        test_tags,
+    }
+}
+
+fn crf() -> CrfTagger {
+    CrfTagger::new(CrfConfig {
+        n_features: 1 << 12,
+        epochs: 4,
+        mc_passes: 4,
+        ..Default::default()
+    })
+}
+
+fn run_ner(task: &NerTask, strategy: Strategy, rounds: usize, seed: u64) -> histal_core::RunResult {
+    let mut learner = ActiveLearner::new(
+        crf(),
+        task.pool.clone(),
+        task.pool_tags.clone(),
+        task.test.clone(),
+        task.test_tags.clone(),
+        strategy,
+        PoolConfig {
+            batch_size: 20,
+            rounds,
+            init_labeled: 20,
+            history_max_len: None,
+            record_history: false,
+        },
+        seed,
+    );
+    learner.run().expect("strategy capabilities satisfied")
+}
+
+#[test]
+fn crf_learns_under_active_learning() {
+    let task = tiny_ner_task(300, 31);
+    let r = run_ner(&task, Strategy::new(BaseStrategy::LeastConfidence), 5, 1);
+    assert_eq!(r.curve.len(), 6);
+    assert!(
+        r.final_metric() > 0.5,
+        "span F1 after 120 labeled sentences: {}",
+        r.final_metric()
+    );
+    assert!(r.final_metric() > r.curve[0].metric);
+}
+
+#[test]
+fn mnlp_and_bald_strategies_run() {
+    let task = tiny_ner_task(200, 32);
+    for base in [
+        BaseStrategy::Mnlp,
+        BaseStrategy::Bald,
+        BaseStrategy::Entropy,
+    ] {
+        let r = run_ner(&task, Strategy::new(base), 3, 2);
+        assert_eq!(r.curve.len(), 4, "strategy {base:?}");
+        assert!(r.final_metric() > 0.0, "strategy {base:?}");
+    }
+}
+
+#[test]
+fn egl_fails_cleanly_on_crf() {
+    let task = tiny_ner_task(100, 33);
+    let mut learner = ActiveLearner::new(
+        crf(),
+        task.pool.clone(),
+        task.pool_tags.clone(),
+        task.test.clone(),
+        task.test_tags.clone(),
+        Strategy::new(BaseStrategy::Egl),
+        PoolConfig {
+            batch_size: 10,
+            rounds: 2,
+            init_labeled: 10,
+            history_max_len: None,
+            record_history: false,
+        },
+        3,
+    );
+    let err = learner.run().unwrap_err();
+    assert!(err.to_string().contains("egl"));
+}
+
+#[test]
+fn wshs_wrapper_works_on_ner() {
+    let task = tiny_ner_task(250, 34);
+    let r = run_ner(
+        &task,
+        Strategy::new(BaseStrategy::LeastConfidence).with_history(HistoryPolicy::Wshs { l: 3 }),
+        4,
+        5,
+    );
+    assert_eq!(r.strategy_name, "WSHS(LC)");
+    assert!(r.final_metric() > 0.3, "F1 {}", r.final_metric());
+}
+
+#[test]
+fn margin_strategy_runs_on_ner() {
+    // Top-2 Viterbi margin: a genuinely sequence-level margin strategy.
+    let task = tiny_ner_task(150, 36);
+    let r = run_ner(&task, Strategy::new(BaseStrategy::Margin), 3, 4);
+    assert_eq!(r.curve.len(), 4);
+    assert!(r.final_metric() > 0.0);
+}
+
+#[test]
+fn qbc_committee_runs_on_ner() {
+    let task = tiny_ner_task(120, 37);
+    let model = CrfTagger::new(CrfConfig {
+        n_features: 1 << 12,
+        epochs: 3,
+        committee: 3,
+        committee_epochs: 2,
+        ..Default::default()
+    });
+    let mut learner = ActiveLearner::new(
+        model,
+        task.pool.clone(),
+        task.pool_tags.clone(),
+        task.test.clone(),
+        task.test_tags.clone(),
+        Strategy::new(BaseStrategy::QbcKl),
+        PoolConfig {
+            batch_size: 15,
+            rounds: 3,
+            init_labeled: 15,
+            history_max_len: None,
+            record_history: false,
+        },
+        6,
+    );
+    let r = learner.run().expect("committee provides qbc_kl");
+    assert_eq!(r.curve.len(), 4);
+}
+
+#[test]
+fn ner_runs_deterministic() {
+    let task = tiny_ner_task(150, 35);
+    let a = run_ner(&task, Strategy::new(BaseStrategy::Mnlp), 3, 9);
+    let b = run_ner(&task, Strategy::new(BaseStrategy::Mnlp), 3, 9);
+    for (pa, pb) in a.curve.iter().zip(&b.curve) {
+        assert_eq!(pa.metric, pb.metric);
+    }
+}
