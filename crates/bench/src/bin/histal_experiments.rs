@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! histal-experiments <command> [--full] [--quick] [--repeats N] [--scale F]
-//!                    [--targets a,b,c] [--variant paper|ar|linear|autocorr]
+//!                    [--threads N] [--targets a,b,c]
+//!                    [--variant paper|ar|linear|autocorr]
 //!
 //! Commands:
 //!   table2     Measured per-round strategy cost  (Table 2)
@@ -16,8 +17,13 @@
 //!   fig5       Hyper-parameter sensitivity       (Figure 5)
 //!   table6     Scores of selected samples        (Table 6)
 //!   table7     LHS feature ablation              (Table 7)
+//!   bench      Per-cell harness timings → BENCH_harness.json
 //!   all        Everything above in order
 //! ```
+//!
+//! `--threads N` sizes the global worker pool (default: one per CPU).
+//! Results are byte-identical at any thread count; only wall time
+//! changes.
 //!
 //! Table 2 (efficiency) is a Criterion bench:
 //! `cargo bench -p histal-bench --bench strategy_overhead`.
@@ -36,6 +42,7 @@ fn main() {
     let mut scale = Scale::quick();
     let mut targets = vec![0.72, 0.73, 0.735];
     let mut variant = Table7Variant::Paper;
+    let mut threads: Option<usize> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -49,6 +56,14 @@ fn main() {
             "--scale" => {
                 i += 1;
                 scale.factor = parse(&args, i, "scale");
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = parse(&args, i, "threads");
+                if n == 0 {
+                    bad_flag("threads");
+                }
+                threads = Some(n);
             }
             "--targets" => {
                 i += 1;
@@ -78,9 +93,17 @@ fn main() {
         i += 1;
     }
 
+    if let Some(n) = threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("global thread pool not yet initialised");
+    }
     eprintln!(
-        "# scale factor {:.2}, repeats {} — use --full for paper-scale runs",
-        scale.factor, scale.repeats
+        "# scale factor {:.2}, repeats {}, {} worker thread(s) — use --full for paper-scale runs",
+        scale.factor,
+        scale.repeats,
+        rayon::current_num_threads()
     );
     let start = std::time::Instant::now();
     match command {
@@ -112,6 +135,7 @@ fn main() {
             experiments::compare(&scale, &positional[0], &positional[1]);
         }
         "significance" => experiments::significance(&scale),
+        "bench" => experiments::bench(&scale),
         "all" => {
             experiments::fig2(&scale);
             experiments::table2(&scale);
@@ -146,8 +170,9 @@ fn bad_flag(name: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|all> \
-         [--full|--quick] [--repeats N] [--scale F] [--targets a,b,c] [--variant paper|ar|linear|autocorr]"
+        "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|bench|all> \
+         [--full|--quick] [--repeats N] [--scale F] [--threads N] [--targets a,b,c] \
+         [--variant paper|ar|linear|autocorr]"
     );
     std::process::exit(2);
 }

@@ -103,9 +103,11 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// Metric at the largest labeled-set size.
-    pub fn final_metric(&self) -> f64 {
-        self.curve.last().map(|p| p.metric).unwrap_or(0.0)
+    /// Metric at the largest labeled-set size, or `None` for a run whose
+    /// curve is empty (previously this returned `0.0`, which silently
+    /// read as "the model learned nothing" instead of "nothing ran").
+    pub fn final_metric(&self) -> Option<f64> {
+        self.curve.last().map(|p| p.metric)
     }
 }
 

@@ -41,11 +41,13 @@ fn strategies() -> impl Strategy<Value = AlStrategy> {
         Just(AlStrategy::new(BaseStrategy::LeastConfidence)),
         Just(AlStrategy::new(BaseStrategy::Random)),
         Just(AlStrategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l: 3 })),
-        Just(AlStrategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Fhs {
-            l: 3,
-            w_score: 0.5,
-            w_fluct: 0.5,
-        })),
+        Just(
+            AlStrategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Fhs {
+                l: 3,
+                w_score: 0.5,
+                w_fluct: 0.5,
+            })
+        ),
         Just(AlStrategy::new(BaseStrategy::Entropy).with_hkld(3)),
     ]
 }
@@ -75,7 +77,9 @@ fn run(
         },
         seed,
     );
-    learner.run().expect("mock model supports all chosen strategies")
+    learner
+        .run()
+        .expect("mock model supports all chosen strategies")
 }
 
 proptest! {

@@ -172,6 +172,15 @@ impl CrfTagger {
         }
     }
 
+    /// Minibatch size for the parallel SGD kernel: per-sentence
+    /// gradients inside one minibatch are taken at the batch-start
+    /// weights and applied as a sum. Part of the training semantics —
+    /// must not depend on the thread count.
+    const MINIBATCH: usize = 4;
+    /// Sentences per parallel accumulation chunk (see
+    /// [`crate::parallel::chunked_grads`]); fixed for determinism.
+    const GRAD_CHUNK: usize = 1;
+
     /// The configuration in use.
     pub fn config(&self) -> &CrfConfig {
         &self.config
@@ -419,7 +428,11 @@ impl CrfTagger {
     }
 
     /// One SGD step on the exact NLL gradient of one sentence, with
-    /// inverted dropout on the emission features.
+    /// inverted dropout on the emission features. Training now runs
+    /// through the minibatch kernel in [`Model::fit`]; this single-step
+    /// form is retained as the reference implementation the
+    /// gradient-check test differentiates.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn sgd_step(&mut self, s: &Sentence, tags: &[u16], lr: f64, l2: f64, rng: &mut ChaCha8Rng) {
         if s.is_empty() {
             return;
@@ -513,8 +526,10 @@ impl CrfTagger {
                 Some(0.0)
             };
         }
+        // Members compute forward–backward independently; the collect
+        // preserves member order, so this is safe to fan out.
         let member_marginals: Vec<Vec<Vec<f64>>> =
-            self.committee.iter().map(|m| m.marginals(s)).collect();
+            crate::parallel::map_items(self.committee.len(), |m| self.committee[m].marginals(s));
         let c = member_marginals.len() as f64;
         let l = self.n_labels;
         let mut acc = 0.0;
@@ -572,28 +587,181 @@ impl Model for CrfTagger {
             self.start = vec![0.0; self.n_labels];
             self.end = vec![0.0; self.n_labels];
         }
+        let nf = self.config.n_features as usize;
+        let l = self.n_labels;
+        let (lr, l2) = (self.config.lr, self.config.l2);
+        let train_dropout = self.config.train_dropout;
+        let keep = 1.0 - train_dropout;
+        // Hoisted out of the epoch loop: bounds-filter and widen every
+        // token's features once per fit instead of once per step.
+        let feats: Vec<Vec<Vec<(u32, f64)>>> = samples
+            .iter()
+            .map(|s| {
+                s.token_feats
+                    .iter()
+                    .map(|x| {
+                        x.iter()
+                            .filter(|&(idx, _)| (idx as usize) < nf)
+                            .map(|(idx, val)| (idx, val as f64))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        // Dense accumulator layout: transitions ‖ start ‖ end.
+        let dense_dim = l * l + 2 * l;
         let mut order: Vec<usize> = (0..samples.len()).collect();
         for _ in 0..self.config.epochs {
             rand::seq::SliceRandom::shuffle(&mut order[..], rng);
-            for &i in &order {
-                self.sgd_step(samples[i], labels[i], self.config.lr, self.config.l2, rng);
+            let epoch_seed: u64 = rng.gen();
+            for (batch_no, batch) in order.chunks(Self::MINIBATCH).enumerate() {
+                let base = batch_no * Self::MINIBATCH;
+                let model = &*self;
+                // Per-sentence gradients at the batch-start weights, in
+                // parallel. Dropout masks come from per-sentence RNGs
+                // derived from the serially-drawn epoch seed, so worker
+                // threads never touch the driver stream.
+                let (per_item, dense) = crate::parallel::chunked_grads(
+                    batch.len(),
+                    Self::GRAD_CHUNK,
+                    dense_dim,
+                    |j, acc| {
+                        let i = batch[j];
+                        let (s, tags) = (samples[i], labels[i]);
+                        if s.is_empty() {
+                            return (Vec::new(), Vec::new());
+                        }
+                        let mut srng = ChaCha8Rng::seed_from_u64(crate::parallel::derive_seed(
+                            epoch_seed,
+                            (base + j) as u64,
+                        ));
+                        // One mask per token, reused for the forward
+                        // pass and the gradient.
+                        let masked: Vec<Vec<(u32, f64)>> = feats[i]
+                            .iter()
+                            .map(|toks| {
+                                toks.iter()
+                                    .filter_map(|&(idx, v)| {
+                                        if train_dropout == 0.0 || srng.gen::<f64>() < keep {
+                                            Some((idx, v / keep))
+                                        } else {
+                                            None
+                                        }
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        let e: Vec<Vec<f64>> = masked
+                            .iter()
+                            .map(|feats_t| {
+                                (0..l)
+                                    .map(|y| {
+                                        feats_t
+                                            .iter()
+                                            .map(|&(idx, v)| model.emit[y * nf + idx as usize] * v)
+                                            .sum()
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        let (alpha, log_z) = model.forward(&e);
+                        let beta = model.backward(&e);
+                        // Emission gradient factors γ_t(y) − δ; row 0 and
+                        // the last row double as the start/end gradients.
+                        let g: Vec<Vec<f64>> = (0..s.len())
+                            .map(|t| {
+                                (0..l)
+                                    .map(|y| {
+                                        (alpha[t][y] + beta[t][y] - log_z).exp()
+                                            - if tags[t] as usize == y { 1.0 } else { 0.0 }
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        // Transition gradient ξ_t(p,y) − observed, with
+                        // the L2 term at the batch-start weights so it
+                        // folds into the order-fixed accumulator.
+                        for t in 0..s.len() - 1 {
+                            for p in 0..l {
+                                for y in 0..l {
+                                    let xi = (alpha[t][p]
+                                        + model.trans[p * l + y]
+                                        + e[t + 1][y]
+                                        + beta[t + 1][y]
+                                        - log_z)
+                                        .exp();
+                                    let obs = if tags[t] as usize == p && tags[t + 1] as usize == y
+                                    {
+                                        1.0
+                                    } else {
+                                        0.0
+                                    };
+                                    acc[p * l + y] += (xi - obs) + l2 * model.trans[p * l + y];
+                                }
+                            }
+                        }
+                        for y in 0..l {
+                            acc[l * l + y] += g[0][y];
+                            acc[l * l + l + y] += g[s.len() - 1][y];
+                        }
+                        (masked, g)
+                    },
+                );
+                for (w, d) in self.trans.iter_mut().zip(&dense[..l * l]) {
+                    *w -= lr * d;
+                }
+                for (w, d) in self.start.iter_mut().zip(&dense[l * l..l * l + l]) {
+                    *w -= lr * d;
+                }
+                for (w, d) in self.end.iter_mut().zip(&dense[l * l + l..]) {
+                    *w -= lr * d;
+                }
+                // Sparse emission updates in sentence order (serial, so
+                // the L2 term sees deterministically-evolving weights).
+                for (masked, g) in &per_item {
+                    for (t, feats_t) in masked.iter().enumerate() {
+                        for y in 0..l {
+                            let gv = g[t][y];
+                            if gv.abs() < 1e-12 {
+                                continue;
+                            }
+                            let row = &mut self.emit[y * nf..(y + 1) * nf];
+                            for &(idx, v) in feats_t {
+                                let w = &mut row[idx as usize];
+                                *w -= lr * (gv * v + l2 * *w);
+                            }
+                        }
+                    }
+                }
             }
         }
         // Bootstrap committee for QBC (trained from scratch each fit).
-        self.committee.clear();
-        for _ in 0..self.config.committee {
-            let mut member_cfg = self.config.clone();
+        // Bootstrap indices and member seeds are drawn serially from the
+        // driver stream; the independent members then train in parallel.
+        let n = samples.len();
+        let plans: Vec<(Vec<usize>, u64)> = (0..self.config.committee)
+            .map(|_| {
+                let boot: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                (boot, rng.gen())
+            })
+            .collect();
+        let base_cfg = &self.config;
+        self.committee = crate::parallel::map_items(plans.len(), |m| {
+            let (boot, member_seed) = &plans[m];
+            let mut member_cfg = base_cfg.clone();
             member_cfg.committee = 0;
-            member_cfg.epochs = self.config.committee_epochs;
+            member_cfg.epochs = base_cfg.committee_epochs;
             member_cfg.warm_start = false;
             let mut member = CrfTagger::new(member_cfg);
-            let n = samples.len();
-            let boot: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
             let boot_s: Vec<&Sentence> = boot.iter().map(|&i| samples[i]).collect();
             let boot_l: Vec<&Vec<u16>> = boot.iter().map(|&i| labels[i]).collect();
-            member.fit(&boot_s, &boot_l, rng);
-            self.committee.push(member);
-        }
+            member.fit(
+                &boot_s,
+                &boot_l,
+                &mut ChaCha8Rng::seed_from_u64(*member_seed),
+            );
+            member
+        });
     }
 
     fn eval_sample(&self, sample: &Sentence, caps: &EvalCaps, seed: u64) -> SampleEval {

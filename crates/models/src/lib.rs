@@ -22,6 +22,7 @@ pub mod document;
 pub mod logreg;
 pub mod math;
 pub mod nb;
+pub mod parallel;
 pub mod persist;
 pub mod ranker;
 

@@ -135,50 +135,24 @@ impl Linear {
         logits
     }
 
-    /// One SGD step on `(x, y)` with inverted feature dropout.
-    #[allow(clippy::too_many_arguments)]
-    fn sgd_step(
-        &mut self,
-        x: &SparseVec,
-        y: usize,
-        lr: f64,
-        l2: f64,
-        train_dropout: f64,
-        rng: &mut ChaCha8Rng,
-    ) {
-        let nf = self.n_features as usize;
-        // Sample the dropout mask once, use it for both the forward pass
-        // and the gradient (standard dropout).
-        let keep = 1.0 - train_dropout;
-        let masked: Vec<(u32, f64)> = x
-            .iter()
-            .filter(|&(idx, _)| (idx as usize) < nf)
-            .filter_map(|(idx, val)| {
-                if train_dropout == 0.0 || rng.gen::<f64>() < keep {
-                    Some((idx, val as f64 / keep))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let mut logits = self.b.clone();
-        for &(idx, v) in &masked {
-            for (c, l) in logits.iter_mut().enumerate() {
-                *l += self.w[c * nf + idx as usize] * v;
-            }
-        }
-        softmax_inplace(&mut logits);
-        for c in 0..self.n_classes {
-            let g = logits[c] - if c == y { 1.0 } else { 0.0 };
-            self.b[c] -= lr * g;
-            let row = &mut self.w[c * nf..(c + 1) * nf];
-            for &(idx, v) in &masked {
-                let wi = &mut row[idx as usize];
-                *wi -= lr * (g * v + l2 * *wi);
-            }
-        }
-    }
+    /// Minibatch size for the parallel SGD kernel. Gradients within a
+    /// minibatch are taken at the batch-start weights and applied as a
+    /// sum, so the value is part of the training semantics — it must not
+    /// depend on the thread count.
+    const MINIBATCH: usize = 8;
+    /// Items per parallel accumulation chunk (see
+    /// [`crate::parallel::chunked_grads`]); fixed for determinism.
+    const GRAD_CHUNK: usize = 2;
 
+    /// Minibatch SGD with inverted feature dropout.
+    ///
+    /// Per-sample gradients inside one minibatch are computed in
+    /// parallel at the batch-start weights; bias gradients reduce
+    /// through fixed-order chunk accumulators and sparse weight
+    /// gradients apply serially in sample order, so the result is
+    /// bit-identical however many threads run. Dropout masks come from
+    /// per-sample RNGs derived from one `epoch_seed` drawn serially from
+    /// the driver stream — worker threads never touch `rng`.
     #[allow(clippy::too_many_arguments)]
     fn train(
         &mut self,
@@ -190,11 +164,84 @@ impl Linear {
         train_dropout: f64,
         rng: &mut ChaCha8Rng,
     ) {
-        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let n = samples.len();
+        if n == 0 {
+            return;
+        }
+        let nf = self.n_features as usize;
+        let k = self.n_classes;
+        // Hoisted out of the epoch loop: bounds-filter and widen each
+        // sample's features once per fit instead of once per step.
+        let feats: Vec<Vec<(u32, f64)>> = samples
+            .iter()
+            .map(|d| {
+                d.features
+                    .iter()
+                    .filter(|&(idx, _)| (idx as usize) < nf)
+                    .map(|(idx, val)| (idx, val as f64))
+                    .collect()
+            })
+            .collect();
+        let keep = 1.0 - train_dropout;
+        let mut order: Vec<usize> = (0..n).collect();
         for _ in 0..epochs {
             order.shuffle(rng);
-            for &i in &order {
-                self.sgd_step(&samples[i].features, *labels[i], lr, l2, train_dropout, rng);
+            let epoch_seed: u64 = rng.gen();
+            for (batch_no, batch) in order.chunks(Self::MINIBATCH).enumerate() {
+                let base = batch_no * Self::MINIBATCH;
+                let (w, b) = (&self.w, &self.b);
+                let (per_item, bias_grad) = crate::parallel::chunked_grads(
+                    batch.len(),
+                    Self::GRAD_CHUNK,
+                    k,
+                    |j, bias_acc| {
+                        let i = batch[j];
+                        let mut srng = ChaCha8Rng::seed_from_u64(crate::parallel::derive_seed(
+                            epoch_seed,
+                            (base + j) as u64,
+                        ));
+                        // One dropout mask per sample, reused for the
+                        // forward pass and the gradient.
+                        let masked: Vec<(u32, f64)> = feats[i]
+                            .iter()
+                            .filter_map(|&(idx, v)| {
+                                if train_dropout == 0.0 || srng.gen::<f64>() < keep {
+                                    Some((idx, v / keep))
+                                } else {
+                                    None
+                                }
+                            })
+                            .collect();
+                        let mut logits = b.clone();
+                        for &(idx, v) in &masked {
+                            for (c, l) in logits.iter_mut().enumerate() {
+                                *l += w[c * nf + idx as usize] * v;
+                            }
+                        }
+                        softmax_inplace(&mut logits);
+                        let y = *labels[i];
+                        for c in 0..k {
+                            logits[c] -= if c == y { 1.0 } else { 0.0 };
+                            bias_acc[c] += logits[c];
+                        }
+                        (masked, logits)
+                    },
+                );
+                for (bc, g) in self.b.iter_mut().zip(&bias_grad) {
+                    *bc -= lr * g;
+                }
+                // Sparse weight updates in sample order (serial, so the
+                // L2 term sees deterministically-evolving weights).
+                for (masked, g) in &per_item {
+                    for c in 0..k {
+                        let gc = g[c];
+                        let row = &mut self.w[c * nf..(c + 1) * nf];
+                        for &(idx, v) in masked {
+                            let wi = &mut row[idx as usize];
+                            *wi -= lr * (gc * v + l2 * *wi);
+                        }
+                    }
+                }
             }
         }
     }
@@ -282,11 +329,12 @@ impl TextClassifier {
         if self.committee.is_empty() {
             return None;
         }
-        let dists: Vec<Vec<f64>> = self
-            .committee
-            .iter()
-            .map(|m| m.probs(&doc.features))
-            .collect();
+        // Members score independently; evaluation order is immaterial
+        // and the collect preserves member order, so this is safe to
+        // fan out.
+        let dists: Vec<Vec<f64>> = crate::parallel::map_items(self.committee.len(), |m| {
+            self.committee[m].probs(&doc.features)
+        });
         let k = self.config.n_classes;
         let mut avg = vec![0.0; k];
         for d in &dists {
@@ -344,24 +392,33 @@ impl Model for TextClassifier {
         );
         // Bootstrap committee for QBC: same labeled set, resampled with
         // replacement, trained from scratch with its own randomness.
-        self.committee.clear();
-        for _ in 0..self.config.committee {
-            let mut member = Linear::zeros(self.config.n_classes, self.config.n_features);
-            let n = samples.len();
-            let boot: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        // Bootstrap indices and member seeds are drawn serially from the
+        // driver stream; the independent members then train in parallel.
+        let n = samples.len();
+        let plans: Vec<(Vec<usize>, u64)> = (0..self.config.committee)
+            .map(|_| {
+                let boot: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                (boot, rng.gen())
+            })
+            .collect();
+        let cfg = &self.config;
+        self.committee = crate::parallel::map_items(plans.len(), |m| {
+            let (boot, member_seed) = &plans[m];
             let boot_samples: Vec<&Document> = boot.iter().map(|&i| samples[i]).collect();
             let boot_labels: Vec<&usize> = boot.iter().map(|&i| labels[i]).collect();
+            let mut member = Linear::zeros(cfg.n_classes, cfg.n_features);
+            let mut mrng = ChaCha8Rng::seed_from_u64(*member_seed);
             member.train(
                 &boot_samples,
                 &boot_labels,
-                self.config.committee_epochs,
-                self.config.lr,
-                self.config.l2,
-                self.config.train_dropout,
-                rng,
+                cfg.committee_epochs,
+                cfg.lr,
+                cfg.l2,
+                cfg.train_dropout,
+                &mut mrng,
             );
-            self.committee.push(member);
-        }
+            member
+        });
     }
 
     fn eval_sample(&self, sample: &Document, caps: &EvalCaps, seed: u64) -> SampleEval {

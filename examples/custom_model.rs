@@ -157,6 +157,6 @@ fn main() {
         for p in r.curve.iter().step_by(3) {
             println!("  {:>4} labeled → accuracy {:.4}", p.n_labeled, p.metric);
         }
-        println!("  final: {:.4}\n", r.final_metric());
+        println!("  final: {:.4}\n", r.final_metric().unwrap_or(f64::NAN));
     }
 }

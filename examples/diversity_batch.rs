@@ -77,7 +77,7 @@ fn main() {
         let r = learner.run().expect("entropy family always evaluable");
         println!(
             "{label:<34} final accuracy {:.4} (curve: {})",
-            r.final_metric(),
+            r.final_metric().unwrap_or(f64::NAN),
             r.curve
                 .iter()
                 .map(|p| format!("{:.3}", p.metric))

@@ -127,7 +127,7 @@ fn main() {
     }
     println!(
         "\nfinal: entropy {:.4} vs LHS {:.4}",
-        baseline_run.final_metric(),
-        lhs_run.final_metric()
+        baseline_run.final_metric().unwrap_or(f64::NAN),
+        lhs_run.final_metric().unwrap_or(f64::NAN)
     );
 }

@@ -81,6 +81,10 @@ fn main() {
 
     println!("\nfinal span-F1:");
     for r in &results {
-        println!("  {:<12} {:.4}", r.strategy_name, r.final_metric());
+        println!(
+            "  {:<12} {:.4}",
+            r.strategy_name,
+            r.final_metric().unwrap_or(f64::NAN)
+        );
     }
 }

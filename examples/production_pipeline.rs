@@ -102,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "      stopped after {} labels ({reason:?}), accuracy {:.4}",
         campaign.curve.last().map(|p| p.n_labeled).unwrap_or(0),
-        campaign.final_metric()
+        campaign.final_metric().unwrap_or(f64::NAN)
     );
 
     // ---- 3. Persist the final model. ----

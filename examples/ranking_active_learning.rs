@@ -61,6 +61,6 @@ fn main() {
                 p.n_labeled, p.metric
             );
         }
-        println!("  final: {:.4}\n", r.final_metric());
+        println!("  final: {:.4}\n", r.final_metric().unwrap_or(f64::NAN));
     }
 }

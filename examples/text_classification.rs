@@ -96,6 +96,10 @@ fn main() {
 
     println!("\nfinal accuracies:");
     for r in &results {
-        println!("  {:<16} {:.4}", r.strategy_name, r.final_metric());
+        println!(
+            "  {:<16} {:.4}",
+            r.strategy_name,
+            r.final_metric().unwrap_or(f64::NAN)
+        );
     }
 }

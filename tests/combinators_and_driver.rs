@@ -142,7 +142,7 @@ fn density_changes_selection_with_representations() {
             .any(|(a, b)| a.selected != b.selected),
         "density weighting never changed a selection"
     );
-    assert!(dense.final_metric() > 0.5);
+    assert!(dense.final_metric().unwrap() > 0.5);
 }
 
 #[test]

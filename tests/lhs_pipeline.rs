@@ -77,9 +77,9 @@ fn train_lhs_and_select_on_fresh_dataset() {
     assert_eq!(result.strategy_name, "LHS(entropy)");
     assert_eq!(result.curve.len(), 7);
     assert!(
-        result.final_metric() > 0.6,
+        result.final_metric().unwrap() > 0.6,
         "LHS final accuracy {}",
-        result.final_metric()
+        result.final_metric().unwrap()
     );
     // Every round selected a full batch from the candidate set.
     for r in &result.rounds {

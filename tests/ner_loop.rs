@@ -68,11 +68,11 @@ fn crf_learns_under_active_learning() {
     let r = run_ner(&task, Strategy::new(BaseStrategy::LeastConfidence), 5, 1);
     assert_eq!(r.curve.len(), 6);
     assert!(
-        r.final_metric() > 0.5,
+        r.final_metric().unwrap() > 0.5,
         "span F1 after 120 labeled sentences: {}",
-        r.final_metric()
+        r.final_metric().unwrap()
     );
-    assert!(r.final_metric() > r.curve[0].metric);
+    assert!(r.final_metric().unwrap() > r.curve[0].metric);
 }
 
 #[test]
@@ -85,7 +85,7 @@ fn mnlp_and_bald_strategies_run() {
     ] {
         let r = run_ner(&task, Strategy::new(base), 3, 2);
         assert_eq!(r.curve.len(), 4, "strategy {base:?}");
-        assert!(r.final_metric() > 0.0, "strategy {base:?}");
+        assert!(r.final_metric().unwrap() > 0.0, "strategy {base:?}");
     }
 }
 
@@ -122,7 +122,11 @@ fn wshs_wrapper_works_on_ner() {
         5,
     );
     assert_eq!(r.strategy_name, "WSHS(LC)");
-    assert!(r.final_metric() > 0.3, "F1 {}", r.final_metric());
+    assert!(
+        r.final_metric().unwrap() > 0.3,
+        "F1 {}",
+        r.final_metric().unwrap()
+    );
 }
 
 #[test]
@@ -131,7 +135,7 @@ fn margin_strategy_runs_on_ner() {
     let task = tiny_ner_task(150, 36);
     let r = run_ner(&task, Strategy::new(BaseStrategy::Margin), 3, 4);
     assert_eq!(r.curve.len(), 4);
-    assert!(r.final_metric() > 0.0);
+    assert!(r.final_metric().unwrap() > 0.0);
 }
 
 #[test]

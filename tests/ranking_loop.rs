@@ -56,8 +56,12 @@ fn ranking_al_learns() {
     let t = task(240, 51);
     let r = run(&t, Strategy::new(BaseStrategy::Entropy), 1);
     assert_eq!(r.curve.len(), 6);
-    assert!(r.final_metric() > 0.75, "NDCG {}", r.final_metric());
-    assert!(r.final_metric() > r.curve[0].metric - 0.05);
+    assert!(
+        r.final_metric().unwrap() > 0.75,
+        "NDCG {}",
+        r.final_metric().unwrap()
+    );
+    assert!(r.final_metric().unwrap() > r.curve[0].metric - 0.05);
 }
 
 #[test]
@@ -75,7 +79,11 @@ fn history_wrappers_work_on_ranking() {
     ] {
         let name = strategy.name();
         let r = run(&t, strategy, 2);
-        assert!(r.final_metric() > 0.6, "{name}: NDCG {}", r.final_metric());
+        assert!(
+            r.final_metric().unwrap() > 0.6,
+            "{name}: NDCG {}",
+            r.final_metric().unwrap()
+        );
     }
 }
 

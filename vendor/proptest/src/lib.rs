@@ -1,0 +1,193 @@
+//! Minimal offline property-testing framework exposing the subset of the
+//! `proptest` API this workspace uses: the `proptest!` macro, range and
+//! collection strategies, `prop_oneof!`, `prop_map`, regex-subset string
+//! strategies, and `prop_assert*`.
+//!
+//! No shrinking: a failing case reports its case index and seed, which is
+//! enough to reproduce deterministically (generation is a pure function
+//! of the per-case seed).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {x}")`: return a
+/// `TestCaseError` from the enclosing generated test closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assume!(cond)`: skip the current case when the precondition
+/// does not hold (no shrinking/retry machinery — the case just passes).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]`: uniform choice between strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let boxed: ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>> =
+                    ::std::boxed::Box::new($strat);
+                boxed
+            }),+
+        ])
+    };
+}
+
+/// The `proptest!` block: rewrites each `fn name(pat in strategy, ...)`
+/// into a `#[test]` function running `Config::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}",
+                        stringify!($name),
+                        case + 1,
+                        cfg.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0.0f64..1.0, 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn tuples_and_oneof(
+            t in (1usize..4, 0usize..4),
+            s in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!(t.0 >= 1 && t.0 < 4 && t.1 < 4);
+            prop_assert!(s == 1 || s == 2);
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-d]{1,3}", t in ".{0,10}") {
+            prop_assert!((1..=3).contains(&s.chars().count()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+            prop_assert!(t.chars().count() <= 10);
+        }
+
+        #[test]
+        fn map_applies(n in (0usize..5).prop_map(|x| x * 2)) {
+            prop_assert!(n % 2 == 0 && n < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0.0f64..1.0, 1..9);
+        let mut a = crate::test_runner::TestRng::for_case(7);
+        let mut b = crate::test_runner::TestRng::for_case(7);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

@@ -1,0 +1,198 @@
+//! Minimal, dependency-free reimplementation of the `rand` API surface
+//! this workspace uses: the `Rng` extension trait (`gen`, `gen_range`,
+//! `gen_bool`), `SliceRandom` (`shuffle`, `choose`, `choose_multiple`)
+//! and the `SeedableRng`/`RngCore` re-exports.
+//!
+//! Not byte-compatible with upstream `rand`; determinism guarantees are
+//! internal to this repository (same binary + same seed → same stream).
+
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod seq;
+
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+/// Types that can be sampled uniformly from an `Rng` via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly sampleable over a range. The blanket [`SampleRange`]
+/// impls below stay parametric in `T`, which keeps integer-literal
+/// inference working (`rng.gen_range(0..4)` used as an index infers
+/// `usize`, matching upstream rand).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        start: Self,
+        end: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: $t,
+                end: $t,
+                inclusive: bool,
+            ) -> $t {
+                let span = (end as i128 - start as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "gen_range: empty range");
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: $t,
+                end: $t,
+                _inclusive: bool,
+            ) -> $t {
+                assert!(start < end, "gen_range: empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+/// Extension trait with the convenience sampling methods.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` uniformly (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a (half-open or inclusive) range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let i = rng.gen_range(-2i64..=2);
+            assert!((-2..=2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = Lcg(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn dyn_rng_usable_through_generic_fn() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = Lcg(3);
+        let _ = draw(&mut rng);
+    }
+}

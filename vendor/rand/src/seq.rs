@@ -1,0 +1,131 @@
+//! Slice sampling helpers (`shuffle`, `choose`, `choose_multiple`).
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Pick one element uniformly, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Pick up to `amount` distinct elements uniformly without
+    /// replacement, returned as an iterator of references.
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() as usize) % (i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (rng.next_u64() as usize) % self.len();
+            Some(&self[i])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector: the first `amount`
+        // entries are a uniform sample without replacement.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() as usize) % (self.len() - i);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        SliceChooseIter {
+            slice: self,
+            indices,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over elements picked by [`SliceRandom::choose_multiple`].
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: Vec<usize>,
+    next: usize,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let idx = *self.indices.get(self.next)?;
+        self.next += 1;
+        Some(&self.slice[idx])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.indices.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_core::RngCore;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<usize> = (0..50).collect();
+        let mut rng = Lcg(11);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_distinct_and_bounded() {
+        let v: Vec<usize> = (0..20).collect();
+        let mut rng = Lcg(5);
+        let picked: Vec<usize> = v.choose_multiple(&mut rng, 8).copied().collect();
+        assert_eq!(picked.len(), 8);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8);
+        let all: Vec<usize> = v.choose_multiple(&mut rng, 100).copied().collect();
+        assert_eq!(all.len(), 20);
+    }
+}

@@ -1,0 +1,153 @@
+//! Parallel iterator adapters: `par_iter().map(f).collect()` and
+//! `into_par_iter()` over ranges, all index-ordered and deterministic.
+
+use crate::run_indexed;
+
+/// Entry point mirroring `rayon`'s `IntoParallelRefIterator::par_iter`.
+pub trait ParIterExt {
+    type Item: Sync;
+
+    fn par_iter(&self) -> ParIter<'_, Self::Item>;
+}
+
+impl<T: Sync> ParIterExt for [T] {
+    type Item = T;
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<T: Sync> ParIterExt for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Mirrors `rayon::iter::IntoParallelIterator` for `Range<usize>`.
+pub trait IntoParallelIterator {
+    type Iter;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// The subset of `ParallelIterator` the workspace uses.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Number of items and an indexed producer for them.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, index: usize) -> Self::Item;
+
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+
+    /// Collect into a `Vec`, always in index order (thread-count
+    /// invariant by construction).
+    fn collect<C: FromParIter<Self::Item>>(self) -> C
+    where
+        Self: Sync,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParIter<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T> + Sync>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParIter<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T> + Sync>(iter: I) -> Vec<T> {
+        run_indexed(iter.len(), |i| iter.get(i))
+    }
+}
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+
+    fn get(&self, index: usize) -> usize {
+        self.range.start + index
+    }
+}
+
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, U> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn get(&self, index: usize) -> U {
+        (self.f)(self.inner.get(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_ordered() {
+        let v: Vec<u64> = (0..200).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 3).collect();
+        let expect: Vec<u64> = v.iter().map(|&x| x * 3).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (5..15).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (6..16).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,399 @@
+//! Minimal offline reimplementation of the `rayon` API surface this
+//! workspace uses: `par_iter().map().collect()`, `ThreadPoolBuilder`,
+//! `ThreadPool::install`, and `current_num_threads`.
+//!
+//! # Design
+//!
+//! A single global pool of lazily-spawned helper threads executes
+//! index-addressed task loops. Each parallel call:
+//!
+//! 1. claims indices from a shared atomic counter (caller thread included),
+//! 2. writes each result into a pre-sized slot vector,
+//! 3. blocks until every helper working on the call has finished.
+//!
+//! Step 3 makes it safe to lend non-`'static` closures to the pool: the
+//! borrow outlives every access because the call does not return until all
+//! helpers are done (the same argument scoped threads use).
+//!
+//! Nested parallel calls from inside a worker run serially inline —
+//! results are identical (index-ordered collection is associativity-free)
+//! and the pool cannot deadlock waiting on itself.
+//!
+//! Determinism: results are always collected in index order, so the
+//! output of `par_iter().map(f).collect()` is byte-identical regardless
+//! of thread count, provided `f` itself is deterministic per index.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+pub mod iter;
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParIterExt, ParallelIterator};
+}
+
+// ---------------------------------------------------------------------------
+// Global pool
+// ---------------------------------------------------------------------------
+
+/// A job loaned to the pool. The raw pointer refers to a `TaskShared` on
+/// the submitting thread's stack; validity is guaranteed by the completion
+/// latch (the submitter cannot return before `done` is signalled).
+struct Job {
+    run: unsafe fn(*const ()),
+    ctx: *const (),
+}
+
+// SAFETY: the context pointer always refers to a Sync shared-state struct
+// that outlives the job (enforced by the latch protocol in `run_indexed`).
+unsafe impl Send for Job {}
+
+struct PoolState {
+    sender: Sender<Job>,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    queue: Mutex<Receiver<Job>>,
+    configured_threads: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = channel();
+        Pool {
+            state: Mutex::new(PoolState {
+                sender: tx,
+                spawned: 0,
+            }),
+            queue: Mutex::new(rx),
+            configured_threads: AtomicUsize::new(0),
+        }
+    })
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel calls on this thread will currently use.
+pub fn current_num_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(|c| c.get());
+    if over > 0 {
+        return over;
+    }
+    let cfg = pool().configured_threads.load(Ordering::Relaxed);
+    if cfg > 0 {
+        cfg
+    } else {
+        default_threads()
+    }
+}
+
+/// Ensure at least `n` helper threads exist (never tears threads down).
+fn ensure_workers(n: usize) {
+    let p = pool();
+    let mut state = p.state.lock().unwrap();
+    while state.spawned < n {
+        state.spawned += 1;
+        let id = state.spawned;
+        std::thread::Builder::new()
+            .name(format!("histal-worker-{id}"))
+            .spawn(move || {
+                IN_WORKER.with(|c| c.set(true));
+                loop {
+                    // Hold the receiver lock only while dequeuing.
+                    let job = {
+                        let rx = pool().queue.lock().unwrap();
+                        rx.recv()
+                    };
+                    match job {
+                        Ok(job) => unsafe { (job.run)(job.ctx) },
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("failed to spawn pool worker");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped indexed execution
+// ---------------------------------------------------------------------------
+
+struct Latch {
+    pending: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Latch {
+        Latch {
+            pending: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        let mut p = self.pending.lock().unwrap();
+        *p -= 1;
+        if *p == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut p = self.pending.lock().unwrap();
+        while *p > 0 {
+            p = self.cv.wait(p).unwrap();
+        }
+    }
+}
+
+struct TaskShared<'a> {
+    work: &'a (dyn Fn() + Sync),
+    latch: &'a Latch,
+    panic: &'a Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+unsafe fn run_task_shared(ctx: *const ()) {
+    // SAFETY: `ctx` points to a live `TaskShared` (see Job docs).
+    let shared = unsafe { &*(ctx as *const TaskShared<'_>) };
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(shared.work)) {
+        *shared.panic.lock().unwrap() = Some(payload);
+    }
+    shared.latch.arrive();
+}
+
+/// Run `f(i)` for every `i in 0..n`, writing results in index order.
+///
+/// Parallel iff: more than one item, the effective thread count exceeds 1,
+/// and we are not already inside a pool worker (nested calls run inline).
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = current_num_threads();
+    let nested = IN_WORKER.with(|c| c.get());
+    if n <= 1 || threads <= 1 || nested {
+        return (0..n).map(f).collect();
+    }
+
+    let helpers = (threads - 1).min(n - 1);
+    ensure_workers(helpers);
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots_ptr = SendPtr(slots.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    let latch = Latch::new(helpers);
+    let panic_store: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let work = move || {
+        // Bind the whole wrapper so 2021 disjoint capture doesn't pull
+        // the raw pointer field out of its Send/Sync newtype.
+        let slots = slots_ptr;
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let value = f(i);
+            // SAFETY: each index is claimed exactly once, so each slot is
+            // written by exactly one thread; the vector outlives all
+            // workers because of the latch wait below.
+            unsafe {
+                *slots.0.add(i) = Some(value);
+            }
+        }
+    };
+
+    {
+        let shared = TaskShared {
+            work: &work,
+            latch: &latch,
+            panic: &panic_store,
+        };
+        let ctx = &shared as *const TaskShared<'_> as *const ();
+        {
+            let state = pool().state.lock().unwrap();
+            for _ in 0..helpers {
+                state
+                    .sender
+                    .send(Job {
+                        run: run_task_shared,
+                        ctx,
+                    })
+                    .expect("pool receiver alive");
+            }
+        }
+        // The caller participates too, then waits for every helper.
+        let caller_result = catch_unwind(AssertUnwindSafe(&work));
+        latch.wait();
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+    }
+
+    if let Some(payload) = panic_store.into_inner().unwrap() {
+        resume_unwind(payload);
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("all indices claimed"))
+        .collect()
+}
+
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced under the once-per-index claim
+// discipline of `run_indexed`.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / builder API
+// ---------------------------------------------------------------------------
+
+/// Error type for pool construction (construction cannot actually fail in
+/// this implementation, but the signature mirrors rayon's).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// `0` means "use the host's available parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Set the process-global thread count used by parallel calls.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        pool().configured_threads.store(n, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Build a handle that can `install` a thread-count override.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads: n })
+    }
+}
+
+/// A lightweight handle: `install` runs a closure with this pool's thread
+/// count as the effective parallelism on the current thread. Helper
+/// threads are shared with the global pool (they are fungible — all
+/// determinism is index-ordered, so sharing cannot change results).
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.threads));
+        struct Reset(usize);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _reset = Reset(prev);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_matches_serial() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let parallel = pool.install(|| run_indexed(100, |i| i * i));
+        let serial: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out = pool
+            .install(|| run_indexed(8, |i| run_indexed(8, move |j| i * j).iter().sum::<usize>()));
+        let expect: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn install_is_scoped() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_num_threads();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                run_indexed(64, |i| {
+                    if i == 33 {
+                        panic!("boom");
+                    }
+                    i
+                })
+            })
+        }));
+        assert!(result.is_err());
+    }
+}

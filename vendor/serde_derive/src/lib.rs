@@ -1,0 +1,539 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! value-based serde, implemented directly on `proc_macro::TokenStream`
+//! (no syn/quote available offline).
+//!
+//! Supported shapes — everything this workspace declares:
+//! - structs with named fields (incl. generic type parameters)
+//! - tuple structs (newtype structs serialize transparently)
+//! - unit structs
+//! - enums with unit / tuple / struct variants (externally tagged)
+//! - the `#[serde(default)]` field attribute
+//!
+//! Field types never need to be parsed: generated code calls
+//! `Deserialize::from_value` in a typed position and lets inference pick
+//! the impl, so the parser only has to *skip* type tokens.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive produced invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive produced invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Raw generics tokens including bounds, without the angle brackets,
+    /// e.g. `T: Clone, U`.
+    generics_raw: String,
+    /// Just the parameter names, e.g. `T, U`.
+    generics_params: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility, find `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                let k = id.to_string();
+                i += 1;
+                break k;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum found in input"),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    // Optional generics.
+    let mut generics_raw = String::new();
+    let mut generics_params = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            let tok = tokens
+                .get(i)
+                .unwrap_or_else(|| panic!("serde_derive: unclosed generics on {name}"));
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    let text = id.to_string();
+                    if text == "const" {
+                        panic!("serde_derive: const generics are not supported");
+                    }
+                    generics_params.push(text);
+                    expect_param = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    panic!("serde_derive: lifetime parameters are not supported")
+                }
+                _ => {}
+            }
+            if depth > 0 {
+                if !generics_raw.is_empty() {
+                    generics_raw.push(' ');
+                }
+                generics_raw.push_str(&tok.to_string());
+                i += 1;
+            }
+        }
+    }
+
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Shape::Unit),
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                panic!("serde_derive: where clauses are not supported (type {name})")
+            }
+            other => panic!("serde_derive: unexpected struct body for {name}: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body for {name}: {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        generics_raw,
+        generics_params,
+        body,
+    }
+}
+
+/// Scan an attribute `#[...]` group for `serde(...)` contents; returns
+/// `default` flag. Any serde option other than `default` is rejected.
+fn serde_attr_default(group: &proc_macro::Group) -> bool {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return false;
+    };
+    for tok in args.stream() {
+        match tok {
+            TokenTree::Ident(id) if id.to_string() == "default" => return true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde_derive: unsupported serde attribute: {other}"),
+        }
+    }
+    false
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        // Attributes (doc comments, serde options).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                default |= serde_attr_default(g);
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive: expected ':' after field {name}"
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let ty_args = if item.generics_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics_params.join(", "))
+    };
+    let impl_generics = if item.generics_raw.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics_raw)
+    };
+    let where_clause = if item.generics_params.is_empty() {
+        String::new()
+    } else {
+        let bounds: Vec<String> = item
+            .generics_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        format!(" where {}", bounds.join(", "))
+    };
+    format!(
+        "impl{impl_generics} ::serde::{trait_name} for {}{ty_args}{where_clause}",
+        item.name
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Body::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let ty = &item.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{ty}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{ty}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let pats: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({p}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Seq(vec![{v}]))]),",
+                                p = pats.join(", "),
+                                v = vals.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let pats: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {p} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Map(vec![{e}]))]),",
+                                p = pats.join(", "),
+                                e = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(item, "Serialize")
+    )
+}
+
+fn named_field_reads(fields: &[Field], source: &str, ctx: &str) -> String {
+    let reads: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            if f.default {
+                format!(
+                    "{fname}: match ::serde::Value::get({source}, \"{fname}\") {{ \
+                     Some(x) => ::serde::Deserialize::from_value(x)?, \
+                     None => ::core::default::Default::default() }},"
+                )
+            } else {
+                format!(
+                    "{fname}: match ::serde::Value::get({source}, \"{fname}\") {{ \
+                     Some(x) => ::serde::Deserialize::from_value(x)?, \
+                     None => return Err(::serde::DeError::custom(\
+                     \"missing field `{fname}` in {ctx}\")) }},"
+                )
+            }
+        })
+        .collect();
+    reads.join(" ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = match &item.body {
+        Body::Struct(Shape::Unit) => format!("Ok({ty})"),
+        Body::Struct(Shape::Tuple(1)) => {
+            format!("Ok({ty}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Struct(Shape::Tuple(n)) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected sequence for tuple struct {ty}\"))?; \
+                 if items.len() != {n} {{ return Err(::serde::DeError::custom(\
+                 \"wrong tuple length for {ty}\")); }} \
+                 Ok({ty}({reads}))",
+                reads = reads.join(", ")
+            )
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            format!(
+                "if v.as_map().is_none() {{ return Err(::serde::DeError::custom(\
+                 \"expected map for struct {ty}\")); }} \
+                 Ok({ty} {{ {reads} }})",
+                reads = named_field_reads(fields, "v", &format!("struct {ty}"))
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({ty}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            // Accept map form `{ "Variant": null }` too.
+                            format!("\"{vn}\" => return Ok({ty}::{vn}),")
+                        }
+                        Shape::Tuple(1) => format!(
+                            "\"{vn}\" => return Ok({ty}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let reads: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ \
+                                 let items = payload.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                                 \"expected sequence for variant {ty}::{vn}\"))?; \
+                                 if items.len() != {n} {{ return Err(::serde::DeError::custom(\
+                                 \"wrong arity for variant {ty}::{vn}\")); }} \
+                                 return Ok({ty}::{vn}({reads})); }}",
+                                reads = reads.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => format!(
+                            "\"{vn}\" => {{ \
+                             if payload.as_map().is_none() {{ return Err(::serde::DeError::custom(\
+                             \"expected map for variant {ty}::{vn}\")); }} \
+                             return Ok({ty}::{vn} {{ {reads} }}); }}",
+                            reads =
+                                named_field_reads(fields, "payload", &format!("variant {ty}::{vn}"))
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(tag) = v.as_str() {{ \
+                 match tag {{ {units} _ => return Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{tag}}` for enum {ty}\"))) }} }} \
+                 if let Some(entries) = v.as_map() {{ \
+                 if entries.len() == 1 {{ \
+                 let (tag, payload) = &entries[0]; let _ = payload; \
+                 match tag.as_str() {{ {tagged} _ => return Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{tag}}` for enum {ty}\"))) }} }} }} \
+                 Err(::serde::DeError::custom(\"expected string or single-entry map for enum {ty}\"))",
+                units = unit_arms.join(" "),
+                tagged = tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ \
+         #[allow(unused_variables)] let _ = v; {body} }} }}",
+        header = impl_header(item, "Deserialize")
+    )
+}
