@@ -16,18 +16,25 @@ use rand_chacha::ChaCha8Rng;
 use histal_core::eval::SampleEval;
 use histal_core::history::HistoryStore;
 use histal_core::lhs::{candidate_set, LhsFeatureConfig};
-use histal_core::strategy::combinators::mmr_select;
-use histal_core::strategy::{kcenter_select, HistoryPolicy, MmrConfig};
+use histal_core::strategy::combinators::{apply_density, mmr_select, SimScratch};
+use histal_core::strategy::{kcenter_select, DensityConfig, HistoryPolicy, MmrConfig};
 use histal_ltr::{LambdaMart, LambdaMartConfig, QueryGroup, Ranker, RankingDataset};
-use histal_text::SparseVec;
+use histal_text::{PoolGeometry, SparseVec};
 use histal_tseries::ArPredictor;
 
 const POOL: usize = 10_000;
 const ITERS: usize = 10;
 
 fn build_history() -> HistoryStore {
+    build_history_with(HistoryStore::new(POOL))
+}
+
+fn build_history_rolling(window: usize) -> HistoryStore {
+    build_history_with(HistoryStore::new(POOL).with_rolling(window))
+}
+
+fn build_history_with(mut h: HistoryStore) -> HistoryStore {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let mut h = HistoryStore::new(POOL);
     for _ in 0..ITERS {
         for id in 0..POOL {
             h.append(id, rng.gen());
@@ -46,31 +53,52 @@ fn build_evals() -> Vec<SampleEval> {
         .collect()
 }
 
+const POLICIES: [(&str, HistoryPolicy); 4] = [
+    ("basic_current_only", HistoryPolicy::CurrentOnly),
+    ("HUS_k3", HistoryPolicy::Hus { k: 3 }),
+    ("WSHS_l3", HistoryPolicy::Wshs { l: 3 }),
+    (
+        "FHS_l3",
+        HistoryPolicy::Fhs {
+            l: 3,
+            w_score: 0.5,
+            w_fluct: 0.5,
+        },
+    ),
+];
+
 fn bench_history_policies(c: &mut Criterion) {
     let history = build_history();
     let mut group = c.benchmark_group("table2_selection_scoring");
-    for (name, policy) in [
-        ("basic_current_only", HistoryPolicy::CurrentOnly),
-        ("HUS_k3", HistoryPolicy::Hus { k: 3 }),
-        ("WSHS_l3", HistoryPolicy::Wshs { l: 3 }),
-        (
-            "FHS_l3",
-            HistoryPolicy::Fhs {
-                l: 3,
-                w_score: 0.5,
-                w_fluct: 0.5,
-            },
-        ),
-    ] {
+    // From-scratch fold: rescan the retained window per sample.
+    for (name, policy) in POLICIES {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut buf = Vec::new();
             b.iter(|| {
                 let mut acc = 0.0;
                 for id in 0..POOL {
-                    acc += policy.final_score(history.seq(id));
+                    history.seq(id).copy_into(&mut buf);
+                    acc += policy.final_score(&buf);
                 }
                 black_box(acc)
             })
         });
+    }
+    // O(1) rolling-statistics fold of the same histories.
+    for (name, policy) in POLICIES {
+        let history = build_history_rolling(policy.window());
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{name}_rolling")),
+            |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for id in 0..POOL {
+                        acc += policy.rolling_score(history.rolling(id).expect("rolling enabled"));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -106,11 +134,84 @@ fn bench_lhs_path(c: &mut Criterion) {
             let candidates = candidate_set(&evals, 75);
             let rows: Vec<Vec<f64>> = candidates
                 .iter()
-                .map(|&pos| features.extract(history.seq(pos), &evals[pos], &predictor))
+                .map(|&pos| features.extract(&history.seq(pos).to_vec(), &evals[pos], &predictor))
                 .collect();
             black_box(ranker.score_batch(&rows))
         })
     });
+}
+
+/// Reference MMR over raw `SparseVec`s — `SparseVec::cosine` recomputes
+/// both norms (a full pass and a square root each) per pair, which is
+/// what every round paid before `PoolGeometry` cached them.
+fn mmr_select_uncached(
+    scores: &[f64],
+    unlabeled: &[usize],
+    reps: &[SparseVec],
+    batch_size: usize,
+    config: &MmrConfig,
+) -> Vec<usize> {
+    let n = unlabeled.len();
+    let k = batch_size.min(n);
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    let mut taken = vec![false; n];
+    let mut max_sim = vec![0.0f64; n];
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for pos in 0..n {
+            if taken[pos] {
+                continue;
+            }
+            let value = config.lambda * scores[pos] - (1.0 - config.lambda) * max_sim[pos];
+            if best.map_or(true, |(_, b)| value > b) {
+                best = Some((pos, value));
+            }
+        }
+        let (pos, _) = match best {
+            Some(b) => b,
+            None => break,
+        };
+        taken[pos] = true;
+        selected.push(pos);
+        let new_rep = &reps[unlabeled[pos]];
+        for other in 0..n {
+            if !taken[other] {
+                let s = new_rep.cosine(&reps[unlabeled[other]]);
+                if s > max_sim[other] {
+                    max_sim[other] = s;
+                }
+            }
+        }
+    }
+    selected
+}
+
+/// Reference density weighting over raw `SparseVec`s with the linear
+/// `contains` membership scan the mask replaced.
+fn density_uncached(
+    scores: &mut [f64],
+    unlabeled: &[usize],
+    reps: &[SparseVec],
+    reference: &[usize],
+    beta: f64,
+) {
+    for (score, &id) in scores.iter_mut().zip(unlabeled) {
+        let mut sim_sum = 0.0;
+        for &other in reference {
+            if other != id {
+                sim_sum += reps[id].cosine(&reps[other]);
+            }
+        }
+        let denom = reference
+            .len()
+            .saturating_sub(usize::from(reference.contains(&id)));
+        let density = if denom == 0 {
+            0.0
+        } else {
+            sim_sum / denom as f64
+        };
+        *score *= density.max(0.0).powf(beta);
+    }
 }
 
 fn bench_batch_selectors(c: &mut Criterion) {
@@ -126,9 +227,23 @@ fn bench_batch_selectors(c: &mut Criterion) {
         .collect();
     let unlabeled: Vec<usize> = (0..n).collect();
     let scores: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+    let geom = PoolGeometry::build(&reps);
     c.bench_function("mmr_select_1000x25", |b| {
+        let mut scratch = SimScratch::default();
         b.iter(|| {
             black_box(mmr_select(
+                &scores,
+                &unlabeled,
+                &geom,
+                25,
+                &MmrConfig::default(),
+                &mut scratch,
+            ))
+        })
+    });
+    c.bench_function("mmr_select_1000x25_uncached", |b| {
+        b.iter(|| {
+            black_box(mmr_select_uncached(
                 &scores,
                 &unlabeled,
                 &reps,
@@ -138,7 +253,39 @@ fn bench_batch_selectors(c: &mut Criterion) {
         })
     });
     c.bench_function("kcenter_select_1000x25", |b| {
-        b.iter(|| black_box(kcenter_select(&scores, &unlabeled, &reps, 25)))
+        let mut scratch = SimScratch::default();
+        b.iter(|| black_box(kcenter_select(&scores, &unlabeled, &geom, 25, &mut scratch)))
+    });
+    let density_cfg = DensityConfig::default();
+    c.bench_function("density_1000x256", |b| {
+        let mut scratch = SimScratch::default();
+        b.iter(|| {
+            let mut s = scores.clone();
+            let mut drng = ChaCha8Rng::seed_from_u64(6);
+            apply_density(
+                &mut s,
+                &unlabeled,
+                &geom,
+                &density_cfg,
+                &mut drng,
+                &mut scratch,
+            );
+            black_box(s)
+        })
+    });
+    c.bench_function("density_1000x256_uncached", |b| {
+        // Same reference subset the cached path draws.
+        use rand::seq::SliceRandom;
+        let mut drng = ChaCha8Rng::seed_from_u64(6);
+        let reference: Vec<usize> = unlabeled
+            .choose_multiple(&mut drng, density_cfg.sample_size)
+            .copied()
+            .collect();
+        b.iter(|| {
+            let mut s = scores.clone();
+            density_uncached(&mut s, &unlabeled, &reps, &reference, density_cfg.beta);
+            black_box(s)
+        })
     });
 }
 

@@ -18,6 +18,7 @@
 //!   table6     Scores of selected samples        (Table 6)
 //!   table7     LHS feature ablation              (Table 7)
 //!   bench      Per-cell harness timings → BENCH_harness.json
+//!              (`bench --check`: CI smoke on a reduced grid, no artifact)
 //!   all        Everything above in order
 //! ```
 //!
@@ -43,12 +44,14 @@ fn main() {
     let mut targets = vec![0.72, 0.73, 0.735];
     let mut variant = Table7Variant::Paper;
     let mut threads: Option<usize> = None;
+    let mut check = false;
 
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => scale = Scale::full(),
             "--quick" => scale = Scale::quick(),
+            "--check" => check = true,
             "--repeats" => {
                 i += 1;
                 scale.repeats = parse(&args, i, "repeats");
@@ -135,7 +138,13 @@ fn main() {
             experiments::compare(&scale, &positional[0], &positional[1]);
         }
         "significance" => experiments::significance(&scale),
-        "bench" => experiments::bench(&scale),
+        "bench" => {
+            if check {
+                experiments::bench_check(&scale)
+            } else {
+                experiments::bench(&scale)
+            }
+        }
         "all" => {
             experiments::fig2(&scale);
             experiments::table2(&scale);
@@ -171,7 +180,7 @@ fn bad_flag(name: &str) -> ! {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|bench|all> \
-         [--full|--quick] [--repeats N] [--scale F] [--threads N] [--targets a,b,c] \
+         [--full|--quick|--check] [--repeats N] [--scale F] [--threads N] [--targets a,b,c] \
          [--variant paper|ar|linear|autocorr]"
     );
     std::process::exit(2);

@@ -120,6 +120,31 @@ impl TextTask {
         }
         learner.run().expect("strategy capabilities satisfied")
     }
+
+    /// Run one active-learning loop with the pool documents' sparse
+    /// features attached as representations, enabling the density / MMR /
+    /// k-center combinators.
+    pub fn run_with_representations(
+        &self,
+        strategy: Strategy,
+        config: &PoolConfig,
+        seed: u64,
+    ) -> RunResult {
+        let reps = self.pool_docs.iter().map(|d| d.features.clone()).collect();
+        ActiveLearner::new(
+            self.model(0),
+            self.pool_docs.clone(),
+            self.pool_labels.clone(),
+            self.test_docs.clone(),
+            self.test_labels.clone(),
+            strategy,
+            config.clone(),
+            seed,
+        )
+        .with_representations(reps)
+        .run()
+        .expect("strategy capabilities satisfied")
+    }
 }
 
 /// A featurized NER task (pool = train split, test = test split).

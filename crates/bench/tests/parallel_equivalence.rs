@@ -7,7 +7,7 @@
 
 use histal_bench::tasks::{Scale, TextTask};
 use histal_core::driver::{PoolConfig, RunResult};
-use histal_core::strategy::{BaseStrategy, HistoryPolicy, Strategy};
+use histal_core::strategy::{BaseStrategy, DensityConfig, HistoryPolicy, MmrConfig, Strategy};
 use histal_data::TextSpec;
 
 fn run_cell() -> Vec<RunResult> {
@@ -37,6 +37,31 @@ fn run_cell() -> Vec<RunResult> {
     })
 }
 
+/// A diversity-combinator cell: density weighting plus MMR selection
+/// over the cached pool geometry, the paths that reuse per-round
+/// similarity scratch buffers.
+fn run_diversity_cell() -> Vec<RunResult> {
+    let scale = Scale {
+        factor: 0.05,
+        repeats: 2,
+    };
+    let task = TextTask::build(&TextSpec::mr(), &scale, 0xE1);
+    let config = PoolConfig {
+        batch_size: 10,
+        rounds: 4,
+        init_labeled: 10,
+        history_max_len: None,
+        record_history: false,
+    };
+    let strategy = Strategy::new(BaseStrategy::Entropy)
+        .with_history(HistoryPolicy::Wshs { l: 3 })
+        .with_density(DensityConfig::default())
+        .with_mmr(MmrConfig::default());
+    rayon::run_indexed(2, |r| {
+        task.run_with_representations(strategy.clone(), &config, 0xE1_0000 + r as u64)
+    })
+}
+
 /// JSON encoding with the legitimately nondeterministic wall-clock
 /// fields zeroed out.
 fn canonical_json(mut results: Vec<RunResult>) -> String {
@@ -44,6 +69,7 @@ fn canonical_json(mut results: Vec<RunResult>) -> String {
         for round in &mut r.rounds {
             round.fit_ms = 0.0;
             round.eval_ms = 0.0;
+            round.score_ms = 0.0;
             round.select_ms = 0.0;
         }
     }
@@ -71,5 +97,29 @@ fn one_thread_and_four_threads_are_byte_identical() {
     assert_eq!(
         serial, parallel,
         "RunResult JSON must be byte-identical at 1 vs 4 threads"
+    );
+}
+
+#[test]
+fn diversity_combinators_are_byte_identical_across_threads() {
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("1-thread pool");
+    let pool4 = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("4-thread pool");
+
+    let serial = canonical_json(pool1.install(run_diversity_cell));
+    let parallel = canonical_json(pool4.install(run_diversity_cell));
+
+    assert!(
+        !serial.is_empty() && serial.contains("curve"),
+        "diversity cell produced no output"
+    );
+    assert_eq!(
+        serial, parallel,
+        "density + MMR RunResult JSON must be byte-identical at 1 vs 4 threads"
     );
 }

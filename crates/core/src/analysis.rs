@@ -184,6 +184,7 @@ mod tests {
                 mean_fluct_of_selected: 0.2,
                 fit_ms: 0.0,
                 eval_ms: 0.0,
+                score_ms: 0.0,
                 select_ms: 0.0,
             },
             RoundRecord {
@@ -193,6 +194,7 @@ mod tests {
                 mean_fluct_of_selected: 0.4,
                 fit_ms: 0.0,
                 eval_ms: 0.0,
+                score_ms: 0.0,
                 select_ms: 0.0,
             },
             RoundRecord {
@@ -202,6 +204,7 @@ mod tests {
                 mean_fluct_of_selected: 99.0,
                 fit_ms: 0.0,
                 eval_ms: 0.0,
+                score_ms: 0.0,
                 select_ms: 0.0,
             },
         ];

@@ -6,6 +6,8 @@
 //! [`Model`], so the same driver executes both the text-classification
 //! and NER experiments (and user-provided models).
 
+use std::collections::VecDeque;
+
 use rand::prelude::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
@@ -13,7 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use histal_text::SparseVec;
+use histal_text::{PoolGeometry, SparseVec};
 use histal_tseries::{exp_weighted_sum, window_variance};
 
 use crate::error::StrategyError;
@@ -22,7 +24,7 @@ use crate::history::HistoryStore;
 use crate::lhs::LhsSelector;
 use crate::model::Model;
 use crate::stopping::{StopReason, StoppingRule};
-use crate::strategy::combinators::{apply_density, kcenter_select, mmr_select};
+use crate::strategy::combinators::{apply_density, kcenter_select, mmr_select, SimScratch};
 use crate::strategy::Strategy;
 
 /// Static configuration of an active-learning run.
@@ -81,8 +83,13 @@ pub struct RoundRecord {
     /// Time spent evaluating the unlabeled pool — the `O(T)` cost every
     /// strategy pays (milliseconds).
     pub eval_ms: f64,
-    /// Time spent folding histories and selecting the batch — the extra
-    /// cost of the history-aware strategies (milliseconds).
+    /// Time spent scoring: base scores, history folding, and density
+    /// weighting — the per-sample cost the history-aware strategies add
+    /// (milliseconds).
+    #[serde(default)]
+    pub score_ms: f64,
+    /// Time spent selecting the batch from the final scores (top-k, MMR,
+    /// k-center or LHS ranking; milliseconds).
     pub select_ms: f64,
 }
 
@@ -207,6 +214,26 @@ impl<M: Model> ActiveLearner<M> {
             Some(cap) => HistoryStore::with_max_len(n, cap),
             None => HistoryStore::new(n),
         };
+        // Rolling trackers make the per-round history fold O(1) per
+        // sample. HKLD replaces the scalar fold entirely, and a
+        // degenerate zero window (e.g. HUS with k = 0) falls back to the
+        // from-scratch slice path below.
+        if self.strategy.hkld.is_none() {
+            let window = self.strategy.history.window();
+            if window > 0 {
+                history = history.with_rolling(window);
+            }
+        }
+        // Pre-normalized pool geometry for the similarity combinators:
+        // cached norms and CSR storage, built once per run instead of
+        // recomputing norms inside every cosine.
+        let geometry: Option<PoolGeometry> = self.representations.as_ref().and_then(|reps| {
+            let needed = self.strategy.density.is_some()
+                || self.strategy.mmr.is_some()
+                || self.strategy.kcenter;
+            needed.then(|| PoolGeometry::build(reps))
+        });
+        let mut scratch = SimScratch::default();
         // Initial random labeled set s₀.
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut self.rng);
@@ -222,8 +249,8 @@ impl<M: Model> ActiveLearner<M> {
         let caps = self.strategy.base.caps();
 
         let needs_prob_history = self.strategy.hkld.is_some();
-        let mut prob_history: Vec<Vec<Vec<f64>>> = if needs_prob_history {
-            vec![Vec::new(); n]
+        let mut prob_history: Vec<VecDeque<Vec<f64>>> = if needs_prob_history {
+            vec![VecDeque::new(); n]
         } else {
             Vec::new()
         };
@@ -259,7 +286,7 @@ impl<M: Model> ActiveLearner<M> {
                 .collect();
             let eval_ms = eval_start.elapsed().as_secs_f64() * 1e3;
 
-            let select_start = std::time::Instant::now();
+            let score_start = std::time::Instant::now();
             let mut base_scores = Vec::with_capacity(unlabeled.len());
             for eval in &evals {
                 let r: f64 = self.rng.gen();
@@ -269,12 +296,13 @@ impl<M: Model> ActiveLearner<M> {
                 history.append(id, score);
             }
             if needs_prob_history {
-                let cap = self.config.history_max_len.unwrap_or(usize::MAX);
                 for (&id, eval) in unlabeled.iter().zip(&evals) {
                     let seq = &mut prob_history[id];
-                    seq.push(eval.probs.clone());
-                    if seq.len() > cap {
-                        seq.remove(0);
+                    seq.push_back(eval.probs.clone());
+                    if let Some(cap) = self.config.history_max_len {
+                        if seq.len() > cap {
+                            seq.pop_front();
+                        }
                     }
                 }
             }
@@ -284,29 +312,45 @@ impl<M: Model> ActiveLearner<M> {
                 // posterior from the committee mean.
                 unlabeled
                     .iter()
-                    .map(|&id| hkld_score(&prob_history[id], k))
+                    .map(|&id| {
+                        let seq = &prob_history[id];
+                        let start = seq.len().saturating_sub(k);
+                        hkld_score_members(seq.iter().skip(start).map(|p| p.as_slice()))
+                    })
                     .collect()
             } else {
                 unlabeled
                     .iter()
-                    .map(|&id| self.strategy.history.final_score(history.seq(id)))
+                    .map(|&id| match history.rolling(id) {
+                        Some(stats) => self.strategy.history.rolling_score(stats),
+                        None => self.strategy.history.final_score(&history.seq(id).to_vec()),
+                    })
                     .collect()
             };
-            if let (Some(cfg), Some(reps)) = (&self.strategy.density, &self.representations) {
-                apply_density(&mut final_scores, &unlabeled, reps, cfg, &mut self.rng);
+            if let (Some(cfg), Some(geom)) = (&self.strategy.density, &geometry) {
+                apply_density(
+                    &mut final_scores,
+                    &unlabeled,
+                    geom,
+                    cfg,
+                    &mut self.rng,
+                    &mut scratch,
+                );
             }
+            let score_ms = score_start.elapsed().as_secs_f64() * 1e3;
 
+            let pick_start = std::time::Instant::now();
             let batch = self.config.batch_size.min(unlabeled.len());
             let picked_positions: Vec<usize> = if let Some(lhs) = &self.lhs {
                 lhs.select(&unlabeled, &evals, &history, batch)
-            } else if let (Some(cfg), Some(reps)) = (&self.strategy.mmr, &self.representations) {
-                mmr_select(&final_scores, &unlabeled, reps, batch, cfg)
-            } else if let (true, Some(reps)) = (self.strategy.kcenter, &self.representations) {
-                kcenter_select(&final_scores, &unlabeled, reps, batch)
+            } else if let (Some(cfg), Some(geom)) = (&self.strategy.mmr, &geometry) {
+                mmr_select(&final_scores, &unlabeled, geom, batch, cfg, &mut scratch)
+            } else if let (true, Some(geom)) = (self.strategy.kcenter, &geometry) {
+                kcenter_select(&final_scores, &unlabeled, geom, batch, &mut scratch)
             } else {
                 top_k(&final_scores, batch)
             };
-            let select_ms = select_start.elapsed().as_secs_f64() * 1e3;
+            let select_ms = pick_start.elapsed().as_secs_f64() * 1e3;
 
             let selected: Vec<usize> = picked_positions.iter().map(|&p| unlabeled[p]).collect();
             let (mean_wshs, mean_fluct) = selection_diagnostics(&selected, &history);
@@ -321,6 +365,7 @@ impl<M: Model> ActiveLearner<M> {
                 mean_fluct_of_selected: mean_fluct,
                 fit_ms,
                 eval_ms,
+                score_ms,
                 select_ms,
             });
         }
@@ -406,8 +451,14 @@ pub fn mix_seed(seed: u64, round: u64, id: u64) -> u64 {
 /// mean. Returns 0 with fewer than two recorded posteriors.
 pub fn hkld_score(prob_seq: &[Vec<f64>], k: usize) -> f64 {
     let start = prob_seq.len().saturating_sub(k);
-    let window = &prob_seq[start..];
-    let members: Vec<&Vec<f64>> = window.iter().filter(|p| !p.is_empty()).collect();
+    hkld_score_members(prob_seq[start..].iter().map(|p| p.as_slice()))
+}
+
+/// HKLD over an already-windowed committee, oldest first. Shared by the
+/// slice entry point above and the driver's ring-buffered posterior
+/// history (summation order must match the slice path bit-for-bit).
+fn hkld_score_members<'a>(window: impl Iterator<Item = &'a [f64]>) -> f64 {
+    let members: Vec<&[f64]> = window.filter(|p| !p.is_empty()).collect();
     if members.len() < 2 {
         return 0.0;
     }
@@ -442,10 +493,11 @@ fn selection_diagnostics(selected: &[usize], history: &HistoryStore) -> (f64, f6
     }
     let mut wshs = 0.0;
     let mut fluct = 0.0;
+    let mut buf = Vec::new();
     for &id in selected {
-        let seq = history.seq(id);
-        wshs += exp_weighted_sum(seq, DIAG_WINDOW);
-        fluct += window_variance(seq, DIAG_WINDOW);
+        history.seq(id).copy_into(&mut buf);
+        wshs += exp_weighted_sum(&buf, DIAG_WINDOW);
+        fluct += window_variance(&buf, DIAG_WINDOW);
     }
     let n = selected.len() as f64;
     (wshs / n, fluct / n)

@@ -3,9 +3,20 @@
 //! `H_t(x) = [φ_1(x), …, φ_t(x)]` for every pool sample `x`. The paper's
 //! efficiency analysis (Table 2) notes that strategies only ever read the
 //! last `l` scores, so the store can optionally truncate each sequence to
-//! a maximum retained length, bounding memory at `O(l · N)`.
+//! a maximum retained length, bounding memory at `O(l · N)`. Sequences
+//! are `VecDeque`-backed, so that truncation is an O(1) `pop_front`.
+//!
+//! With [`HistoryStore::with_rolling`] the store additionally maintains a
+//! [`RollingStats`] tracker per sample — window sum, exponentially
+//! weighted sum and variance, updated in O(1) per append — so the
+//! WSHS/FHS/HUS folds cost constant time per sample per round instead of
+//! rescanning the window (see [`crate::strategy::HistoryPolicy`]).
+
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
+
+use histal_tseries::RollingStats;
 
 /// Per-sample historical evaluation sequences, indexed by pool position.
 ///
@@ -16,22 +27,30 @@ use serde::{Deserialize, Serialize};
 ///     h.append(0, round as f64 / 10.0);
 /// }
 /// // Only the last 3 scores are retained (the O(l·N) mode of Table 2).
-/// assert_eq!(h.seq(0), &[0.2, 0.3, 0.4]);
+/// assert_eq!(h.seq(0), [0.2, 0.3, 0.4]);
 /// assert_eq!(h.current(1), None);
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HistoryStore {
-    seqs: Vec<Vec<f64>>,
+    seqs: Vec<VecDeque<f64>>,
     /// Maximum retained sequence length; `None` keeps everything.
     max_len: Option<usize>,
+    /// Effective rolling-statistics window; `None` disables the trackers.
+    #[serde(default)]
+    rolling_window: Option<usize>,
+    /// Per-sample rolling trackers (empty unless rolling is enabled).
+    #[serde(default)]
+    rolling: Vec<RollingStats>,
 }
 
 impl HistoryStore {
     /// A store for `n_samples` sequences with unbounded retention.
     pub fn new(n_samples: usize) -> Self {
         Self {
-            seqs: vec![Vec::new(); n_samples],
+            seqs: vec![VecDeque::new(); n_samples],
             max_len: None,
+            rolling_window: None,
+            rolling: Vec::new(),
         }
     }
 
@@ -40,9 +59,23 @@ impl HistoryStore {
     pub fn with_max_len(n_samples: usize, max_len: usize) -> Self {
         assert!(max_len > 0, "retention window must be positive");
         Self {
-            seqs: vec![Vec::new(); n_samples],
+            seqs: vec![VecDeque::new(); n_samples],
             max_len: Some(max_len),
+            rolling_window: None,
+            rolling: Vec::new(),
         }
+    }
+
+    /// Enable O(1) rolling statistics over the last `window` scores of
+    /// every sample. The effective window is clamped to the retention cap
+    /// (a capped store never holds more than `max_len` scores, so the
+    /// from-scratch fold never sees more either).
+    pub fn with_rolling(mut self, window: usize) -> Self {
+        assert!(window > 0, "rolling window must be positive");
+        let eff = self.max_len.map_or(window, |cap| window.min(cap));
+        self.rolling_window = Some(eff);
+        self.rolling = vec![RollingStats::new(eff); self.seqs.len()];
+        self
     }
 
     /// Number of tracked samples.
@@ -60,23 +93,35 @@ impl HistoryStore {
     /// # Panics
     /// Panics if `id` is out of range.
     pub fn append(&mut self, id: usize, score: f64) {
+        if let Some(window) = self.rolling_window {
+            let seq = &self.seqs[id];
+            let evicted = (seq.len() >= window).then(|| seq[seq.len() - window]);
+            self.rolling[id].push(score, evicted);
+        }
         let seq = &mut self.seqs[id];
-        seq.push(score);
+        seq.push_back(score);
         if let Some(cap) = self.max_len {
             if seq.len() > cap {
-                seq.remove(0);
+                seq.pop_front();
             }
         }
     }
 
     /// The retained sequence for sample `id` (oldest first).
-    pub fn seq(&self, id: usize) -> &[f64] {
-        &self.seqs[id]
+    pub fn seq(&self, id: usize) -> HistorySeq<'_> {
+        let (front, back) = self.seqs[id].as_slices();
+        HistorySeq { front, back }
+    }
+
+    /// The rolling tracker for sample `id`, if rolling statistics were
+    /// enabled with [`Self::with_rolling`].
+    pub fn rolling(&self, id: usize) -> Option<&RollingStats> {
+        self.rolling.get(id)
     }
 
     /// The most recent score, if any.
     pub fn current(&self, id: usize) -> Option<f64> {
-        self.seqs[id].last().copied()
+        self.seqs[id].back().copied()
     }
 
     /// Iterations recorded for sample `id` (capped by retention).
@@ -90,13 +135,87 @@ impl HistoryStore {
         self.seqs
             .iter()
             .filter(|s| !s.is_empty())
-            .cloned()
+            .map(|s| s.iter().copied().collect())
             .collect()
     }
 
     /// Consume the store, returning every sequence indexed by sample id.
     pub fn into_sequences(self) -> Vec<Vec<f64>> {
         self.seqs
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect()
+    }
+}
+
+/// Borrowed view of one sample's retained sequence, oldest first.
+///
+/// The backing ring buffer may wrap, so the view is at most two slices;
+/// iterate with [`HistorySeq::iter`] or materialize with
+/// [`HistorySeq::copy_into`] / [`HistorySeq::to_vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistorySeq<'a> {
+    front: &'a [f64],
+    back: &'a [f64],
+}
+
+impl<'a> HistorySeq<'a> {
+    /// Number of retained scores.
+    pub fn len(&self) -> usize {
+        self.front.len() + self.back.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty() && self.back.is_empty()
+    }
+
+    /// The most recent score.
+    pub fn last(&self) -> Option<f64> {
+        self.back.last().or_else(|| self.front.last()).copied()
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = f64> + 'a {
+        self.front.iter().chain(self.back.iter()).copied()
+    }
+
+    /// Replace `buf`'s contents with the sequence (reusable scratch).
+    pub fn copy_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend_from_slice(self.front);
+        buf.extend_from_slice(self.back);
+    }
+
+    /// The sequence as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        self.copy_into(&mut out);
+        out
+    }
+}
+
+impl PartialEq<[f64]> for HistorySeq<'_> {
+    fn eq(&self, other: &[f64]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl<const N: usize> PartialEq<[f64; N]> for HistorySeq<'_> {
+    fn eq(&self, other: &[f64; N]) -> bool {
+        *self == other[..]
+    }
+}
+
+impl PartialEq<&[f64]> for HistorySeq<'_> {
+    fn eq(&self, other: &&[f64]) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Vec<f64>> for HistorySeq<'_> {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        *self == other[..]
     }
 }
 
@@ -109,7 +228,7 @@ mod tests {
         let mut h = HistoryStore::new(3);
         h.append(1, 0.5);
         h.append(1, 0.7);
-        assert_eq!(h.seq(1), &[0.5, 0.7]);
+        assert_eq!(h.seq(1), [0.5, 0.7]);
         assert_eq!(h.current(1), Some(0.7));
         assert!(h.seq(0).is_empty());
         assert_eq!(h.current(0), None);
@@ -121,7 +240,7 @@ mod tests {
         for i in 0..5 {
             h.append(0, i as f64);
         }
-        assert_eq!(h.seq(0), &[2.0, 3.0, 4.0]);
+        assert_eq!(h.seq(0), [2.0, 3.0, 4.0]);
     }
 
     #[test]
@@ -140,6 +259,54 @@ mod tests {
         h.append(2, 2.0);
         let seqs = h.non_empty_sequences();
         assert_eq!(seqs.len(), 2);
+    }
+
+    #[test]
+    fn rolling_tracks_capped_window() {
+        // Retention cap 2 < requested window 5 → effective window 2.
+        let mut h = HistoryStore::with_max_len(1, 2).with_rolling(5);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.append(0, v);
+        }
+        let r = h.rolling(0).expect("rolling enabled");
+        assert_eq!(r.window(), 2);
+        assert_eq!(r.current(), 4.0);
+        assert!((r.uniform_sum() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rolling_disabled_by_default() {
+        let mut h = HistoryStore::new(2);
+        h.append(0, 1.0);
+        assert!(h.rolling(0).is_none());
+    }
+
+    #[test]
+    fn wrapped_ring_reads_in_order() {
+        let mut h = HistoryStore::with_max_len(1, 3);
+        for i in 0..7 {
+            h.append(0, i as f64);
+        }
+        let seq = h.seq(0);
+        assert_eq!(seq.to_vec(), vec![4.0, 5.0, 6.0]);
+        assert_eq!(seq.last(), Some(6.0));
+        let rev: Vec<f64> = seq.iter().rev().collect();
+        assert_eq!(rev, vec![6.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn serializes_as_plain_sequences() {
+        let mut h = HistoryStore::with_max_len(1, 2);
+        for i in 0..4 {
+            h.append(0, i as f64);
+        }
+        let json = serde_json::to_string(&h).expect("serializes");
+        assert!(
+            json.contains("[[2.0,3.0]]") || json.contains("[[2,3]]"),
+            "VecDeque must serialize as a plain sequence: {json}"
+        );
+        let back: HistoryStore = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back.seq(0), [2.0, 3.0]);
     }
 
     #[test]

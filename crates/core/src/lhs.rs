@@ -298,7 +298,7 @@ impl LhsSelector {
             .iter()
             .map(|&pos| {
                 self.features.extract(
-                    history.seq(unlabeled[pos]),
+                    &history.seq(unlabeled[pos]).to_vec(),
                     &evals[pos],
                     self.predictor.as_ref(),
                 )
@@ -517,9 +517,11 @@ where
         let rows: Vec<Vec<f64>> = candidates
             .iter()
             .map(|&pos| {
-                config
-                    .features
-                    .extract(sim.history.seq(unlabeled[pos]), &evals[pos], &predictor)
+                config.features.extract(
+                    &sim.history.seq(unlabeled[pos]).to_vec(),
+                    &evals[pos],
+                    &predictor,
+                )
             })
             .collect();
         let levels = bucket_levels(&deltas, config.level_interval);

@@ -6,17 +6,25 @@
 //!   informative score against the maximum similarity to already-selected
 //!   samples.
 //!
-//! Both operate on sparse bag-of-features representations with cosine
-//! similarity. Mean pool similarity is estimated on a fixed-size random
-//! subsample of the pool (documented deviation: the paper averages over
-//! all of `U`, which is `O(|U|²)` per round; a 256-sample Monte Carlo
-//! estimate preserves the ordering at a fraction of the cost).
+//! All three combinators consume a [`PoolGeometry`] — the pool's sparse
+//! representations snapshotted once per run into contiguous storage with
+//! cached norms — so each cosine is a single sparse dot and a division,
+//! with no per-call norm recomputation. Mean pool similarity is estimated
+//! on a fixed-size random subsample of the pool (documented deviation:
+//! the paper averages over all of `U`, which is `O(|U|²)` per round; a
+//! 256-sample Monte Carlo estimate preserves the ordering at a fraction
+//! of the cost).
+//!
+//! The greedy k-center and MMR loops maintain their min-distance /
+//! max-similarity arrays incrementally (one update sweep per pick, no
+//! rescan of the selected set), and all per-round working memory lives in
+//! a caller-owned [`SimScratch`] so repeated rounds allocate nothing.
 
 use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use histal_text::SparseVec;
+use histal_text::PoolGeometry;
 
 /// Configuration for density (representativeness) weighting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,47 +60,100 @@ impl Default for MmrConfig {
     }
 }
 
+/// Reusable per-round working memory for the similarity combinators.
+///
+/// Hold one per driver (or test) and pass it to every call; buffers are
+/// resized on first use and reused thereafter, so steady-state rounds
+/// perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Density reference subsample (pool ids, in draw order).
+    reference: Vec<usize>,
+    /// Membership mask over pool ids: `in_reference[id]` ⇔ `id` is in
+    /// `reference` — replaces the former `O(R)` `contains` scan.
+    in_reference: Vec<bool>,
+    /// Per-candidate "already picked" mask for the greedy loops.
+    taken: Vec<bool>,
+    /// Per-candidate similarity state: density similarity sums, min
+    /// distance (k-center) or max similarity (MMR) to the batch selected
+    /// so far.
+    sim: Vec<f64>,
+    /// Dense scatter buffer for one-vs-many cosine sweeps
+    /// ([`PoolGeometry::scatter`]); sized to the pool's feature dimension
+    /// on first use.
+    dense: Vec<f64>,
+}
+
+impl SimScratch {
+    fn reset_masks(&mut self, n: usize, fill: f64) {
+        self.taken.clear();
+        self.taken.resize(n, false);
+        self.sim.clear();
+        self.sim.resize(n, fill);
+    }
+}
+
 /// Multiply each unlabeled sample's score by its estimated mean cosine
 /// similarity to the unlabeled pool (Eq. 7), in place.
 ///
-/// `reps[id]` is the representation of pool sample `id`; `unlabeled` lists
-/// the ids currently in `U`, parallel to `scores`.
+/// `geom` row `id` is the representation of pool sample `id`; `unlabeled`
+/// lists the ids currently in `U`, parallel to `scores`.
 pub fn apply_density(
     scores: &mut [f64],
     unlabeled: &[usize],
-    reps: &[SparseVec],
+    geom: &PoolGeometry,
     config: &DensityConfig,
     rng: &mut ChaCha8Rng,
+    scratch: &mut SimScratch,
 ) {
     assert_eq!(scores.len(), unlabeled.len(), "scores/unlabeled misaligned");
     if unlabeled.is_empty() {
         return;
     }
-    let reference: Vec<usize> = if config.sample_size == 0 || unlabeled.len() <= config.sample_size
-    {
-        unlabeled.to_vec()
+    scratch.reference.clear();
+    if config.sample_size == 0 || unlabeled.len() <= config.sample_size {
+        scratch.reference.extend_from_slice(unlabeled);
     } else {
-        unlabeled
-            .choose_multiple(rng, config.sample_size)
-            .copied()
-            .collect()
-    };
-    for (score, &id) in scores.iter_mut().zip(unlabeled) {
-        let mut sim_sum = 0.0;
-        for &other in &reference {
+        scratch
+            .reference
+            .extend(unlabeled.choose_multiple(rng, config.sample_size).copied());
+    }
+    if scratch.in_reference.len() < geom.len() {
+        scratch.in_reference.resize(geom.len(), false);
+    }
+    for &id in &scratch.reference {
+        scratch.in_reference[id] = true;
+    }
+    // Reference-outer sweep: scatter each reference row once, then
+    // gather-dot every candidate against it. Each candidate's similarity
+    // sum accumulates in reference order — the identical addition
+    // sequence the candidate-outer merge loop produced.
+    scratch.sim.clear();
+    scratch.sim.resize(unlabeled.len(), 0.0);
+    for &other in &scratch.reference {
+        geom.scatter(other, &mut scratch.dense);
+        for (sum, &id) in scratch.sim.iter_mut().zip(unlabeled) {
             if other != id {
-                sim_sum += reps[id].cosine(&reps[other]);
+                *sum += geom.cosine_scattered(&scratch.dense, other, id);
             }
         }
-        let denom = reference
+        geom.unscatter(other, &mut scratch.dense);
+    }
+    for ((score, &id), &sim_sum) in scores.iter_mut().zip(unlabeled).zip(&scratch.sim) {
+        let denom = scratch
+            .reference
             .len()
-            .saturating_sub(usize::from(reference.contains(&id)));
+            .saturating_sub(usize::from(scratch.in_reference[id]));
         let density = if denom == 0 {
             0.0
         } else {
             sim_sum / denom as f64
         };
         *score *= density.max(0.0).powf(config.beta);
+    }
+    // Un-mark rather than re-zero the whole mask: O(R), not O(N).
+    for &id in &scratch.reference {
+        scratch.in_reference[id] = false;
     }
 }
 
@@ -106,8 +167,9 @@ pub fn apply_density(
 pub fn kcenter_select(
     scores: &[f64],
     unlabeled: &[usize],
-    reps: &[SparseVec],
+    geom: &PoolGeometry,
     batch_size: usize,
+    scratch: &mut SimScratch,
 ) -> Vec<usize> {
     assert_eq!(scores.len(), unlabeled.len(), "scores/unlabeled misaligned");
     let n = unlabeled.len();
@@ -122,12 +184,22 @@ pub fn kcenter_select(
         .map(|(i, _)| i)
         .unwrap_or(0);
     let mut selected = vec![first];
-    let mut taken = vec![false; n];
+    scratch.reset_masks(n, 0.0);
+    let SimScratch {
+        taken,
+        sim: min_dist,
+        dense,
+        ..
+    } = scratch;
+    // Min distance of each candidate to the selected set so far,
+    // maintained incrementally: each pick scatters its row once and
+    // updates every candidate with a gather-dot sweep.
     taken[first] = true;
-    // min distance of each candidate to the selected set so far.
-    let mut min_dist: Vec<f64> = (0..n)
-        .map(|pos| 1.0 - reps[unlabeled[pos]].cosine(&reps[unlabeled[first]]))
-        .collect();
+    geom.scatter(unlabeled[first], dense);
+    for (pos, d) in min_dist.iter_mut().enumerate() {
+        *d = 1.0 - geom.cosine_scattered(dense, unlabeled[first], unlabeled[pos]);
+    }
+    geom.unscatter(unlabeled[first], dense);
     while selected.len() < k {
         let mut best: Option<(usize, f64)> = None;
         for pos in 0..n {
@@ -144,15 +216,17 @@ pub fn kcenter_select(
         };
         taken[pos] = true;
         selected.push(pos);
-        let new_rep = &reps[unlabeled[pos]];
+        let new_id = unlabeled[pos];
+        geom.scatter(new_id, dense);
         for other in 0..n {
             if !taken[other] {
-                let d = 1.0 - new_rep.cosine(&reps[unlabeled[other]]);
+                let d = 1.0 - geom.cosine_scattered(dense, new_id, unlabeled[other]);
                 if d < min_dist[other] {
                     min_dist[other] = d;
                 }
             }
         }
+        geom.unscatter(new_id, dense);
     }
     selected
 }
@@ -166,17 +240,24 @@ pub fn kcenter_select(
 pub fn mmr_select(
     scores: &[f64],
     unlabeled: &[usize],
-    reps: &[SparseVec],
+    geom: &PoolGeometry,
     batch_size: usize,
     config: &MmrConfig,
+    scratch: &mut SimScratch,
 ) -> Vec<usize> {
     assert_eq!(scores.len(), unlabeled.len(), "scores/unlabeled misaligned");
     let n = unlabeled.len();
     let k = batch_size.min(n);
     let mut selected: Vec<usize> = Vec::with_capacity(k);
-    let mut taken = vec![false; n];
-    // Max similarity of each candidate to the selected batch so far.
-    let mut max_sim = vec![0.0f64; n];
+    scratch.reset_masks(n, 0.0);
+    let SimScratch {
+        taken,
+        sim: max_sim,
+        dense,
+        ..
+    } = scratch;
+    // Max similarity of each candidate to the selected batch so far,
+    // maintained incrementally.
     for _ in 0..k {
         let mut best: Option<(usize, f64)> = None;
         for pos in 0..n {
@@ -194,16 +275,19 @@ pub fn mmr_select(
         };
         taken[pos] = true;
         selected.push(pos);
-        // Update similarity penalties against the newly selected sample.
-        let new_rep = &reps[unlabeled[pos]];
+        // Update similarity penalties against the newly selected sample:
+        // scatter its row once, gather-dot the rest.
+        let new_id = unlabeled[pos];
+        geom.scatter(new_id, dense);
         for other in 0..n {
             if !taken[other] {
-                let s = new_rep.cosine(&reps[unlabeled[other]]);
+                let s = geom.cosine_scattered(dense, new_id, unlabeled[other]);
                 if s > max_sim[other] {
                     max_sim[other] = s;
                 }
             }
         }
+        geom.unscatter(new_id, dense);
     }
     selected
 }
@@ -211,10 +295,15 @@ pub fn mmr_select(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use histal_text::SparseVec;
     use rand::SeedableRng;
 
     fn rng() -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(3)
+    }
+
+    fn geom(reps: &[SparseVec]) -> PoolGeometry {
+        PoolGeometry::build(reps)
     }
 
     fn rep(pairs: &[(u32, f32)]) -> SparseVec {
@@ -235,12 +324,13 @@ mod tests {
         apply_density(
             &mut scores,
             &unlabeled,
-            &reps,
+            &geom(&reps),
             &DensityConfig {
                 sample_size: 0,
                 beta: 1.0,
             },
             &mut rng(),
+            &mut SimScratch::default(),
         );
         assert!(
             scores[0] > scores[3],
@@ -252,7 +342,45 @@ mod tests {
     #[test]
     fn density_empty_pool_is_noop() {
         let mut scores: Vec<f64> = vec![];
-        apply_density(&mut scores, &[], &[], &DensityConfig::default(), &mut rng());
+        apply_density(
+            &mut scores,
+            &[],
+            &geom(&[]),
+            &DensityConfig::default(),
+            &mut rng(),
+            &mut SimScratch::default(),
+        );
+    }
+
+    #[test]
+    fn density_scratch_reuse_is_stateless() {
+        // Reusing one scratch across calls must give the same result as a
+        // fresh scratch (the membership mask is fully un-marked).
+        let reps = vec![
+            rep(&[(0, 1.0)]),
+            rep(&[(0, 1.0), (1, 0.2)]),
+            rep(&[(9, 1.0)]),
+        ];
+        let g = geom(&reps);
+        let cfg = DensityConfig {
+            sample_size: 2,
+            beta: 1.0,
+        };
+        let mut shared = SimScratch::default();
+        for _ in 0..3 {
+            let mut reused = vec![1.0; 3];
+            let mut fresh = vec![1.0; 3];
+            apply_density(&mut reused, &[0, 1, 2], &g, &cfg, &mut rng(), &mut shared);
+            apply_density(
+                &mut fresh,
+                &[0, 1, 2],
+                &g,
+                &cfg,
+                &mut rng(),
+                &mut SimScratch::default(),
+            );
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]
@@ -260,7 +388,14 @@ mod tests {
         let reps = vec![rep(&[(0, 1.0)]); 4];
         let unlabeled = [0, 1, 2, 3];
         let scores = [0.1, 0.9, 0.5, 0.7];
-        let picks = mmr_select(&scores, &unlabeled, &reps, 2, &MmrConfig { lambda: 1.0 });
+        let picks = mmr_select(
+            &scores,
+            &unlabeled,
+            &geom(&reps),
+            2,
+            &MmrConfig { lambda: 1.0 },
+            &mut SimScratch::default(),
+        );
         assert_eq!(picks, vec![1, 3]);
     }
 
@@ -271,7 +406,14 @@ mod tests {
         let reps = vec![rep(&[(0, 1.0)]), rep(&[(0, 1.0)]), rep(&[(5, 1.0)])];
         let unlabeled = [0, 1, 2];
         let scores = [0.9, 0.89, 0.5];
-        let picks = mmr_select(&scores, &unlabeled, &reps, 2, &MmrConfig { lambda: 0.3 });
+        let picks = mmr_select(
+            &scores,
+            &unlabeled,
+            &geom(&reps),
+            2,
+            &MmrConfig { lambda: 0.3 },
+            &mut SimScratch::default(),
+        );
         assert_eq!(picks[0], 0);
         assert_eq!(picks[1], 2, "duplicate must lose to the diverse sample");
     }
@@ -279,13 +421,27 @@ mod tests {
     #[test]
     fn mmr_batch_larger_than_pool() {
         let reps = vec![rep(&[(0, 1.0)]); 2];
-        let picks = mmr_select(&[0.5, 0.4], &[0, 1], &reps, 10, &MmrConfig::default());
+        let picks = mmr_select(
+            &[0.5, 0.4],
+            &[0, 1],
+            &geom(&reps),
+            10,
+            &MmrConfig::default(),
+            &mut SimScratch::default(),
+        );
         assert_eq!(picks.len(), 2);
     }
 
     #[test]
     fn mmr_empty_pool() {
-        let picks = mmr_select(&[], &[], &[], 5, &MmrConfig::default());
+        let picks = mmr_select(
+            &[],
+            &[],
+            &geom(&[]),
+            5,
+            &MmrConfig::default(),
+            &mut SimScratch::default(),
+        );
         assert!(picks.is_empty());
     }
 
@@ -297,12 +453,13 @@ mod tests {
         apply_density(
             &mut scores,
             &unlabeled,
-            &reps,
+            &geom(&reps),
             &DensityConfig {
                 sample_size: 0,
                 beta: 0.0,
             },
             &mut rng(),
+            &mut SimScratch::default(),
         );
         assert_eq!(scores, vec![0.8, 0.3]);
     }
@@ -312,14 +469,24 @@ mod tests {
         // Two identical high scorers and one distant point: k-center must
         // take the top scorer, then jump to the distant point.
         let reps = vec![rep(&[(0, 1.0)]), rep(&[(0, 1.0)]), rep(&[(7, 1.0)])];
-        let picks = kcenter_select(&[0.9, 0.8, 0.1], &[0, 1, 2], &reps, 2);
+        let picks = kcenter_select(
+            &[0.9, 0.8, 0.1],
+            &[0, 1, 2],
+            &geom(&reps),
+            2,
+            &mut SimScratch::default(),
+        );
         assert_eq!(picks, vec![0, 2]);
     }
 
     #[test]
     fn kcenter_handles_small_pools() {
         let reps = vec![rep(&[(0, 1.0)])];
-        assert_eq!(kcenter_select(&[0.5], &[0], &reps, 5), vec![0]);
-        assert!(kcenter_select(&[], &[], &[], 3,).is_empty());
+        let mut scratch = SimScratch::default();
+        assert_eq!(
+            kcenter_select(&[0.5], &[0], &geom(&reps), 5, &mut scratch),
+            vec![0]
+        );
+        assert!(kcenter_select(&[], &[], &geom(&[]), 3, &mut scratch).is_empty());
     }
 }

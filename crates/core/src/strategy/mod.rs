@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::StrategyError;
 use crate::eval::{EvalCaps, SampleEval};
-use histal_tseries::{exp_weighted_sum, uniform_sum, window_variance};
+use histal_tseries::{exp_weighted_sum, uniform_sum, window_variance, RollingStats};
 
 pub use combinators::{kcenter_select, DensityConfig, MmrConfig};
 
@@ -156,6 +156,36 @@ impl HistoryPolicy {
                 w_score,
                 w_fluct,
             } => w_score * current + w_fluct * window_variance(seq, l),
+        }
+    }
+
+    /// The history window this policy folds over (1 for
+    /// [`Self::CurrentOnly`]). This is the window to hand to
+    /// [`crate::history::HistoryStore::with_rolling`] so that
+    /// [`Self::rolling_score`] sees the right statistics.
+    pub fn window(&self) -> usize {
+        match *self {
+            Self::CurrentOnly => 1,
+            Self::Hus { k } => k,
+            Self::Wshs { l } => l,
+            Self::Fhs { l, .. } => l,
+        }
+    }
+
+    /// Fold via O(1) rolling statistics instead of rescanning the
+    /// sequence. `stats` must track this policy's [`Self::window`]
+    /// (possibly clamped by the store's retention cap, which leaves the
+    /// result unchanged — a capped sequence is never longer than the cap).
+    /// Agrees with [`Self::final_score`] on the retained sequence to
+    /// rounding error; the slice fold stays the test oracle.
+    pub fn rolling_score(&self, stats: &RollingStats) -> f64 {
+        match *self {
+            Self::CurrentOnly => stats.current(),
+            Self::Hus { .. } => stats.uniform_sum(),
+            Self::Wshs { .. } => stats.exp_weighted_sum(),
+            Self::Fhs {
+                w_score, w_fluct, ..
+            } => w_score * stats.current() + w_fluct * stats.variance(),
         }
     }
 
@@ -328,6 +358,43 @@ mod tests {
     fn hus_is_plain_sum() {
         let p = HistoryPolicy::Hus { k: 2 };
         assert!((p.final_score(&[1.0, 2.0, 3.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rolling_score_matches_slice_fold() {
+        let seq = [0.3, 0.8, 0.1, 0.6, 0.9];
+        let policies = [
+            HistoryPolicy::CurrentOnly,
+            HistoryPolicy::Hus { k: 3 },
+            HistoryPolicy::Wshs { l: 3 },
+            HistoryPolicy::Fhs {
+                l: 3,
+                w_score: 0.5,
+                w_fluct: 0.5,
+            },
+        ];
+        for p in policies {
+            let mut stats = RollingStats::new(p.window());
+            let mut seen: Vec<f64> = Vec::new();
+            for &v in &seq {
+                let evicted = (seen.len() >= p.window()).then(|| seen[seen.len() - p.window()]);
+                stats.push(v, evicted);
+                seen.push(v);
+                let rolling = p.rolling_score(&stats);
+                let scratch = p.final_score(&seen);
+                assert!(
+                    (rolling - scratch).abs() <= 1e-12,
+                    "{p:?}: {rolling} vs {scratch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn policy_windows() {
+        assert_eq!(HistoryPolicy::CurrentOnly.window(), 1);
+        assert_eq!(HistoryPolicy::Hus { k: 4 }.window(), 4);
+        assert_eq!(HistoryPolicy::Wshs { l: 3 }.window(), 3);
     }
 
     #[test]

@@ -54,7 +54,49 @@ proptest! {
             full.append(0, s);
         }
         let tail_start = scores.len().saturating_sub(cap);
-        prop_assert_eq!(capped.seq(0), &full.seq(0)[tail_start..]);
+        let full_seq = full.seq(0).to_vec();
+        prop_assert_eq!(capped.seq(0).to_vec(), full_seq[tail_start..].to_vec());
+    }
+
+    /// Rolling-statistics scoring through the store agrees with the
+    /// from-scratch policy fold on the retained sequence, for arbitrary
+    /// append sequences, retention caps and window lengths.
+    #[test]
+    fn rolling_store_matches_policy_fold(
+        scores in prop::collection::vec(-5.0f64..5.0, 0..40),
+        cap_raw in 0usize..8,
+        window in 1usize..8,
+        policy_ix in 0usize..4,
+    ) {
+        // cap_raw == 0 means unbounded retention.
+        let cap = (cap_raw > 0).then_some(cap_raw);
+        let policy = match policy_ix {
+            0 => HistoryPolicy::CurrentOnly,
+            1 => HistoryPolicy::Hus { k: window },
+            2 => HistoryPolicy::Wshs { l: window },
+            _ => HistoryPolicy::Fhs { l: window, w_score: 0.6, w_fluct: 0.4 },
+        };
+        let mut store = match cap {
+            Some(c) => HistoryStore::with_max_len(1, c),
+            None => HistoryStore::new(1),
+        }
+        .with_rolling(policy.window());
+        for &s in &scores {
+            store.append(0, s);
+            let rolling = policy.rolling_score(store.rolling(0).expect("rolling enabled"));
+            let seq = store.seq(0).to_vec();
+            let scratch = policy.final_score(&seq);
+            // Rolling updates associate the arithmetic differently and the
+            // Welford remove/add error accumulates over the run, so the
+            // bound is a comfortable multiple of machine epsilon — still
+            // orders of magnitude below any real defect (wrong evictee or
+            // weight shows up at ~1e-1).
+            let tol = scratch.abs().max(1.0) * 1e-10;
+            prop_assert!(
+                (rolling - scratch).abs() <= tol,
+                "{:?}: rolling {} vs scratch {}", policy, rolling, scratch
+            );
+        }
     }
 
     /// All history policies coincide on single-element sequences

@@ -19,6 +19,8 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::identity_op)]
 
+use std::cell::RefCell;
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -136,6 +138,49 @@ impl Default for CrfConfig {
     }
 }
 
+/// Reusable flat (row-major `t_len × n_labels`) lattice buffers for the
+/// evaluation paths. `eval_sample` runs once per unlabeled sample per
+/// round, and every call used to allocate fresh nested `Vec<Vec<f64>>`
+/// lattices; one scratch per thread amortizes all of that away. The
+/// flat layout performs the exact same floating-point operations in the
+/// same order as the nested reference implementations (`forward`,
+/// `backward`), so scores are bit-identical — see
+/// `flat_eval_matches_nested_reference`.
+#[derive(Debug, Default)]
+struct LatticeScratch {
+    /// Emission scores `e[t*l + y]`.
+    e: Vec<f64>,
+    /// Forward lattice `α[t*l + y]`.
+    alpha: Vec<f64>,
+    /// Backward lattice `β[t*l + y]`.
+    beta: Vec<f64>,
+    /// Per-cell logsumexp row (`n_labels` long).
+    row: Vec<f64>,
+    /// Viterbi score lattice.
+    delta: Vec<f64>,
+    /// Viterbi backpointers.
+    back: Vec<u16>,
+    /// Decoded tag buffer.
+    tags: Vec<u16>,
+    /// 2-best lattice columns (best, second) per label.
+    best2: Vec<(f64, f64)>,
+    next2: Vec<(f64, f64)>,
+    /// Marginal row for the entropy accumulation.
+    probs: Vec<f64>,
+    /// BALD vote counts `votes[t*l + tag]`.
+    votes: Vec<u32>,
+}
+
+thread_local! {
+    static LATTICE: RefCell<LatticeScratch> = RefCell::new(LatticeScratch::default());
+}
+
+/// Borrow this thread's lattice scratch. Callees must not re-enter (the
+/// public wrappers borrow once and hand `&mut LatticeScratch` down).
+fn with_lattice<R>(f: impl FnOnce(&mut LatticeScratch) -> R) -> R {
+    LATTICE.with(|cell| f(&mut cell.borrow_mut()))
+}
+
 /// The CRF model (paper Task 2 substrate).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CrfTagger {
@@ -204,27 +249,184 @@ impl CrfTagger {
             .collect()
     }
 
-    /// Emission scores under a random dropout mask.
-    fn emissions_dropout(&self, s: &Sentence, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
+    /// Flat emission matrix `e[t*l + y]` into a reusable buffer.
+    fn emissions_into(&self, s: &Sentence, e: &mut Vec<f64>) {
         let nf = self.config.n_features as usize;
+        e.clear();
+        e.reserve(s.len() * self.n_labels);
+        for x in &s.token_feats {
+            for y in 0..self.n_labels {
+                e.push(x.dot_dense(&self.emit[y * nf..(y + 1) * nf]));
+            }
+        }
+    }
+
+    /// Flat emission scores under a random dropout mask, into a reusable
+    /// buffer. Consumes `rng` draws in the same order as the original
+    /// per-row implementation (one draw per in-range feature index).
+    fn emissions_dropout_into(&self, s: &Sentence, rng: &mut ChaCha8Rng, e: &mut Vec<f64>) {
+        let nf = self.config.n_features as usize;
+        let l = self.n_labels;
         let keep = 1.0 - self.config.dropout;
         let scale = 1.0 / keep;
-        s.token_feats
-            .iter()
-            .map(|x| {
-                let mut row = vec![0.0; self.n_labels];
-                for (idx, val) in x.iter() {
-                    // Out-of-range hashed indices are ignored, matching dot_dense.
-                    if (idx as usize) < nf && rng.gen::<f64>() < keep {
-                        let v = val as f64 * scale;
-                        for (y, r) in row.iter_mut().enumerate() {
-                            *r += self.emit[y * nf + idx as usize] * v;
+        e.clear();
+        e.resize(s.len() * l, 0.0);
+        for (t, x) in s.token_feats.iter().enumerate() {
+            let row = &mut e[t * l..(t + 1) * l];
+            for (idx, val) in x.iter() {
+                // Out-of-range hashed indices are ignored, matching dot_dense.
+                if (idx as usize) < nf && rng.gen::<f64>() < keep {
+                    let v = val as f64 * scale;
+                    for (y, r) in row.iter_mut().enumerate() {
+                        *r += self.emit[y * nf + idx as usize] * v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward pass on a flat emission matrix; fills `alpha` and returns
+    /// `logZ`. Same operations in the same order as [`Self::forward`].
+    fn forward_flat(&self, e: &[f64], alpha: &mut Vec<f64>, row: &mut Vec<f64>) -> f64 {
+        let l = self.n_labels;
+        let t_len = e.len() / l;
+        alpha.clear();
+        alpha.resize(t_len * l, 0.0);
+        row.clear();
+        row.resize(l, 0.0);
+        for y in 0..l {
+            alpha[y] = self.start[y] + e[y];
+        }
+        for t in 1..t_len {
+            for y in 0..l {
+                for (p, s) in row.iter_mut().enumerate() {
+                    *s = alpha[(t - 1) * l + p] + self.trans[p * l + y];
+                }
+                alpha[t * l + y] = logsumexp(row) + e[t * l + y];
+            }
+        }
+        for y in 0..l {
+            row[y] = alpha[(t_len - 1) * l + y] + self.end[y];
+        }
+        logsumexp(row)
+    }
+
+    /// Backward pass on a flat emission matrix; fills `beta`.
+    fn backward_flat(&self, e: &[f64], beta: &mut Vec<f64>, row: &mut Vec<f64>) {
+        let l = self.n_labels;
+        let t_len = e.len() / l;
+        beta.clear();
+        beta.resize(t_len * l, 0.0);
+        row.clear();
+        row.resize(l, 0.0);
+        beta[(t_len - 1) * l..].copy_from_slice(&self.end);
+        for t in (0..t_len - 1).rev() {
+            for y in 0..l {
+                for (n, s) in row.iter_mut().enumerate() {
+                    *s = self.trans[y * l + n] + e[(t + 1) * l + n] + beta[(t + 1) * l + n];
+                }
+                beta[t * l + y] = logsumexp(row);
+            }
+        }
+    }
+
+    /// Viterbi on a flat emission matrix with reusable lattices; fills
+    /// `tags` with the best path and returns its unnormalized score.
+    fn viterbi_flat(
+        &self,
+        e: &[f64],
+        delta: &mut Vec<f64>,
+        back: &mut Vec<u16>,
+        tags: &mut Vec<u16>,
+    ) -> f64 {
+        let l = self.n_labels;
+        let t_len = e.len() / l;
+        delta.clear();
+        delta.resize(t_len * l, 0.0);
+        back.clear();
+        back.resize(t_len * l, 0);
+        for y in 0..l {
+            delta[y] = self.start[y] + e[y];
+        }
+        for t in 1..t_len {
+            for y in 0..l {
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0u16;
+                for p in 0..l {
+                    let v = delta[(t - 1) * l + p] + self.trans[p * l + y];
+                    if v > best {
+                        best = v;
+                        arg = p as u16;
+                    }
+                }
+                delta[t * l + y] = best + e[t * l + y];
+                back[t * l + y] = arg;
+            }
+        }
+        let (mut cur, mut best) = (0usize, f64::NEG_INFINITY);
+        for y in 0..l {
+            let v = delta[(t_len - 1) * l + y] + self.end[y];
+            if v > best {
+                best = v;
+                cur = y;
+            }
+        }
+        tags.clear();
+        tags.resize(t_len, 0);
+        tags[t_len - 1] = cur as u16;
+        for t in (1..t_len).rev() {
+            cur = back[t * l + cur] as usize;
+            tags[t - 1] = cur as u16;
+        }
+        best
+    }
+
+    /// 2-best Viterbi on a flat emission matrix with reusable columns.
+    fn viterbi2_flat(
+        &self,
+        e: &[f64],
+        delta: &mut Vec<(f64, f64)>,
+        next: &mut Vec<(f64, f64)>,
+    ) -> (f64, f64) {
+        let l = self.n_labels;
+        let t_len = e.len() / l;
+        delta.clear();
+        delta.resize(l, (f64::NEG_INFINITY, f64::NEG_INFINITY));
+        for (y, d) in delta.iter_mut().enumerate() {
+            d.0 = self.start[y] + e[y];
+        }
+        next.clear();
+        next.resize(l, (f64::NEG_INFINITY, f64::NEG_INFINITY));
+        for t in 1..t_len {
+            for (y, n) in next.iter_mut().enumerate() {
+                let (mut b1, mut b2) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for (p, d) in delta.iter().enumerate() {
+                    let tr = self.trans[p * l + y];
+                    for cand in [d.0 + tr, d.1 + tr] {
+                        if cand > b1 {
+                            b2 = b1;
+                            b1 = cand;
+                        } else if cand > b2 {
+                            b2 = cand;
                         }
                     }
                 }
-                row
-            })
-            .collect()
+                *n = (b1 + e[t * l + y], b2 + e[t * l + y]);
+            }
+            std::mem::swap(delta, next);
+        }
+        let (mut b1, mut b2) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for (y, d) in delta.iter().enumerate() {
+            for cand in [d.0 + self.end[y], d.1 + self.end[y]] {
+                if cand > b1 {
+                    b2 = b1;
+                    b1 = cand;
+                } else if cand > b2 {
+                    b2 = cand;
+                }
+            }
+        }
+        (b1, b2)
     }
 
     /// Log-space forward pass; returns `(alpha, logZ)`.
@@ -292,48 +494,18 @@ impl CrfTagger {
         if s.is_empty() {
             return (Vec::new(), 0.0);
         }
-        let e = self.emissions(s);
-        self.viterbi_on(&e)
-    }
-
-    fn viterbi_on(&self, e: &[Vec<f64>]) -> (Vec<u16>, f64) {
-        let t_len = e.len();
-        let l = self.n_labels;
-        let mut delta = vec![vec![0.0; l]; t_len];
-        let mut back = vec![vec![0u16; l]; t_len];
-        for y in 0..l {
-            delta[0][y] = self.start[y] + e[0][y];
-        }
-        for t in 1..t_len {
-            for y in 0..l {
-                let mut best = f64::NEG_INFINITY;
-                let mut arg = 0u16;
-                for p in 0..l {
-                    let v = delta[t - 1][p] + self.trans[p * l + y];
-                    if v > best {
-                        best = v;
-                        arg = p as u16;
-                    }
-                }
-                delta[t][y] = best + e[t][y];
-                back[t][y] = arg;
-            }
-        }
-        let (mut cur, mut best) = (0usize, f64::NEG_INFINITY);
-        for y in 0..l {
-            let v = delta[t_len - 1][y] + self.end[y];
-            if v > best {
-                best = v;
-                cur = y;
-            }
-        }
-        let mut tags = vec![0u16; t_len];
-        tags[t_len - 1] = cur as u16;
-        for t in (1..t_len).rev() {
-            cur = back[t][cur] as usize;
-            tags[t - 1] = cur as u16;
-        }
-        (tags, best)
+        with_lattice(|ws| {
+            let LatticeScratch {
+                e,
+                delta,
+                back,
+                tags,
+                ..
+            } = ws;
+            self.emissions_into(s, e);
+            let score = self.viterbi_flat(e, delta, back, tags);
+            (tags.clone(), score)
+        })
     }
 
     /// 2-best Viterbi: scores of the best and second-best label paths.
@@ -344,45 +516,13 @@ impl CrfTagger {
         if s.is_empty() {
             return (0.0, f64::NEG_INFINITY);
         }
-        let e = self.emissions(s);
-        let t_len = e.len();
-        let l = self.n_labels;
-        // delta[t][y] = (best, second) prefix score ending in y.
-        let mut delta = vec![(f64::NEG_INFINITY, f64::NEG_INFINITY); l];
-        for (y, d) in delta.iter_mut().enumerate() {
-            d.0 = self.start[y] + e[0][y];
-        }
-        let mut next = vec![(f64::NEG_INFINITY, f64::NEG_INFINITY); l];
-        for t in 1..t_len {
-            for (y, n) in next.iter_mut().enumerate() {
-                let (mut b1, mut b2) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-                for (p, d) in delta.iter().enumerate() {
-                    let tr = self.trans[p * l + y];
-                    for cand in [d.0 + tr, d.1 + tr] {
-                        if cand > b1 {
-                            b2 = b1;
-                            b1 = cand;
-                        } else if cand > b2 {
-                            b2 = cand;
-                        }
-                    }
-                }
-                *n = (b1 + e[t][y], b2 + e[t][y]);
-            }
-            std::mem::swap(&mut delta, &mut next);
-        }
-        let (mut b1, mut b2) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-        for (y, d) in delta.iter().enumerate() {
-            for cand in [d.0 + self.end[y], d.1 + self.end[y]] {
-                if cand > b1 {
-                    b2 = b1;
-                    b1 = cand;
-                } else if cand > b2 {
-                    b2 = cand;
-                }
-            }
-        }
-        (b1, b2)
+        with_lattice(|ws| {
+            let LatticeScratch {
+                e, best2, next2, ..
+            } = ws;
+            self.emissions_into(s, e);
+            self.viterbi2_flat(e, best2, next2)
+        })
     }
 
     /// Sequence margin uncertainty: `1 − (P₁ − P₂)` where `P₁, P₂` are
@@ -392,16 +532,26 @@ impl CrfTagger {
         if s.is_empty() {
             return 0.0;
         }
-        let e = self.emissions(s);
-        let (_, log_z) = self.forward(&e);
-        let (best, second) = self.viterbi2(s);
-        let p1 = (best - log_z).exp();
-        let p2 = if second.is_finite() {
-            (second - log_z).exp()
-        } else {
-            0.0
-        };
-        1.0 - (p1 - p2)
+        with_lattice(|ws| {
+            let LatticeScratch {
+                e,
+                alpha,
+                row,
+                best2,
+                next2,
+                ..
+            } = ws;
+            self.emissions_into(s, e);
+            let log_z = self.forward_flat(e, alpha, row);
+            let (best, second) = self.viterbi2_flat(e, best2, next2);
+            let p1 = (best - log_z).exp();
+            let p2 = if second.is_finite() {
+                (second - log_z).exp()
+            } else {
+                0.0
+            };
+            1.0 - (p1 - p2)
+        })
     }
 
     /// Unnormalized score of a given path.
@@ -551,21 +701,37 @@ impl CrfTagger {
 
     /// BALD via MC dropout: mean per-token Viterbi variation ratio.
     pub fn bald(&self, s: &Sentence, rng: &mut ChaCha8Rng) -> f64 {
+        with_lattice(|ws| self.bald_with(s, rng, ws))
+    }
+
+    /// BALD inner loop on caller-provided scratch: `mc_passes` dropout
+    /// lattices and Viterbi decodes with zero per-pass allocation.
+    fn bald_with(&self, s: &Sentence, rng: &mut ChaCha8Rng, ws: &mut LatticeScratch) -> f64 {
         if s.is_empty() {
             return 0.0;
         }
+        let l = self.n_labels;
         let passes = self.config.mc_passes.max(2);
-        let mut votes = vec![std::collections::HashMap::new(); s.len()];
+        let LatticeScratch {
+            e,
+            delta,
+            back,
+            tags,
+            votes,
+            ..
+        } = ws;
+        votes.clear();
+        votes.resize(s.len() * l, 0);
         for _ in 0..passes {
-            let e = self.emissions_dropout(s, rng);
-            let (tags, _) = self.viterbi_on(&e);
+            self.emissions_dropout_into(s, rng, e);
+            self.viterbi_flat(e, delta, back, tags);
             for (t, &tag) in tags.iter().enumerate() {
-                *votes[t].entry(tag).or_insert(0u32) += 1;
+                votes[t * l + tag as usize] += 1;
             }
         }
         let mut acc = 0.0;
-        for v in &votes {
-            let mode = v.values().copied().max().unwrap_or(0);
+        for token_votes in votes.chunks(l) {
+            let mode = token_votes.iter().copied().max().unwrap_or(0);
             acc += 1.0 - mode as f64 / passes as f64;
         }
         acc / s.len() as f64
@@ -768,62 +934,84 @@ impl Model for CrfTagger {
         if sample.is_empty() {
             return SampleEval::default();
         }
-        let e = self.emissions(sample);
-        let (alpha, log_z) = self.forward(&e);
-        let beta = self.backward(&e);
-        let (_, best_score) = self.viterbi_on(&e);
-        let best_logprob = best_score - log_z;
+        let l = self.n_labels;
+        with_lattice(|ws| {
+            let mut eval = {
+                let LatticeScratch {
+                    e,
+                    alpha,
+                    beta,
+                    row,
+                    delta,
+                    back,
+                    tags,
+                    best2,
+                    next2,
+                    probs,
+                    ..
+                } = &mut *ws;
+                self.emissions_into(sample, e);
+                let log_z = self.forward_flat(e, alpha, row);
+                self.backward_flat(e, beta, row);
+                let best_score = self.viterbi_flat(e, delta, back, tags);
+                let best_logprob = best_score - log_z;
 
-        // Mean per-token marginal entropy.
-        let mut entropy = 0.0;
-        for (a, b) in alpha.iter().zip(&beta) {
-            let probs: Vec<f64> = a
-                .iter()
-                .zip(b)
-                .map(|(&ai, &bi)| (ai + bi - log_z).exp())
-                .collect();
-            entropy += histal_core::eval::entropy_of(&probs);
-        }
-        entropy /= sample.len() as f64;
+                // Mean per-token marginal entropy.
+                let mut entropy = 0.0;
+                for t in 0..sample.len() {
+                    probs.clear();
+                    probs
+                        .extend((0..l).map(|y| (alpha[t * l + y] + beta[t * l + y] - log_z).exp()));
+                    entropy += histal_core::eval::entropy_of(probs);
+                }
+                entropy /= sample.len() as f64;
 
-        let mut eval = SampleEval {
-            probs: Vec::new(),
-            entropy,
-            least_confidence: 1.0 - best_logprob.exp(),
-            // Top-2 path margin (sequence analogue of margin sampling);
-            // 2-best Viterbi costs a second lattice pass, so it is gated.
-            margin: if caps.margin {
-                let (_, second) = self.viterbi2(sample);
-                let p1 = best_logprob.exp();
-                let p2 = if second.is_finite() {
-                    (second - log_z).exp()
-                } else {
-                    0.0
+                let mut eval = SampleEval {
+                    probs: Vec::new(),
+                    entropy,
+                    least_confidence: 1.0 - best_logprob.exp(),
+                    // Top-2 path margin (sequence analogue of margin
+                    // sampling); 2-best Viterbi costs a second lattice
+                    // pass, so it is gated. Reuses the emission matrix
+                    // already in scratch.
+                    margin: if caps.margin {
+                        let (_, second) = self.viterbi2_flat(e, best2, next2);
+                        let p1 = best_logprob.exp();
+                        let p2 = if second.is_finite() {
+                            (second - log_z).exp()
+                        } else {
+                            0.0
+                        };
+                        Some(1.0 - (p1 - p2))
+                    } else {
+                        None
+                    },
+                    ..Default::default()
                 };
-                Some(1.0 - (p1 - p2))
-            } else {
-                None
-            },
-            ..Default::default()
-        };
-        if caps.mnlp {
-            // Eq. 13 as an uncertainty: −(1/n) log P(ŷ|x) ≥ 0.
-            eval.mnlp = Some(-best_logprob / sample.len() as f64);
-        }
-        if caps.bald {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            eval.bald = Some(self.bald(sample, &mut rng));
-        }
-        if caps.qbc {
-            eval.qbc_kl = self.qbc_kl(sample);
-        }
-        if caps.egl || caps.egl_word {
-            // Gradient-length strategies are not implemented for the CRF
-            // substrate (the paper only runs LC/MNLP/BALD-family
-            // strategies on NER); the fields remain None and the strategy
-            // surfaces a MissingCapability error.
-        }
-        eval
+                if caps.mnlp {
+                    // Eq. 13 as an uncertainty: −(1/n) log P(ŷ|x) ≥ 0.
+                    eval.mnlp = Some(-best_logprob / sample.len() as f64);
+                }
+                eval
+            };
+            if caps.bald {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                eval.bald = Some(self.bald_with(sample, &mut rng, ws));
+            }
+            if caps.qbc {
+                // Committee members allocate their own lattices inside
+                // `marginals` (the nested reference path), so this does
+                // not re-enter the thread-local scratch.
+                eval.qbc_kl = self.qbc_kl(sample);
+            }
+            if caps.egl || caps.egl_word {
+                // Gradient-length strategies are not implemented for the
+                // CRF substrate (the paper only runs LC/MNLP/BALD-family
+                // strategies on NER); the fields remain None and the
+                // strategy surfaces a MissingCapability error.
+            }
+            eval
+        })
     }
 
     fn metric(&self, samples: &[&Sentence], labels: &[&Vec<u16>]) -> f64 {
@@ -1168,6 +1356,64 @@ mod tests {
         let a = m.eval_sample(&sent(&["zz"]), &caps, 5);
         let b = m.eval_sample(&sent(&["zz"]), &caps, 5);
         assert_eq!(a.qbc_kl, b.qbc_kl);
+    }
+
+    #[test]
+    fn flat_eval_matches_nested_reference() {
+        let mut m = CrfTagger::new(tiny_config());
+        randomize(&mut m, 31);
+        let s = sent(&["alpha", "Beta", "g4mma"]);
+        let l = m.n_labels();
+        let e_nested = m.emissions(&s);
+        let (alpha_n, log_z_n) = m.forward(&e_nested);
+        let beta_n = m.backward(&e_nested);
+
+        let (mut e, mut alpha, mut beta, mut row) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        m.emissions_into(&s, &mut e);
+        for (t, erow) in e_nested.iter().enumerate() {
+            for (y, v) in erow.iter().enumerate() {
+                assert_eq!(v.to_bits(), e[t * l + y].to_bits());
+            }
+        }
+        let log_z = m.forward_flat(&e, &mut alpha, &mut row);
+        assert_eq!(log_z.to_bits(), log_z_n.to_bits());
+        m.backward_flat(&e, &mut beta, &mut row);
+        for t in 0..s.len() {
+            for y in 0..l {
+                assert_eq!(alpha_n[t][y].to_bits(), alpha[t * l + y].to_bits());
+                assert_eq!(beta_n[t][y].to_bits(), beta[t * l + y].to_bits());
+            }
+        }
+        // Scratch reuse is stateless: a second evaluation of a different,
+        // shorter sentence through the same public entry points matches a
+        // fresh model's answer.
+        let short = sent(&["x"]);
+        let fresh = m.clone();
+        let a = m.eval_sample(
+            &short,
+            &EvalCaps {
+                margin: true,
+                mnlp: true,
+                bald: true,
+                ..Default::default()
+            },
+            9,
+        );
+        let b = fresh.eval_sample(
+            &short,
+            &EvalCaps {
+                margin: true,
+                mnlp: true,
+                bald: true,
+                ..Default::default()
+            },
+            9,
+        );
+        assert_eq!(a.entropy.to_bits(), b.entropy.to_bits());
+        assert_eq!(a.least_confidence.to_bits(), b.least_confidence.to_bits());
+        assert_eq!(a.margin, b.margin);
+        assert_eq!(a.bald, b.bald);
     }
 
     #[test]

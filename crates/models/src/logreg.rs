@@ -18,6 +18,8 @@
 
 #![allow(clippy::needless_range_loop)]
 
+use std::cell::RefCell;
+
 use rand::prelude::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
@@ -81,6 +83,19 @@ impl Default for TextClassifierConfig {
     }
 }
 
+/// Reusable posterior buffers for the evaluation hot path (one MC-dropout
+/// pass posterior and its running mean). Thread-local so parallel
+/// pool-evaluation workers each keep their own without locking.
+#[derive(Debug, Default)]
+struct PosteriorScratch {
+    pass: Vec<f64>,
+    mean: Vec<f64>,
+}
+
+thread_local! {
+    static POSTERIOR: RefCell<PosteriorScratch> = RefCell::new(PosteriorScratch::default());
+}
+
 /// One linear softmax scorer (weights + biases).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Linear {
@@ -116,23 +131,32 @@ impl Linear {
         p
     }
 
-    /// Posterior under one random feature-dropout mask (inverted dropout).
-    fn probs_dropout(&self, x: &SparseVec, dropout: f64, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    /// Posterior under one random feature-dropout mask (inverted
+    /// dropout), written into `out`. Draws exactly one uniform per
+    /// in-range feature, in feature order — callers rely on that to keep
+    /// the MC-dropout stream reproducible.
+    fn probs_dropout_into(
+        &self,
+        x: &SparseVec,
+        dropout: f64,
+        rng: &mut ChaCha8Rng,
+        out: &mut Vec<f64>,
+    ) {
         let keep = 1.0 - dropout;
         let scale = 1.0 / keep;
         let nf = self.n_features as usize;
-        let mut logits = self.b.clone();
+        out.clear();
+        out.extend_from_slice(&self.b);
         for (idx, val) in x.iter() {
             // Out-of-range hashed indices are ignored, matching dot_dense.
             if (idx as usize) < nf && rng.gen::<f64>() < keep {
                 let v = val as f64 * scale;
-                for (c, l) in logits.iter_mut().enumerate() {
+                for (c, l) in out.iter_mut().enumerate() {
                     *l += self.w[c * nf + idx as usize] * v;
                 }
             }
         }
-        softmax_inplace(&mut logits);
-        logits
+        softmax_inplace(out);
     }
 
     /// Minibatch size for the parallel SGD kernel. Gradients within a
@@ -301,26 +325,31 @@ impl TextClassifier {
         doc.max_word_weight * expected_grad_class_factor(&p)
     }
 
-    /// BALD mutual information via MC dropout.
+    /// BALD mutual information via MC dropout. All pass posteriors live
+    /// in thread-local scratch, so repeated calls over a pool allocate
+    /// nothing.
     pub fn bald(&self, doc: &Document, rng: &mut ChaCha8Rng) -> f64 {
-        let passes = self.config.mc_passes.max(2);
-        let k = self.config.n_classes;
-        let mut mean = vec![0.0; k];
-        let mut mean_entropy = 0.0;
-        for _ in 0..passes {
-            let p = self
-                .main
-                .probs_dropout(&doc.features, self.config.dropout, rng);
-            mean_entropy += histal_core::eval::entropy_of(&p);
-            for (m, pi) in mean.iter_mut().zip(&p) {
-                *m += pi;
+        POSTERIOR.with(|cell| {
+            let ws = &mut *cell.borrow_mut();
+            let PosteriorScratch { pass, mean } = ws;
+            let passes = self.config.mc_passes.max(2);
+            mean.clear();
+            mean.resize(self.config.n_classes, 0.0);
+            let mut mean_entropy = 0.0;
+            for _ in 0..passes {
+                self.main
+                    .probs_dropout_into(&doc.features, self.config.dropout, rng, pass);
+                mean_entropy += histal_core::eval::entropy_of(pass);
+                for (m, pi) in mean.iter_mut().zip(pass.iter()) {
+                    *m += pi;
+                }
             }
-        }
-        for m in &mut mean {
-            *m /= passes as f64;
-        }
-        mean_entropy /= passes as f64;
-        (histal_core::eval::entropy_of(&mean) - mean_entropy).max(0.0)
+            for m in mean.iter_mut() {
+                *m /= passes as f64;
+            }
+            mean_entropy /= passes as f64;
+            (histal_core::eval::entropy_of(mean) - mean_entropy).max(0.0)
+        })
     }
 
     /// Mean KL of committee members from the committee mean (Eq. 6).
@@ -422,12 +451,18 @@ impl Model for TextClassifier {
     }
 
     fn eval_sample(&self, sample: &Document, caps: &EvalCaps, seed: u64) -> SampleEval {
-        let mut eval = SampleEval::from_probs(self.predict_proba(sample));
+        let p = self.predict_proba(sample);
+        // EGL and EGL-word share the class-space factor, and both start
+        // from the posterior already in hand — fold them off it instead
+        // of recomputing it per capability.
+        let grad_factor = (caps.egl || caps.egl_word).then(|| expected_grad_class_factor(&p));
+        let mut eval = SampleEval::from_probs(p);
         if caps.egl {
-            eval.egl = Some(self.egl(sample));
+            let x_norm = (sample.features.norm().powi(2) + 1.0).sqrt(); // +1 for bias
+            eval.egl = grad_factor.map(|f| x_norm * f);
         }
         if caps.egl_word {
-            eval.egl_word = Some(self.egl_word(sample));
+            eval.egl_word = grad_factor.map(|f| sample.max_word_weight * f);
         }
         if caps.bald {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -582,6 +617,29 @@ mod tests {
         // Determinism under the same seed.
         let again = m.eval_sample(&d, &caps, 7);
         assert_eq!(full.bald, again.bald);
+    }
+
+    #[test]
+    fn eval_sample_matches_standalone_scores() {
+        // The batched eval path folds EGL / EGL-word off one shared
+        // posterior and runs BALD through thread-local scratch; it must
+        // stay bit-identical to the standalone public methods.
+        let (docs, labels) = toy_data();
+        let mut m = TextClassifier::new(small_config());
+        fit(&mut m, &docs, &labels, 11);
+        let d = doc(&["good", "bad", "odd"]);
+        let caps = EvalCaps {
+            egl: true,
+            egl_word: true,
+            bald: true,
+            ..Default::default()
+        };
+        let eval = m.eval_sample(&d, &caps, 13);
+        assert_eq!(eval.egl, Some(m.egl(&d)));
+        assert_eq!(eval.egl_word, Some(m.egl_word(&d)));
+        assert_eq!(eval.bald, Some(m.bald(&d, &mut rng(13))));
+        let p = m.predict_proba(&d);
+        assert_eq!(eval.entropy, histal_core::eval::entropy_of(&p));
     }
 
     #[test]

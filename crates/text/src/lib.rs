@@ -13,6 +13,7 @@
 //!   kernels (dot, cosine, axpy) the models need,
 //! * [`ngrams()`] — n-gram expansion for bag-of-n-grams features.
 
+pub mod geometry;
 pub mod hashing;
 pub mod ngrams;
 pub mod sparse;
@@ -21,6 +22,7 @@ pub mod tokenizer;
 pub mod vectorizer;
 pub mod vocab;
 
+pub use geometry::PoolGeometry;
 pub use hashing::FeatureHasher;
 pub use ngrams::{char_ngrams, ngrams};
 pub use sparse::SparseVec;

@@ -15,6 +15,7 @@
 pub mod ar;
 pub mod holt;
 pub mod lstm;
+pub mod rolling;
 pub mod stats;
 pub mod trend;
 pub mod window;
@@ -22,6 +23,7 @@ pub mod window;
 pub use ar::ArPredictor;
 pub use holt::HoltPredictor;
 pub use lstm::{LstmConfig, LstmPredictor};
+pub use rolling::RollingStats;
 pub use stats::{autocorrelation, mean, variance, window_variance};
 pub use trend::{mann_kendall, MannKendall, Trend};
 pub use window::{exp_weighted_sum, exp_weights, last_window, uniform_sum};

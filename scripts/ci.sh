@@ -3,7 +3,7 @@
 #
 #   ./scripts/ci.sh
 #
-# Runs the same three checks a pre-merge pipeline would, in order of
+# Runs the same checks a pre-merge pipeline would, in order of
 # increasing cost, and stops at the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,5 +16,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
+
+echo "==> cargo bench --no-run (criterion benches compile)"
+cargo bench -p histal-bench --no-run
+
+echo "==> histal-experiments bench --check (harness smoke, tiny grid)"
+cargo run -q --release -p histal-bench --bin histal-experiments -- \
+    bench --check --scale 0.02 --repeats 1
 
 echo "CI green."

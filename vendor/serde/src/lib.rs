@@ -185,6 +185,12 @@ impl<T: Serialize> Serialize for Vec<T> {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
@@ -316,6 +322,15 @@ impl<T: Deserialize> Deserialize for Option<T> {
 }
 
 impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected sequence, got {v:?}")))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let items = v
             .as_seq()
