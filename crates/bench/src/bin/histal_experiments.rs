@@ -5,6 +5,7 @@
 //! histal-experiments <command> [--full] [--quick] [--repeats N] [--scale F]
 //!                    [--threads N] [--targets a,b,c]
 //!                    [--variant paper|ar|linear|autocorr]
+//!                    [--journal FILE] [--trace[=LEVEL]]
 //!
 //! Commands:
 //!   table2     Measured per-round strategy cost  (Table 2)
@@ -19,6 +20,8 @@
 //!   table7     LHS feature ablation              (Table 7)
 //!   bench      Per-cell harness timings → BENCH_harness.json
 //!              (`bench --check`: CI smoke on a reduced grid, no artifact)
+//!   resume     Re-run a journaled command, replaying completed cells:
+//!              `resume <fig3-text|fig3-ner|fig5> --journal FILE`
 //!   all        Everything above in order
 //! ```
 //!
@@ -26,11 +29,23 @@
 //! Results are byte-identical at any thread count; only wall time
 //! changes.
 //!
+//! `--journal FILE` (fig3-text, fig3-ner, fig5) writes a crash-safe JSONL
+//! run journal: one record per driver round plus one per completed grid
+//! cell. After an interruption, `resume <command> --journal FILE` repairs
+//! the journal tail, replays every completed cell byte-identically and
+//! runs only what's missing. `--trace` prints span closures and events to
+//! stderr (`--trace=debug` and `--trace=trace` widen the level); stdout
+//! stays byte-identical to an uninstrumented run.
+//!
 //! Table 2 (efficiency) is a Criterion bench:
 //! `cargo bench -p histal-bench --bench strategy_overhead`.
 
+use std::sync::Arc;
+
 use histal_bench::experiments::{self, Table7Variant};
+use histal_bench::journal::JournalCtx;
 use histal_bench::tasks::Scale;
+use histal_obs::trace::{set_subscriber, Level, StderrSubscriber};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,13 +53,16 @@ fn main() {
         usage_and_exit();
     }
     let command = args[0].as_str();
-    // `compare` consumes its two strategy specs positionally.
+    // `compare` consumes its two strategy specs positionally; `resume`
+    // consumes the command to re-run.
     let mut positional: Vec<String> = Vec::new();
     let mut scale = Scale::quick();
     let mut targets = vec![0.72, 0.73, 0.735];
     let mut variant = Table7Variant::Paper;
     let mut threads: Option<usize> = None;
     let mut check = false;
+    let mut journal_path: Option<String> = None;
+    let mut trace: Option<Level> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -52,6 +70,18 @@ fn main() {
             "--full" => scale = Scale::full(),
             "--quick" => scale = Scale::quick(),
             "--check" => check = true,
+            "--journal" => {
+                i += 1;
+                journal_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| bad_flag("journal"))
+                        .to_string(),
+                );
+            }
+            "--trace" => trace = Some(Level::Info),
+            "--trace=info" => trace = Some(Level::Info),
+            "--trace=debug" => trace = Some(Level::Debug),
+            "--trace=trace" => trace = Some(Level::Trace),
             "--repeats" => {
                 i += 1;
                 scale.repeats = parse(&args, i, "repeats");
@@ -102,6 +132,46 @@ fn main() {
             .build_global()
             .expect("global thread pool not yet initialised");
     }
+    if let Some(level) = trace {
+        set_subscriber(Arc::new(StderrSubscriber { max_level: level }));
+    }
+
+    // `resume <command> --journal FILE` reopens the journal and re-runs
+    // the command; completed cells are replayed instead of re-run.
+    let resuming = command == "resume";
+    let command = if resuming {
+        if positional.len() != 1 {
+            eprintln!("usage: histal-experiments resume <fig3-text|fig3-ner|fig5> --journal FILE");
+            std::process::exit(2);
+        }
+        positional.remove(0)
+    } else {
+        command.to_string()
+    };
+    let command = command.as_str();
+    let journal = journal_path.as_deref().map(|path| {
+        if !matches!(command, "fig3-text" | "fig3-ner" | "fig5") {
+            eprintln!("--journal is supported for fig3-text, fig3-ner and fig5 only");
+            std::process::exit(2);
+        }
+        let ctx = if resuming {
+            JournalCtx::resume(path)
+        } else {
+            JournalCtx::create(path)
+        };
+        ctx.unwrap_or_else(|e| {
+            eprintln!("cannot open journal {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    if resuming {
+        let Some(ctx) = journal.as_ref() else {
+            eprintln!("resume requires --journal FILE");
+            std::process::exit(2);
+        };
+        eprintln!("# resume: {} completed cell(s) in journal", ctx.resumed);
+    }
+
     eprintln!(
         "# scale factor {:.2}, repeats {}, {} worker thread(s) — use --full for paper-scale runs",
         scale.factor,
@@ -113,14 +183,14 @@ fn main() {
         "table3" => experiments::table3(),
         "table4" => experiments::table4(),
         "fig3-text" => {
-            experiments::fig3_text(&scale);
+            experiments::fig3_text(&scale, journal.as_ref());
         }
         "fig3-ner" => {
-            experiments::fig3_ner(&scale);
+            experiments::fig3_ner(&scale, journal.as_ref());
         }
         "table5" => experiments::table5(&scale, &targets),
         "fig4" => experiments::fig4(&scale),
-        "fig5" => experiments::fig5(&scale),
+        "fig5" => experiments::fig5(&scale, journal.as_ref()),
         "table6" => experiments::table6(&scale),
         "table7" => experiments::table7(&scale, variant),
         "ceiling" => experiments::ceiling(&scale),
@@ -150,11 +220,11 @@ fn main() {
             experiments::table2(&scale);
             experiments::table3();
             experiments::table4();
-            experiments::fig3_text(&scale);
-            experiments::fig3_ner(&scale);
+            experiments::fig3_text(&scale, None);
+            experiments::fig3_ner(&scale, None);
             experiments::table5(&scale, &targets);
             experiments::fig4(&scale);
-            experiments::fig5(&scale);
+            experiments::fig5(&scale, None);
             experiments::table6(&scale);
             experiments::table7(&scale, variant);
         }
@@ -179,9 +249,9 @@ fn bad_flag(name: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|bench|all> \
+        "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|bench|resume|all> \
          [--full|--quick|--check] [--repeats N] [--scale F] [--threads N] [--targets a,b,c] \
-         [--variant paper|ar|linear|autocorr]"
+         [--variant paper|ar|linear|autocorr] [--journal FILE] [--trace[=info|debug|trace]]"
     );
     std::process::exit(2);
 }

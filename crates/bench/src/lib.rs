@@ -6,6 +6,7 @@
 //! `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
 
 pub mod experiments;
+pub mod journal;
 pub mod plot;
 pub mod report;
 pub mod tasks;

@@ -2,6 +2,7 @@
 
 use histal_core::driver::{ActiveLearner, PoolConfig, RunResult};
 use histal_core::lhs::LhsSelector;
+use histal_core::session::RunJournal;
 use histal_core::strategy::Strategy;
 use histal_data::{train_test_split, NerDataset, NerSpec, TextDataset, TextSpec};
 use histal_models::{
@@ -105,20 +106,35 @@ impl TextTask {
         config: &PoolConfig,
         seed: u64,
     ) -> RunResult {
-        let mut learner = ActiveLearner::new(
-            self.model(0),
-            self.pool_docs.clone(),
-            self.pool_labels.clone(),
-            self.test_docs.clone(),
-            self.test_labels.clone(),
-            strategy,
-            config.clone(),
-            seed,
-        );
+        self.run_journaled(strategy, lhs, config, seed, None)
+    }
+
+    /// Run one active-learning loop, optionally checkpointing every round
+    /// to `journal` (see `histal_core::session::RunJournal`).
+    pub fn run_journaled(
+        &self,
+        strategy: Strategy,
+        lhs: Option<LhsSelector>,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> RunResult {
+        let mut builder = ActiveLearner::builder(self.model(0))
+            .pool(self.pool_docs.clone(), self.pool_labels.clone())
+            .test(self.test_docs.clone(), self.test_labels.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(seed);
         if let Some(l) = lhs {
-            learner = learner.with_lhs(l);
+            builder = builder.lhs(l);
         }
-        learner.run().expect("strategy capabilities satisfied")
+        if let Some(j) = journal {
+            builder = builder.journal(j);
+        }
+        builder
+            .build()
+            .run()
+            .expect("strategy capabilities satisfied")
     }
 
     /// Run one active-learning loop with the pool documents' sparse
@@ -130,20 +146,33 @@ impl TextTask {
         config: &PoolConfig,
         seed: u64,
     ) -> RunResult {
+        self.run_with_representations_journaled(strategy, config, seed, None)
+    }
+
+    /// [`Self::run_with_representations`] with optional per-round
+    /// journaling.
+    pub fn run_with_representations_journaled(
+        &self,
+        strategy: Strategy,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> RunResult {
         let reps = self.pool_docs.iter().map(|d| d.features.clone()).collect();
-        ActiveLearner::new(
-            self.model(0),
-            self.pool_docs.clone(),
-            self.pool_labels.clone(),
-            self.test_docs.clone(),
-            self.test_labels.clone(),
-            strategy,
-            config.clone(),
-            seed,
-        )
-        .with_representations(reps)
-        .run()
-        .expect("strategy capabilities satisfied")
+        let mut builder = ActiveLearner::builder(self.model(0))
+            .pool(self.pool_docs.clone(), self.pool_labels.clone())
+            .test(self.test_docs.clone(), self.test_labels.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(seed)
+            .representations(reps);
+        if let Some(j) = journal {
+            builder = builder.journal(j);
+        }
+        builder
+            .build()
+            .run()
+            .expect("strategy capabilities satisfied")
     }
 }
 
@@ -197,17 +226,30 @@ impl NerTask {
 
     /// Run one active-learning loop.
     pub fn run(&self, strategy: Strategy, config: &PoolConfig, seed: u64) -> RunResult {
-        let mut learner = ActiveLearner::new(
-            self.model(),
-            self.pool.clone(),
-            self.pool_tags.clone(),
-            self.test.clone(),
-            self.test_tags.clone(),
-            strategy,
-            config.clone(),
-            seed,
-        );
-        learner.run().expect("strategy capabilities satisfied")
+        self.run_journaled(strategy, config, seed, None)
+    }
+
+    /// [`Self::run`] with optional per-round journaling.
+    pub fn run_journaled(
+        &self,
+        strategy: Strategy,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> RunResult {
+        let mut builder = ActiveLearner::builder(self.model())
+            .pool(self.pool.clone(), self.pool_tags.clone())
+            .test(self.test.clone(), self.test_tags.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(seed);
+        if let Some(j) = journal {
+            builder = builder.journal(j);
+        }
+        builder
+            .build()
+            .run()
+            .expect("strategy capabilities satisfied")
     }
 }
 

@@ -1,0 +1,174 @@
+//! Golden tests of the crash-safe run journal: replayed cells must
+//! reproduce their `RunResult` byte-for-byte, and a grid killed at an
+//! arbitrary byte offset must resume to output identical to an
+//! uninterrupted run.
+
+use histal_bench::journal::JournalCtx;
+use histal_bench::tasks::{Scale, TextTask};
+use histal_core::driver::{PoolConfig, RunResult};
+use histal_core::strategy::{BaseStrategy, HistoryPolicy, Strategy};
+use histal_data::TextSpec;
+
+fn scale() -> Scale {
+    Scale {
+        factor: 0.05,
+        repeats: 1,
+    }
+}
+
+fn config() -> PoolConfig {
+    PoolConfig {
+        batch_size: 25,
+        rounds: 4,
+        init_labeled: 25,
+        history_max_len: None,
+        record_history: false,
+    }
+}
+
+fn grid() -> Vec<(String, Strategy)> {
+    let wshs = |l| Strategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l });
+    vec![
+        (
+            "g/MR/entropy/r0".to_string(),
+            Strategy::new(BaseStrategy::Entropy),
+        ),
+        ("g/MR/WSHS-l2/r0".to_string(), wshs(2)),
+        ("g/MR/WSHS-l3/r0".to_string(), wshs(3)),
+        (
+            "g/MR/random/r0".to_string(),
+            Strategy::new(BaseStrategy::Random),
+        ),
+    ]
+}
+
+fn run_grid(task: &TextTask, ctx: Option<&JournalCtx>) -> Vec<RunResult> {
+    let config = config();
+    grid()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (cell, strategy))| {
+            let seed = 1000 + i as u64;
+            match ctx {
+                Some(ctx) => ctx.run_cell(&cell, i as u64, seed, |j| {
+                    task.run_journaled(strategy.clone(), None, &config, seed, j)
+                }),
+                None => task.run(strategy.clone(), None, &config, seed),
+            }
+        })
+        .collect()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("histal-journal-golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.jsonl", std::process::id()))
+}
+
+fn to_json(results: &[RunResult]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect()
+}
+
+/// JSON with the per-round wall-clock diagnostics zeroed: two
+/// *independent executions* agree on everything except how long each
+/// phase happened to take. Replay comparisons don't need this — a cached
+/// cell carries the original timings and matches byte-for-byte.
+fn to_json_no_timings(results: &[RunResult]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            for round in &mut r.rounds {
+                round.fit_ms = 0.0;
+                round.eval_ms = 0.0;
+                round.score_ms = 0.0;
+                round.select_ms = 0.0;
+            }
+            serde_json::to_string(&r).unwrap()
+        })
+        .collect()
+}
+
+/// A journaled cell replayed on resume is byte-identical to the original
+/// run — the JSON writer's exact `f64` round-trip makes the embedded
+/// `RunResult` lossless.
+#[test]
+fn replay_reproduces_run_result_byte_identically() {
+    let task = TextTask::build(&TextSpec::mr(), &scale(), 0x60);
+    let path = tmp("replay");
+    let fresh = {
+        let ctx = JournalCtx::create(&path).unwrap();
+        run_grid(&task, Some(&ctx))
+    };
+    let replayed = {
+        let ctx = JournalCtx::resume(&path).unwrap();
+        assert_eq!(ctx.resumed, grid().len());
+        // Every cell must come from the journal: the run closure would
+        // produce a detectably different result if it executed at all.
+        let config = config();
+        grid()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cell, strategy))| {
+                let mut executed = false;
+                let r = ctx.run_cell(&cell, i as u64, 1000 + i as u64, |j| {
+                    executed = true;
+                    task.run_journaled(strategy.clone(), None, &config, 999, j)
+                });
+                assert!(!executed, "cell {cell} re-ran instead of replaying");
+                r
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(to_json(&fresh), to_json(&replayed));
+    // And both match an unjournaled run of the same grid (timings aside —
+    // wall clocks differ between independent executions).
+    assert_eq!(
+        to_json_no_timings(&fresh),
+        to_json_no_timings(&run_grid(&task, None))
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Kill the harness at an arbitrary point — here, truncate the journal
+/// mid-record after cell k — and `resume` must complete the grid with
+/// output identical to an uninterrupted run, re-running only the cells
+/// whose completion record was lost.
+#[test]
+fn kill_at_round_k_resume_completes_grid() {
+    let task = TextTask::build(&TextSpec::mr(), &scale(), 0x61);
+    let reference = run_grid(&task, None);
+    let path = tmp("kill");
+    {
+        let ctx = JournalCtx::create(&path).unwrap();
+        run_grid(&task, Some(&ctx));
+    }
+    let full_len = std::fs::metadata(&path).unwrap().len();
+    // Chop at several offsets, including mid-line (a torn write): resume
+    // must repair the tail and still complete the whole grid.
+    for cut in [full_len / 4, full_len / 2, full_len * 3 / 4, full_len - 7] {
+        let bytes = std::fs::read(&path).unwrap();
+        let torn = tmp(&format!("kill-cut-{cut}"));
+        std::fs::write(&torn, &bytes[..cut as usize]).unwrap();
+        let ctx = JournalCtx::resume(&torn).unwrap();
+        assert!(
+            ctx.resumed < grid().len(),
+            "cut at {cut}/{full_len} bytes lost no cells"
+        );
+        let resumed = run_grid(&task, Some(&ctx));
+        assert_eq!(
+            to_json_no_timings(&reference),
+            to_json_no_timings(&resumed),
+            "resume after cut at {cut} bytes diverged"
+        );
+        // A second resume of the now-complete journal replays everything.
+        drop(ctx);
+        let ctx = JournalCtx::resume(&torn).unwrap();
+        assert_eq!(ctx.resumed, grid().len());
+        std::fs::remove_file(&torn).ok();
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -10,7 +10,6 @@ use std::collections::VecDeque;
 
 use rand::prelude::SliceRandom;
 use rand::Rng;
-use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -18,11 +17,15 @@ use serde::{Deserialize, Serialize};
 use histal_text::{PoolGeometry, SparseVec};
 use histal_tseries::{exp_weighted_sum, window_variance};
 
-use crate::error::StrategyError;
+use histal_obs::trace::Level;
+use histal_obs::{session_event, session_span};
+
+use crate::error::Error;
 use crate::eval::SampleEval;
 use crate::history::HistoryStore;
 use crate::lhs::LhsSelector;
 use crate::model::Model;
+use crate::session::{NeedsPool, SessionBuilder, SessionObs};
 use crate::stopping::{StopReason, StoppingRule};
 use crate::strategy::combinators::{apply_density, kcenter_select, mmr_select, SimScratch};
 use crate::strategy::Strategy;
@@ -135,11 +138,57 @@ pub struct ActiveLearner<M: Model> {
     representations: Option<Vec<SparseVec>>,
     rng: ChaCha8Rng,
     seed: u64,
+    obs: SessionObs,
 }
 
 impl<M: Model> ActiveLearner<M> {
+    /// Start building a session: `ActiveLearner::builder(model)
+    /// .pool(..).test(..).strategy(..).build()`. The builder enforces the
+    /// required inputs at compile time and names the optional ones — see
+    /// [`SessionBuilder`].
+    pub fn builder(model: M) -> SessionBuilder<M, NeedsPool> {
+        SessionBuilder::start(model)
+    }
+
+    /// All-fields constructor the builder lowers into; keeps the struct's
+    /// fields private to this crate.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        model: M,
+        samples: Vec<M::Sample>,
+        oracle_labels: Vec<M::Label>,
+        test_samples: Vec<M::Sample>,
+        test_labels: Vec<M::Label>,
+        strategy: Strategy,
+        lhs: Option<LhsSelector>,
+        config: PoolConfig,
+        representations: Option<Vec<SparseVec>>,
+        rng: ChaCha8Rng,
+        seed: u64,
+        obs: SessionObs,
+    ) -> Self {
+        Self {
+            model,
+            samples,
+            oracle_labels,
+            test_samples,
+            test_labels,
+            strategy,
+            lhs,
+            config,
+            representations,
+            rng,
+            seed,
+            obs,
+        }
+    }
+
     /// Create a learner over a pool with hidden oracle labels and a fixed
     /// test split. `seed` makes the whole run deterministic.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ActiveLearner::builder(model).pool(..).test(..).strategy(..)`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         model: M,
@@ -151,34 +200,18 @@ impl<M: Model> ActiveLearner<M> {
         config: PoolConfig,
         seed: u64,
     ) -> Self {
-        assert_eq!(
-            samples.len(),
-            oracle_labels.len(),
-            "pool samples/labels misaligned"
-        );
-        assert_eq!(
-            test_samples.len(),
-            test_labels.len(),
-            "test samples/labels misaligned"
-        );
-        assert!(config.batch_size > 0, "batch size must be positive");
-        Self {
-            model,
-            samples,
-            oracle_labels,
-            test_samples,
-            test_labels,
-            strategy,
-            lhs: None,
-            config,
-            representations: None,
-            rng: ChaCha8Rng::seed_from_u64(seed),
-            seed,
-        }
+        ActiveLearner::builder(model)
+            .pool(samples, oracle_labels)
+            .test(test_samples, test_labels)
+            .strategy(strategy)
+            .config(config)
+            .seed(seed)
+            .build()
     }
 
     /// Attach a trained LHS selector; selection then ranks a candidate set
     /// with the learned ranker instead of sorting by the history policy.
+    #[deprecated(since = "0.1.0", note = "use `SessionBuilder::lhs`")]
     pub fn with_lhs(mut self, lhs: LhsSelector) -> Self {
         self.lhs = Some(lhs);
         self
@@ -186,6 +219,7 @@ impl<M: Model> ActiveLearner<M> {
 
     /// Attach sparse representations enabling the density / MMR
     /// combinators. `reps[i]` must describe pool sample `i`.
+    #[deprecated(since = "0.1.0", note = "use `SessionBuilder::representations`")]
     pub fn with_representations(mut self, reps: Vec<SparseVec>) -> Self {
         assert_eq!(
             reps.len(),
@@ -197,19 +231,27 @@ impl<M: Model> ActiveLearner<M> {
     }
 
     /// Run the full loop. Returns an error if the strategy requires a
-    /// capability the model does not provide.
-    pub fn run(&mut self) -> Result<RunResult, StrategyError> {
+    /// capability the model does not provide, or if the run journal
+    /// cannot be written.
+    pub fn run(&mut self) -> Result<RunResult, Error> {
         self.run_until(&StoppingRule::none())
             .map(|(result, _)| result)
     }
 
     /// Run until the configured rounds complete or `rule` fires, whichever
     /// comes first. Returns the run and why it stopped.
-    pub fn run_until(
-        &mut self,
-        rule: &StoppingRule,
-    ) -> Result<(RunResult, StopReason), StrategyError> {
+    pub fn run_until(&mut self, rule: &StoppingRule) -> Result<(RunResult, StopReason), Error> {
         let n = self.samples.len();
+        let _run_span = session_span!(
+            self.obs.subscriber(),
+            Level::Info,
+            "al.run",
+            strategy = self.strategy.name(),
+            pool = n,
+            rounds = self.config.rounds,
+            batch = self.config.batch_size,
+            seed = self.seed,
+        );
         let mut history = match self.config.history_max_len {
             Some(cap) => HistoryStore::with_max_len(n, cap),
             None => HistoryStore::new(n),
@@ -261,6 +303,13 @@ impl<M: Model> ActiveLearner<M> {
         // duplicate that curve point.
         let mut recorded_final = false;
         for round in 0..self.config.rounds {
+            let _round_span = session_span!(
+                self.obs.subscriber(),
+                Level::Debug,
+                "al.round",
+                round = round,
+                n_labeled = labeled.len(),
+            );
             let fit_start = std::time::Instant::now();
             self.fit_and_record(&labeled, &mut curve);
             let fit_ms = fit_start.elapsed().as_secs_f64() * 1e3;
@@ -277,6 +326,12 @@ impl<M: Model> ActiveLearner<M> {
             // Evaluate the pool in parallel with per-sample deterministic
             // seeds, then score.
             let eval_start = std::time::Instant::now();
+            let eval_span = session_span!(
+                self.obs.subscriber(),
+                Level::Debug,
+                "al.eval",
+                n_unlabeled = unlabeled.len(),
+            );
             let evals: Vec<SampleEval> = unlabeled
                 .par_iter()
                 .map(|&id| {
@@ -284,9 +339,11 @@ impl<M: Model> ActiveLearner<M> {
                     self.model.eval_sample(&self.samples[id], &caps, s)
                 })
                 .collect();
+            drop(eval_span);
             let eval_ms = eval_start.elapsed().as_secs_f64() * 1e3;
 
             let score_start = std::time::Instant::now();
+            let score_span = session_span!(self.obs.subscriber(), Level::Debug, "al.score");
             let mut base_scores = Vec::with_capacity(unlabeled.len());
             for eval in &evals {
                 let r: f64 = self.rng.gen();
@@ -337,9 +394,11 @@ impl<M: Model> ActiveLearner<M> {
                     &mut scratch,
                 );
             }
+            drop(score_span);
             let score_ms = score_start.elapsed().as_secs_f64() * 1e3;
 
             let pick_start = std::time::Instant::now();
+            let select_span = session_span!(self.obs.subscriber(), Level::Debug, "al.select");
             let batch = self.config.batch_size.min(unlabeled.len());
             let picked_positions: Vec<usize> = if let Some(lhs) = &self.lhs {
                 lhs.select(&unlabeled, &evals, &history, batch)
@@ -350,6 +409,7 @@ impl<M: Model> ActiveLearner<M> {
             } else {
                 top_k(&final_scores, batch)
             };
+            drop(select_span);
             let select_ms = pick_start.elapsed().as_secs_f64() * 1e3;
 
             let selected: Vec<usize> = picked_positions.iter().map(|&p| unlabeled[p]).collect();
@@ -358,7 +418,7 @@ impl<M: Model> ActiveLearner<M> {
                 is_labeled[id] = true;
                 labeled.push(id);
             }
-            rounds.push(RoundRecord {
+            let record = RoundRecord {
                 round,
                 selected,
                 mean_wshs_of_selected: mean_wshs,
@@ -367,7 +427,9 @@ impl<M: Model> ActiveLearner<M> {
                 eval_ms,
                 score_ms,
                 select_ms,
-            });
+            };
+            self.observe_round(&record)?;
+            rounds.push(record);
         }
         // Metric after the final batch.
         if !recorded_final {
@@ -403,7 +465,43 @@ impl<M: Model> ActiveLearner<M> {
         }
     }
 
+    /// Publish a completed round to the session's observability handles:
+    /// a debug event, the phase-timing histograms (microsecond units so
+    /// the log-bucket resolution is useful at sub-millisecond phases),
+    /// and the crash-safe journal checkpoint.
+    fn observe_round(&self, record: &RoundRecord) -> Result<(), Error> {
+        session_event!(
+            self.obs.subscriber(),
+            Level::Debug,
+            "al.round.complete",
+            round = record.round,
+            selected = record.selected.len(),
+            fit_ms = record.fit_ms,
+            eval_ms = record.eval_ms,
+            score_ms = record.score_ms,
+            select_ms = record.select_ms,
+        );
+        if let Some(metrics) = self.obs.metrics() {
+            metrics.counter_add("al.rounds", 1);
+            metrics.counter_add("al.selected", record.selected.len() as u64);
+            metrics.histogram_record("al.fit_us", (record.fit_ms * 1e3) as u64);
+            metrics.histogram_record("al.eval_us", (record.eval_ms * 1e3) as u64);
+            metrics.histogram_record("al.score_us", (record.score_ms * 1e3) as u64);
+            metrics.histogram_record("al.select_us", (record.select_ms * 1e3) as u64);
+        }
+        if let Some(journal) = self.obs.journal() {
+            journal.record_round(record)?;
+        }
+        Ok(())
+    }
+
     fn fit_and_record(&mut self, labeled: &[usize], curve: &mut Vec<CurvePoint>) {
+        let _fit_span = session_span!(
+            self.obs.subscriber(),
+            Level::Debug,
+            "al.fit",
+            n_labeled = labeled.len(),
+        );
         let samples: Vec<&M::Sample> = labeled.iter().map(|&i| &self.samples[i]).collect();
         let labels: Vec<&M::Label> = labeled.iter().map(|&i| &self.oracle_labels[i]).collect();
         self.model.fit(&samples, &labels, &mut self.rng);
@@ -423,8 +521,17 @@ impl<M: Model> ActiveLearner<M> {
     }
 }
 
-/// Positions of the `k` largest scores, best first. Ties break toward the
-/// lower index for determinism.
+/// Positions of the `k` largest scores, best first.
+///
+/// Tie-breaking is part of the public contract (and pinned by a property
+/// test in `tests/driver_props.rs`): **equal scores resolve toward the
+/// lower index**, so a batch drawn from a pool of tied candidates is the
+/// first `k` of them in pool order, independent of `k` and of any other
+/// scores present. `NaN` scores compare equal to everything under this
+/// comparator: an all-`NaN` (or otherwise constant) score vector
+/// degrades to pool-order selection, and mixed `NaN`s still sort
+/// deterministically for a given input rather than panicking or varying
+/// by platform.
 pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {

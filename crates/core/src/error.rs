@@ -1,11 +1,18 @@
-//! Error types for strategy evaluation.
+//! Structured errors for the active-learning session.
+//!
+//! [`Error`] pairs a machine-matchable [`ErrorKind`] with the tracing
+//! span that was current when the error was raised, so failure records
+//! in logs and the run journal can be correlated with the span tree the
+//! subscriber saw. Construct with [`Error::new`] (captures the current
+//! span automatically) and match on [`Error::kind`].
 
 use std::fmt;
 
-/// Errors raised when a strategy asks for a quantity the underlying model
-/// did not provide.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StrategyError {
+use histal_obs::trace::{current_span_id, SpanId};
+
+/// What went wrong, independent of where.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
     /// The base strategy needs a capability (`egl`, `bald`, `mnlp`, …) the
     /// model's [`crate::eval::SampleEval`] left unset.
     MissingCapability {
@@ -19,9 +26,15 @@ pub enum StrategyError {
         /// Number of classes the eval actually carried.
         got: usize,
     },
+    /// The run journal could not be written; the run aborts rather than
+    /// continue with a checkpoint file that would lie on resume.
+    Journal {
+        /// Underlying I/O or serialization failure, rendered.
+        message: String,
+    },
 }
 
-impl fmt::Display for StrategyError {
+impl fmt::Display for ErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::MissingCapability { strategy, field } => write!(
@@ -35,11 +48,79 @@ impl fmt::Display for StrategyError {
                     "margin strategy needs ≥ 2 class probabilities, got {got}"
                 )
             }
+            Self::Journal { message } => write!(f, "run journal write failed: {message}"),
         }
     }
 }
 
-impl std::error::Error for StrategyError {}
+/// A session error: an [`ErrorKind`] plus the tracing span (if any) that
+/// was active when it was raised.
+#[derive(Debug, Clone)]
+pub struct Error {
+    /// The failure, matchable.
+    pub kind: ErrorKind,
+    /// Id of the innermost span open on this thread at construction time
+    /// (`None` when tracing was disabled or no span was open).
+    pub span: Option<SpanId>,
+}
+
+impl Error {
+    /// Wrap `kind`, capturing the current tracing span as context.
+    pub fn new(kind: ErrorKind) -> Error {
+        Error {
+            kind,
+            span: current_span_id(),
+        }
+    }
+
+    /// Shorthand for a [`ErrorKind::MissingCapability`] error.
+    pub fn missing_capability(strategy: &'static str, field: &'static str) -> Error {
+        Error::new(ErrorKind::MissingCapability { strategy, field })
+    }
+
+    /// Shorthand for a [`ErrorKind::Journal`] error.
+    pub fn journal(err: impl fmt::Display) -> Error {
+        Error::new(ErrorKind::Journal {
+            message: err.to_string(),
+        })
+    }
+}
+
+impl From<ErrorKind> for Error {
+    fn from(kind: ErrorKind) -> Error {
+        Error::new(kind)
+    }
+}
+
+/// Two errors are equal when their kinds are — the span is diagnostic
+/// context, not identity (the same failure in two runs carries two
+/// different span ids).
+impl PartialEq for Error {
+    fn eq(&self, other: &Error) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.kind.fmt(f)?;
+        if let Some(span) = self.span {
+            write!(f, " (in span #{})", span.0)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pre-0.2 name for [`Error`], before span context was attached. The old
+/// enum variants live on [`ErrorKind`]; match `err.kind` instead of the
+/// error itself.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `histal_core::error::Error` and match on `.kind`"
+)]
+pub type StrategyError = Error;
 
 #[cfg(test)]
 mod tests {
@@ -47,17 +128,47 @@ mod tests {
 
     #[test]
     fn display_is_actionable() {
-        let e = StrategyError::MissingCapability {
-            strategy: "EGL",
-            field: "egl",
-        };
+        let e = Error::missing_capability("EGL", "egl");
         let msg = e.to_string();
         assert!(msg.contains("EGL") && msg.contains("egl"));
     }
 
     #[test]
     fn error_trait_impl() {
-        let e: Box<dyn std::error::Error> = Box::new(StrategyError::NotEnoughClasses { got: 1 });
+        let e: Box<dyn std::error::Error> =
+            Box::new(Error::new(ErrorKind::NotEnoughClasses { got: 1 }));
         assert!(e.to_string().contains("got 1"));
+    }
+
+    #[test]
+    fn equality_ignores_span_context() {
+        let a = Error {
+            kind: ErrorKind::NotEnoughClasses { got: 1 },
+            span: None,
+        };
+        let b = Error {
+            kind: ErrorKind::NotEnoughClasses { got: 1 },
+            span: Some(SpanId(7)),
+        };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            Error {
+                kind: ErrorKind::NotEnoughClasses { got: 2 },
+                span: None
+            }
+        );
+    }
+
+    #[test]
+    fn captures_enclosing_span() {
+        use histal_obs::trace::{subscriber_scope, CollectingSubscriber, Level};
+        use std::sync::Arc;
+        let sub = Arc::new(CollectingSubscriber::new());
+        let _guard = subscriber_scope(sub);
+        let _span = histal_obs::span!(Level::Info, "error.ctx");
+        let e = Error::missing_capability("BALD", "bald");
+        assert_eq!(e.span, _span.id());
+        assert!(e.to_string().contains("in span #"));
     }
 }

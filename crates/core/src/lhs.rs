@@ -32,7 +32,7 @@ use histal_tseries::{
 };
 
 use crate::driver::{mix_seed, top_k};
-use crate::error::StrategyError;
+use crate::error::Error;
 use crate::eval::SampleEval;
 use crate::history::HistoryStore;
 use crate::model::Model;
@@ -398,7 +398,7 @@ pub fn train_lhs<M>(
     eval_labels: &[M::Label],
     config: &LhsTrainerConfig,
     seed: u64,
-) -> Result<LhsSelector, StrategyError>
+) -> Result<LhsSelector, Error>
 where
     M: Model + Clone,
     M::Sample: Clone,
@@ -433,7 +433,7 @@ pub fn train_lhs_artifacts<M>(
     eval_labels: &[M::Label],
     config: &LhsTrainerConfig,
     seed: u64,
-) -> Result<LhsArtifacts, StrategyError>
+) -> Result<LhsArtifacts, Error>
 where
     M: Model + Clone,
     M::Sample: Clone,
@@ -628,7 +628,7 @@ impl<'a, M: Model> Simulation<'a, M> {
         seed: u64,
         round: usize,
         rng: &mut ChaCha8Rng,
-    ) -> Result<(Vec<usize>, Vec<f64>), StrategyError> {
+    ) -> Result<(Vec<usize>, Vec<f64>), Error> {
         let unlabeled: Vec<usize> = (0..self.samples.len())
             .filter(|&i| !self.is_labeled[i])
             .collect();

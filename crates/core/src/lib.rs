@@ -61,15 +61,24 @@
 //! let (test, test_labels) = (vec![vec![0.0]; 20], vec![0usize; 20]);
 //! let strategy = Strategy::new(BaseStrategy::Entropy)
 //!     .with_history(HistoryPolicy::Wshs { l: 3 });
-//! let mut learner = ActiveLearner::new(
-//!     MyModel, pool, pool_labels, test, test_labels,
-//!     strategy, PoolConfig::default(), 42,
-//! );
+//! let mut learner = ActiveLearner::builder(MyModel)
+//!     .pool(pool, pool_labels)
+//!     .test(test, test_labels)
+//!     .strategy(strategy)
+//!     .config(PoolConfig::default())
+//!     .seed(42)
+//!     .build();
 //! let result = learner.run().expect("entropy needs no extra capabilities");
 //! for point in &result.curve {
 //!     println!("{} labeled → metric {:.4}", point.n_labeled, point.metric);
 //! }
 //! ```
+//!
+//! The builder is a typestate chain — `pool`, `test` and `strategy` are
+//! required (omitting one is a compile error), everything after is
+//! optional. Observability hooks (a tracing subscriber, a metrics
+//! registry, a crash-safe run journal from the `histal-obs` crate)
+//! attach the same way; see [`session::SessionBuilder`].
 
 pub mod analysis;
 pub mod driver;
@@ -79,14 +88,18 @@ pub mod history;
 pub mod lhs;
 pub mod metrics;
 pub mod model;
+pub mod session;
 pub mod stats;
 pub mod stopping;
 pub mod strategy;
 pub mod tags;
 
 pub use driver::{ActiveLearner, PoolConfig, RoundRecord, RunResult};
+#[allow(deprecated)]
 pub use error::StrategyError;
+pub use error::{Error, ErrorKind};
 pub use eval::{EvalCaps, SampleEval};
 pub use history::HistoryStore;
 pub use model::Model;
+pub use session::{fingerprint, RoundJournalRecord, RunJournal, SessionBuilder};
 pub use strategy::{BaseStrategy, HistoryPolicy, Strategy};

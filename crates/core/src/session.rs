@@ -1,0 +1,393 @@
+//! The typed session builder behind [`ActiveLearner`].
+//!
+//! [`SessionBuilder`] replaces the old positional
+//! `ActiveLearner::new(model, samples, labels, test, test_labels,
+//! strategy, config, seed)` constructor (eight arguments, four of them
+//! pairwise-swappable `Vec`s) with a typestate chain that makes the
+//! required inputs unforgettable and the optional ones named:
+//!
+//! ```text
+//! ActiveLearner::builder(model)   SessionBuilder<M, NeedsPool>
+//!     .pool(samples, labels)      SessionBuilder<M, NeedsTest>
+//!     .test(samples, labels)      SessionBuilder<M, NeedsStrategy>
+//!     .strategy(strategy)         SessionBuilder<M, Ready>
+//!     .seed(42)                   // optional, Ready-only
+//!     .config(config)
+//!     .subscriber(sub)            // observability handles
+//!     .metrics(registry)
+//!     .journal(run_journal)
+//!     .build()                    ActiveLearner<M>
+//! ```
+//!
+//! Skipping a required stage is a *compile* error, not a panic: each
+//! `pool`/`test`/`strategy` call consumes the builder and returns the
+//! next stage marker, and `build()` only exists on
+//! `SessionBuilder<M, Ready>`.
+//!
+//! The builder also owns the session's observability handles
+//! ([`SessionObs`]): a [`Subscriber`] that receives this session's spans
+//! (independent of the process-global dispatch), a
+//! [`MetricsRegistry`] accumulating phase-timing histograms, and a
+//! [`RunJournal`] that checkpoints every round to a crash-safe JSONL
+//! file.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use histal_obs::metrics::MetricsRegistry;
+use histal_obs::trace::Subscriber;
+use histal_obs::Journal;
+use histal_text::SparseVec;
+use rand::SeedableRng;
+
+use crate::driver::{ActiveLearner, PoolConfig, RoundRecord};
+use crate::error::Error;
+use crate::lhs::LhsSelector;
+use crate::model::Model;
+use crate::strategy::Strategy;
+
+// ---------------------------------------------------------------------------
+// Observability handles
+// ---------------------------------------------------------------------------
+
+/// The observability handles a session carries: all optional, all
+/// default-off, and all deliberately outside the algorithmic state so a
+/// fully-instrumented run selects the exact same samples as a bare one.
+#[derive(Default, Clone)]
+pub struct SessionObs {
+    /// Session-owned span/event sink. `None` falls back to the global
+    /// subscriber installed via [`histal_obs::trace::set_subscriber`]
+    /// (which is itself usually absent — the disabled path).
+    pub(crate) subscriber: Option<Arc<dyn Subscriber>>,
+    /// Phase-timing histograms (`al.fit_us`, `al.eval_us`, `al.score_us`,
+    /// `al.select_us`) and round counters land here when present.
+    pub(crate) metrics: Option<Arc<MetricsRegistry>>,
+    /// Per-round crash-safe checkpointing.
+    pub(crate) journal: Option<Arc<RunJournal>>,
+}
+
+impl SessionObs {
+    pub(crate) fn subscriber(&self) -> Option<&Arc<dyn Subscriber>> {
+        self.subscriber.as_ref()
+    }
+
+    pub(crate) fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_deref()
+    }
+
+    pub(crate) fn journal(&self) -> Option<&RunJournal> {
+        self.journal.as_deref()
+    }
+}
+
+/// One journal line per completed selection round: the minimal record
+/// needed to audit *what* was picked *when* and at what cost, keyed so a
+/// resume can verify it belongs to the same configured run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundJournalRecord {
+    /// Record discriminator, always `"round"`.
+    pub kind: String,
+    /// Grid-cell key, e.g. `"fig3_text/ag_news/WSHS(entropy)/r0"`.
+    pub cell: String,
+    /// Hash of the full cell configuration; a resume must see the same
+    /// hash or the journaled rounds are ignored.
+    pub config_hash: u64,
+    /// The run's RNG seed.
+    pub seed: u64,
+    /// Round index (0-based).
+    pub round: usize,
+    /// Pool ids selected this round.
+    pub selected: Vec<usize>,
+    /// Phase timings, milliseconds (wall-clock; *not* covered by the
+    /// config hash, they vary run to run).
+    pub fit_ms: f64,
+    /// Pool evaluation time (ms).
+    pub eval_ms: f64,
+    /// Scoring time (ms).
+    pub score_ms: f64,
+    /// Batch selection time (ms).
+    pub select_ms: f64,
+}
+
+/// A journal handle scoped to one run (one grid cell): the shared
+/// [`Journal`] file plus the cell key, config hash and seed stamped on
+/// every record this session appends.
+pub struct RunJournal {
+    journal: Arc<Journal>,
+    cell: String,
+    config_hash: u64,
+    seed: u64,
+}
+
+impl RunJournal {
+    /// Scope `journal` to the run identified by `cell`/`config_hash`/
+    /// `seed`.
+    pub fn new(
+        journal: Arc<Journal>,
+        cell: impl Into<String>,
+        config_hash: u64,
+        seed: u64,
+    ) -> RunJournal {
+        RunJournal {
+            journal,
+            cell: cell.into(),
+            config_hash,
+            seed,
+        }
+    }
+
+    /// The cell key records are stamped with.
+    pub fn cell(&self) -> &str {
+        &self.cell
+    }
+
+    /// The config hash records are stamped with.
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
+    }
+
+    /// Append the per-round checkpoint record.
+    pub(crate) fn record_round(&self, record: &RoundRecord) -> Result<(), Error> {
+        let line = RoundJournalRecord {
+            kind: "round".to_string(),
+            cell: self.cell.clone(),
+            config_hash: self.config_hash,
+            seed: self.seed,
+            round: record.round,
+            selected: record.selected.clone(),
+            fit_ms: record.fit_ms,
+            eval_ms: record.eval_ms,
+            score_ms: record.score_ms,
+            select_ms: record.select_ms,
+        };
+        self.journal.append(&line).map_err(Error::journal)
+    }
+
+    /// Append an arbitrary extra record (e.g. the harness's cell-complete
+    /// record) stamped with nothing — the caller owns the schema.
+    pub fn append<T: serde::Serialize>(&self, record: &T) -> Result<(), Error> {
+        self.journal.append(record).map_err(Error::journal)
+    }
+}
+
+/// Deterministic FNV-1a hash of a run configuration, for stamping
+/// journal records. Callers fold in whatever identifies the cell
+/// (config JSON, strategy name, scale, …); the exact inputs are the
+/// caller's contract with itself across restarts.
+pub fn fingerprint(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in part.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // Separator so ["ab","c"] ≠ ["a","bc"].
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Typestate builder
+// ---------------------------------------------------------------------------
+
+/// Builder stage: the unlabeled pool (samples + hidden oracle labels) is
+/// still missing.
+pub struct NeedsPool(());
+/// Builder stage: the held-out test split is still missing.
+pub struct NeedsTest(());
+/// Builder stage: the query [`Strategy`] is still missing.
+pub struct NeedsStrategy(());
+/// Builder stage: all required inputs present; optional knobs and
+/// `build()` are available.
+pub struct Ready(());
+
+/// Typed builder for an [`ActiveLearner`] session. See the
+/// [module docs](self) for the stage diagram; obtain one via
+/// [`ActiveLearner::builder`].
+pub struct SessionBuilder<M: Model, Stage = NeedsPool> {
+    model: M,
+    samples: Vec<M::Sample>,
+    oracle_labels: Vec<M::Label>,
+    test_samples: Vec<M::Sample>,
+    test_labels: Vec<M::Label>,
+    strategy: Option<Strategy>,
+    config: PoolConfig,
+    seed: u64,
+    lhs: Option<LhsSelector>,
+    representations: Option<Vec<SparseVec>>,
+    obs: SessionObs,
+    _stage: PhantomData<Stage>,
+}
+
+impl<M: Model, Stage> SessionBuilder<M, Stage> {
+    fn advance<Next>(self) -> SessionBuilder<M, Next> {
+        SessionBuilder {
+            model: self.model,
+            samples: self.samples,
+            oracle_labels: self.oracle_labels,
+            test_samples: self.test_samples,
+            test_labels: self.test_labels,
+            strategy: self.strategy,
+            config: self.config,
+            seed: self.seed,
+            lhs: self.lhs,
+            representations: self.representations,
+            obs: self.obs,
+            _stage: PhantomData,
+        }
+    }
+}
+
+impl<M: Model> SessionBuilder<M, NeedsPool> {
+    pub(crate) fn start(model: M) -> SessionBuilder<M, NeedsPool> {
+        SessionBuilder {
+            model,
+            samples: Vec::new(),
+            oracle_labels: Vec::new(),
+            test_samples: Vec::new(),
+            test_labels: Vec::new(),
+            strategy: None,
+            config: PoolConfig::default(),
+            seed: 0,
+            lhs: None,
+            representations: None,
+            obs: SessionObs::default(),
+            _stage: PhantomData,
+        }
+    }
+
+    /// The unlabeled pool and its hidden oracle labels (`labels[i]` is
+    /// revealed when sample `i` is "annotated").
+    pub fn pool(
+        mut self,
+        samples: Vec<M::Sample>,
+        oracle_labels: Vec<M::Label>,
+    ) -> SessionBuilder<M, NeedsTest> {
+        assert_eq!(
+            samples.len(),
+            oracle_labels.len(),
+            "pool samples/labels misaligned"
+        );
+        self.samples = samples;
+        self.oracle_labels = oracle_labels;
+        self.advance()
+    }
+}
+
+impl<M: Model> SessionBuilder<M, NeedsTest> {
+    /// The held-out test split the learning curve is measured on.
+    pub fn test(
+        mut self,
+        samples: Vec<M::Sample>,
+        labels: Vec<M::Label>,
+    ) -> SessionBuilder<M, NeedsStrategy> {
+        assert_eq!(
+            samples.len(),
+            labels.len(),
+            "test samples/labels misaligned"
+        );
+        self.test_samples = samples;
+        self.test_labels = labels;
+        self.advance()
+    }
+}
+
+impl<M: Model> SessionBuilder<M, NeedsStrategy> {
+    /// The query strategy (base + history policy + combinators).
+    pub fn strategy(mut self, strategy: Strategy) -> SessionBuilder<M, Ready> {
+        self.strategy = Some(strategy);
+        self.advance()
+    }
+}
+
+impl<M: Model> SessionBuilder<M, Ready> {
+    /// RNG seed making the whole run deterministic (default `0`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Loop configuration (default [`PoolConfig::default`]).
+    pub fn config(mut self, config: PoolConfig) -> Self {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        self.config = config;
+        self
+    }
+
+    /// Attach a trained LHS selector; selection then ranks a candidate
+    /// set with the learned ranker instead of sorting by the history
+    /// policy.
+    pub fn lhs(mut self, lhs: LhsSelector) -> Self {
+        self.lhs = Some(lhs);
+        self
+    }
+
+    /// Sparse representations enabling the density / MMR / k-center
+    /// combinators. `reps[i]` must describe pool sample `i`.
+    pub fn representations(mut self, reps: Vec<SparseVec>) -> Self {
+        assert_eq!(
+            reps.len(),
+            self.samples.len(),
+            "one representation per pool sample"
+        );
+        self.representations = Some(reps);
+        self
+    }
+
+    /// Session-owned tracing subscriber. Receives this session's spans
+    /// and events regardless of (and instead of) the global dispatch.
+    pub fn subscriber(mut self, subscriber: Arc<dyn Subscriber>) -> Self {
+        self.obs.subscriber = Some(subscriber);
+        self
+    }
+
+    /// Metrics registry accumulating the session's phase-timing
+    /// histograms and counters.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.obs.metrics = Some(metrics);
+        self
+    }
+
+    /// Crash-safe per-round journaling. Each completed round appends one
+    /// [`RoundJournalRecord`]; a journal write failure aborts the run
+    /// with [`crate::error::ErrorKind::Journal`].
+    pub fn journal(mut self, journal: RunJournal) -> Self {
+        self.obs.journal = Some(Arc::new(journal));
+        self
+    }
+
+    /// Construct the learner.
+    pub fn build(self) -> ActiveLearner<M> {
+        ActiveLearner::from_parts(
+            self.model,
+            self.samples,
+            self.oracle_labels,
+            self.test_samples,
+            self.test_labels,
+            self.strategy.expect("strategy set by typestate"),
+            self.lhs,
+            self.config,
+            self.representations,
+            ChaCha8Rng::seed_from_u64(self.seed),
+            self.seed,
+            self.obs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_boundaries() {
+        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
+        assert_ne!(fingerprint(&[]), fingerprint(&[""]));
+        assert_eq!(fingerprint(&["x", "y"]), fingerprint(&["x", "y"]));
+    }
+}

@@ -24,6 +24,9 @@ use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use histal_obs::span;
+use histal_obs::trace::Level;
+
 use histal_text::PoolGeometry;
 
 /// Configuration for density (representativeness) weighting.
@@ -110,6 +113,7 @@ pub fn apply_density(
     if unlabeled.is_empty() {
         return;
     }
+    let _span = span!(Level::Trace, "combinator.density", n = unlabeled.len());
     scratch.reference.clear();
     if config.sample_size == 0 || unlabeled.len() <= config.sample_size {
         scratch.reference.extend_from_slice(unlabeled);
@@ -177,6 +181,7 @@ pub fn kcenter_select(
     if k == 0 {
         return Vec::new();
     }
+    let _span = span!(Level::Trace, "combinator.kcenter", n = n, k = k);
     let first = scores
         .iter()
         .enumerate()
@@ -248,6 +253,7 @@ pub fn mmr_select(
     assert_eq!(scores.len(), unlabeled.len(), "scores/unlabeled misaligned");
     let n = unlabeled.len();
     let k = batch_size.min(n);
+    let _span = span!(Level::Trace, "combinator.mmr", n = n, k = k);
     let mut selected: Vec<usize> = Vec::with_capacity(k);
     scratch.reset_masks(n, 0.0);
     let SimScratch {

@@ -17,7 +17,7 @@ pub mod combinators;
 
 use serde::{Deserialize, Serialize};
 
-use crate::error::StrategyError;
+use crate::error::Error;
 use crate::eval::{EvalCaps, SampleEval};
 use histal_tseries::{exp_weighted_sum, uniform_sum, window_variance, RollingStats};
 
@@ -79,17 +79,16 @@ impl BaseStrategy {
 
     /// Compute `φ_t(x)` from a sample evaluation. `random_value` supplies
     /// the driver-generated uniform draw for [`BaseStrategy::Random`].
-    pub fn base_score(&self, eval: &SampleEval, random_value: f64) -> Result<f64, StrategyError> {
-        let missing = |field: &'static str| StrategyError::MissingCapability {
-            strategy: self.name_static(),
-            field,
-        };
+    pub fn base_score(&self, eval: &SampleEval, random_value: f64) -> Result<f64, Error> {
+        let missing = |field: &'static str| Error::missing_capability(self.name_static(), field);
         match self {
             Self::Random => Ok(random_value),
             Self::Entropy => Ok(eval.entropy),
             Self::LeastConfidence => Ok(eval.least_confidence),
-            Self::Margin => eval.margin.ok_or(StrategyError::NotEnoughClasses {
-                got: eval.probs.len(),
+            Self::Margin => eval.margin.ok_or_else(|| {
+                Error::new(crate::error::ErrorKind::NotEnoughClasses {
+                    got: eval.probs.len(),
+                })
             }),
             Self::Egl => eval.egl.ok_or_else(|| missing("egl")),
             Self::EglWord => eval.egl_word.ok_or_else(|| missing("egl_word")),
@@ -314,8 +313,8 @@ mod tests {
         let e = SampleEval::from_probs(vec![0.5, 0.5]);
         let err = BaseStrategy::Egl.base_score(&e, 0.0).unwrap_err();
         assert!(matches!(
-            err,
-            StrategyError::MissingCapability { field: "egl", .. }
+            err.kind,
+            crate::error::ErrorKind::MissingCapability { field: "egl", .. }
         ));
     }
 

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
-use histal_core::driver::{ActiveLearner, PoolConfig};
+use histal_core::driver::{top_k, ActiveLearner, PoolConfig};
 use histal_core::eval::{EvalCaps, SampleEval};
 use histal_core::model::Model;
 use histal_core::strategy::{BaseStrategy, HistoryPolicy, Strategy as AlStrategy};
@@ -61,22 +61,19 @@ fn run(
 ) -> histal_core::RunResult {
     let pool: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
     let labels: Vec<usize> = pool.iter().map(|&x| usize::from(x >= 0.5)).collect();
-    let mut learner = ActiveLearner::new(
-        FixedModel,
-        pool,
-        labels,
-        vec![0.1, 0.9],
-        vec![0, 1],
-        strategy,
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(FixedModel)
+        .pool(pool, labels)
+        .test(vec![0.1, 0.9], vec![0, 1])
+        .strategy(strategy)
+        .config(PoolConfig {
             batch_size: batch,
             rounds,
             init_labeled: batch,
             history_max_len: None,
             record_history: true,
-        },
-        seed,
-    );
+        })
+        .seed(seed)
+        .build();
     learner
         .run()
         .expect("mock model supports all chosen strategies")
@@ -136,5 +133,46 @@ proptest! {
         for (pa, pb) in a.curve.iter().zip(&b.curve) {
             prop_assert_eq!(pa.metric, pb.metric);
         }
+    }
+
+    /// `top_k`'s documented tie-break: equal scores resolve toward the
+    /// lower index. Scores are drawn from a tiny discrete set so heavy
+    /// ties are the common case, and the result must equal a stable
+    /// descending sort (which preserves pool order within each tie
+    /// class) truncated to `k`.
+    #[test]
+    fn top_k_breaks_ties_toward_lower_index(
+        scores in prop::collection::vec(0u8..4, 0..60),
+        k in 0usize..70,
+    ) {
+        let scores: Vec<f64> = scores.into_iter().map(f64::from).collect();
+        let got = top_k(&scores, k);
+        let mut expect: Vec<usize> = (0..scores.len()).collect();
+        expect.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        expect.truncate(k);
+        prop_assert_eq!(&got, &expect);
+        // Membership restated directly: anything strictly better is in,
+        // and within a tie class every lower index is in first.
+        for &i in &got {
+            for j in 0..scores.len() {
+                let better = scores[j] > scores[i] || (scores[j] == scores[i] && j < i);
+                if better {
+                    prop_assert!(got.contains(&j), "index {j} beats {i} but was dropped");
+                }
+            }
+        }
+    }
+
+    /// All-tied (and all-NaN) score vectors degrade to pool order.
+    #[test]
+    fn top_k_constant_scores_select_pool_order(
+        n in 0usize..50,
+        k in 0usize..60,
+        nan in 0u8..2,
+    ) {
+        let v = if nan == 1 { f64::NAN } else { 0.25 };
+        let got = top_k(&vec![v; n], k);
+        let expect: Vec<usize> = (0..n.min(k)).collect();
+        prop_assert_eq!(&got, &expect);
     }
 }

@@ -30,6 +30,8 @@ use histal_core::eval::{EvalCaps, SampleEval};
 use histal_core::metrics::span_f1;
 use histal_core::model::Model;
 use histal_core::tags::TagScheme;
+use histal_obs::span;
+use histal_obs::trace::Level;
 use histal_text::{char_ngrams, FeatureHasher, SparseVec};
 
 use crate::math::logsumexp;
@@ -746,6 +748,7 @@ impl Model for CrfTagger {
         if samples.is_empty() {
             return;
         }
+        let _span = span!(Level::Debug, "crf.fit", n = samples.len());
         if !self.config.warm_start {
             let nf = self.config.n_features as usize;
             self.emit = vec![0.0; self.n_labels * nf];
@@ -1015,6 +1018,7 @@ impl Model for CrfTagger {
     }
 
     fn metric(&self, samples: &[&Sentence], labels: &[&Vec<u16>]) -> f64 {
+        let _span = span!(Level::Debug, "crf.metric", n = samples.len());
         let scheme = &self.config.scheme;
         let pred_spans: Vec<Vec<(usize, usize, usize)>> = samples
             .iter()

@@ -29,6 +29,8 @@ use serde::{Deserialize, Serialize};
 use histal_core::eval::{EvalCaps, SampleEval};
 use histal_core::metrics::accuracy;
 use histal_core::model::Model;
+use histal_obs::span;
+use histal_obs::trace::Level;
 use histal_text::SparseVec;
 
 use crate::document::Document;
@@ -407,6 +409,7 @@ impl Model for TextClassifier {
         if samples.is_empty() {
             return;
         }
+        let _span = span!(Level::Debug, "logreg.fit", n = samples.len());
         if !self.config.warm_start {
             self.main = Linear::zeros(self.config.n_classes, self.config.n_features);
         }
@@ -475,6 +478,7 @@ impl Model for TextClassifier {
     }
 
     fn metric(&self, samples: &[&Document], labels: &[&usize]) -> f64 {
+        let _span = span!(Level::Debug, "logreg.metric", n = samples.len());
         let pred: Vec<usize> = samples.iter().map(|d| self.predict(d)).collect();
         let gold: Vec<usize> = labels.iter().map(|&&l| l).collect();
         accuracy(&pred, &gold)

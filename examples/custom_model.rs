@@ -140,16 +140,13 @@ fn main() {
             w_fluct: 0.5,
         }),
     ] {
-        let mut learner = ActiveLearner::new(
-            CentroidModel::new(3),
-            pool.clone(),
-            pool_labels.clone(),
-            test.clone(),
-            test_labels.clone(),
-            strategy,
-            config.clone(),
-            99,
-        );
+        let mut learner = ActiveLearner::builder(CentroidModel::new(3))
+            .pool(pool.clone(), pool_labels.clone())
+            .test(test.clone(), test_labels.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(99)
+            .build();
         let r = learner
             .run()
             .expect("centroid model provides probabilities");

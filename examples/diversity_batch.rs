@@ -63,17 +63,14 @@ fn main() {
             n_features: 1 << 14,
             ..Default::default()
         });
-        let mut learner = ActiveLearner::new(
-            model,
-            pool.clone(),
-            pool_labels.clone(),
-            test.clone(),
-            test_labels.clone(),
-            strategy,
-            config.clone(),
-            31,
-        )
-        .with_representations(reps.clone());
+        let mut learner = ActiveLearner::builder(model)
+            .pool(pool.clone(), pool_labels.clone())
+            .test(test.clone(), test_labels.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(31)
+            .representations(reps.clone())
+            .build();
         let r = learner.run().expect("entropy family always evaluable");
         println!(
             "{label:<34} final accuracy {:.4} (curve: {})",

@@ -93,29 +93,23 @@ fn main() {
         record_history: false,
     };
 
-    let mut baseline = ActiveLearner::new(
-        model(),
-        mr_pool.clone(),
-        mr_labels.clone(),
-        mr_test.clone(),
-        mr_test_labels.clone(),
-        Strategy::new(BaseStrategy::Entropy),
-        config.clone(),
-        21,
-    );
+    let mut baseline = ActiveLearner::builder(model())
+        .pool(mr_pool.clone(), mr_labels.clone())
+        .test(mr_test.clone(), mr_test_labels.clone())
+        .strategy(Strategy::new(BaseStrategy::Entropy))
+        .config(config.clone())
+        .seed(21)
+        .build();
     let baseline_run = baseline.run().expect("entropy run");
 
-    let mut lhs = ActiveLearner::new(
-        model(),
-        mr_pool,
-        mr_labels,
-        mr_test,
-        mr_test_labels,
-        Strategy::new(BaseStrategy::Entropy),
-        config,
-        21,
-    )
-    .with_lhs(selector);
+    let mut lhs = ActiveLearner::builder(model())
+        .pool(mr_pool, mr_labels)
+        .test(mr_test, mr_test_labels)
+        .strategy(Strategy::new(BaseStrategy::Entropy))
+        .config(config)
+        .seed(21)
+        .lhs(selector)
+        .build();
     let lhs_run = lhs.run().expect("LHS run");
 
     println!(

@@ -58,16 +58,13 @@ fn main() {
             epochs: 5,
             ..Default::default()
         });
-        let mut learner = ActiveLearner::new(
-            model,
-            pool.clone(),
-            pool_tags.clone(),
-            test.clone(),
-            test_tags.clone(),
-            strategy,
-            config.clone(),
-            777,
-        );
+        let mut learner = ActiveLearner::builder(model)
+            .pool(pool.clone(), pool_tags.clone())
+            .test(test.clone(), test_tags.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(777)
+            .build();
         let result = learner.run().expect("CRF provides LC/MNLP");
         println!("\n== {} ==", result.strategy_name);
         for p in &result.curve {

@@ -81,23 +81,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rule = StoppingRule::none()
         .with_budget(400)
         .with_patience(4, 0.002);
-    let mut learner = ActiveLearner::new(
-        model(),
-        pool.clone(),
-        labels.clone(),
-        test.clone(),
-        test_labels.clone(),
-        Strategy::new(BaseStrategy::Entropy),
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(model())
+        .pool(pool.clone(), labels.clone())
+        .test(test.clone(), test_labels.clone())
+        .strategy(Strategy::new(BaseStrategy::Entropy))
+        .config(PoolConfig {
             batch_size: 25,
             rounds: 30,
             init_labeled: 25,
             history_max_len: Some(5),
             record_history: false,
-        },
-        11,
-    )
-    .with_lhs(restored.into_selector());
+        })
+        .seed(11)
+        .lhs(restored.into_selector())
+        .build();
     let (campaign, reason) = learner.run_until(&rule)?;
     println!(
         "      stopped after {} labels ({reason:?}), accuracy {:.4}",
@@ -114,22 +111,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- 4. Did active learning beat random annotation? ----
     println!("[4/4] sanity check vs random sampling…");
-    let mut random = ActiveLearner::new(
-        model(),
-        pool,
-        labels,
-        test,
-        test_labels,
-        Strategy::new(BaseStrategy::Random),
-        PoolConfig {
+    let mut random = ActiveLearner::builder(model())
+        .pool(pool, labels)
+        .test(test, test_labels)
+        .strategy(Strategy::new(BaseStrategy::Random))
+        .config(PoolConfig {
             batch_size: 25,
             rounds: campaign.curve.len().saturating_sub(1),
             init_labeled: 25,
             history_max_len: Some(5),
             record_history: false,
-        },
-        11,
-    );
+        })
+        .seed(11)
+        .build();
     let random_run = random.run()?;
     let t = compare_curves(&campaign, &random_run);
     println!(

@@ -50,16 +50,13 @@ fn main() {
             n_features: 1 << 14,
             ..Default::default()
         });
-        let mut learner = ActiveLearner::new(
-            model,
-            pool.clone(),
-            pool_labels.clone(),
-            test.clone(),
-            test_labels.clone(),
-            strategy,
-            config.clone(),
-            1234,
-        );
+        let mut learner = ActiveLearner::builder(model)
+            .pool(pool.clone(), pool_labels.clone())
+            .test(test.clone(), test_labels.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(1234)
+            .build();
         let result = learner
             .run()
             .expect("entropy-family strategies always evaluable");

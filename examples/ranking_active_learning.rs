@@ -43,16 +43,13 @@ fn main() {
         Strategy::new(BaseStrategy::Entropy),
         Strategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l: 3 }),
     ] {
-        let mut learner = ActiveLearner::new(
-            RankingModel::new(RankingModelConfig::default()),
-            pool.clone(),
-            pool_labels.clone(),
-            test_q.clone(),
-            test_l.clone(),
-            strategy,
-            config.clone(),
-            7,
-        );
+        let mut learner = ActiveLearner::builder(RankingModel::new(RankingModelConfig::default()))
+            .pool(pool.clone(), pool_labels.clone())
+            .test(test_q.clone(), test_l.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(7)
+            .build();
         let r = learner.run().expect("ranking model provides probabilities");
         println!("== {} ==", r.strategy_name);
         for p in r.curve.iter().step_by(2) {

@@ -67,16 +67,13 @@ fn main() {
             n_features: 1 << 16,
             ..Default::default()
         });
-        let mut learner = ActiveLearner::new(
-            model,
-            pool.clone(),
-            pool_labels.clone(),
-            test.clone(),
-            test_labels.clone(),
-            strategy,
-            config.clone(),
-            2024,
-        );
+        let mut learner = ActiveLearner::builder(model)
+            .pool(pool.clone(), pool_labels.clone())
+            .test(test.clone(), test_labels.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(2024)
+            .build();
         results.push(learner.run().expect("all capabilities provided"));
     }
 

@@ -20,8 +20,26 @@ cargo test --workspace -q
 echo "==> cargo bench --no-run (criterion benches compile)"
 cargo bench -p histal-bench --no-run
 
-echo "==> histal-experiments bench --check (harness smoke, tiny grid)"
+echo "==> histal-experiments bench --check (harness smoke + obs/metrics gates)"
 cargo run -q --release -p histal-bench --bin histal-experiments -- \
     bench --check --scale 0.02 --repeats 1
+
+echo "==> journal smoke: fig5 --journal, kill-free resume replays byte-identically"
+# Run from a scratch cwd so the smoke never touches the tracked results/.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+BIN="$(pwd)/target/release/histal-experiments"
+cargo build -q --release -p histal-bench --bin histal-experiments
+(
+    cd "$SMOKE_DIR"
+    "$BIN" fig5 --scale 0.05 --repeats 1 --journal fig5.jsonl \
+        > first.out 2> /dev/null
+    grep -q '"kind":"cell"' fig5.jsonl
+    # Tear the journal tail (simulated crash mid-append), then resume.
+    truncate -s -50 fig5.jsonl
+    "$BIN" resume fig5 --scale 0.05 --repeats 1 --journal fig5.jsonl \
+        > second.out 2> /dev/null
+    diff first.out second.out
+)
 
 echo "CI green."

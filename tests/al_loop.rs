@@ -143,22 +143,19 @@ fn qbc_requires_committee_model() {
         epochs: 3,
         ..Default::default()
     });
-    let mut learner = ActiveLearner::new(
-        model,
-        task.pool_docs.clone(),
-        task.pool_labels.clone(),
-        task.test_docs.clone(),
-        task.test_labels.clone(),
-        Strategy::new(BaseStrategy::QbcKl),
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(model)
+        .pool(task.pool_docs.clone(), task.pool_labels.clone())
+        .test(task.test_docs.clone(), task.test_labels.clone())
+        .strategy(Strategy::new(BaseStrategy::QbcKl))
+        .config(PoolConfig {
             batch_size: 10,
             rounds: 2,
             init_labeled: 10,
             history_max_len: None,
             record_history: false,
-        },
-        3,
-    );
+        })
+        .seed(3)
+        .build();
     let err = learner.run().unwrap_err();
     assert!(err.to_string().contains("qbc_kl"));
 }
@@ -174,22 +171,19 @@ fn qbc_with_committee_succeeds() {
         committee_epochs: 2,
         ..Default::default()
     });
-    let mut learner = ActiveLearner::new(
-        model,
-        task.pool_docs.clone(),
-        task.pool_labels.clone(),
-        task.test_docs.clone(),
-        task.test_labels.clone(),
-        Strategy::new(BaseStrategy::QbcKl),
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(model)
+        .pool(task.pool_docs.clone(), task.pool_labels.clone())
+        .test(task.test_docs.clone(), task.test_labels.clone())
+        .strategy(Strategy::new(BaseStrategy::QbcKl))
+        .config(PoolConfig {
             batch_size: 10,
             rounds: 3,
             init_labeled: 10,
             history_max_len: None,
             record_history: false,
-        },
-        3,
-    );
+        })
+        .seed(3)
+        .build();
     let r = learner.run().expect("committee provides qbc_kl");
     assert_eq!(r.curve.len(), 4);
 }

@@ -42,22 +42,19 @@ fn run_fixed(n: usize, strategy: Strategy, batch: usize, rounds: usize) -> hista
     // x = 0.5.
     let pool: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
     let labels: Vec<usize> = pool.iter().map(|&x| usize::from(x >= 0.5)).collect();
-    let mut learner = ActiveLearner::new(
-        FixedModel,
-        pool,
-        labels.clone(),
-        vec![0.2, 0.8],
-        vec![0, 1],
-        strategy,
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(FixedModel)
+        .pool(pool, labels.clone())
+        .test(vec![0.2, 0.8], vec![0, 1])
+        .strategy(strategy)
+        .config(PoolConfig {
             batch_size: batch,
             rounds,
             init_labeled: batch,
             history_max_len: None,
             record_history: false,
-        },
-        9,
-    );
+        })
+        .seed(9)
+        .build();
     learner.run().expect("mock model provides probabilities")
 }
 
@@ -106,22 +103,19 @@ fn density_changes_selection_with_representations() {
         record_history: false,
     };
     let mk_learner = |strategy: Strategy| {
-        ActiveLearner::new(
-            TextClassifier::new(TextClassifierConfig {
-                n_classes: 2,
-                n_features: 1 << 14,
-                epochs: 4,
-                ..Default::default()
-            }),
-            task.pool_docs.clone(),
-            task.pool_labels.clone(),
-            task.test_docs.clone(),
-            task.test_labels.clone(),
-            strategy,
-            config.clone(),
-            13,
-        )
-        .with_representations(reps.clone())
+        ActiveLearner::builder(TextClassifier::new(TextClassifierConfig {
+            n_classes: 2,
+            n_features: 1 << 14,
+            epochs: 4,
+            ..Default::default()
+        }))
+        .pool(task.pool_docs.clone(), task.pool_labels.clone())
+        .test(task.test_docs.clone(), task.test_labels.clone())
+        .strategy(strategy)
+        .config(config.clone())
+        .seed(13)
+        .representations(reps.clone())
+        .build()
     };
     let plain = mk_learner(Strategy::new(BaseStrategy::Entropy))
         .run()
@@ -161,22 +155,19 @@ fn mmr_diversifies_batches() {
         if let Some(m) = mmr {
             strategy = strategy.with_mmr(m);
         }
-        let mut learner = ActiveLearner::new(
-            TextClassifier::new(TextClassifierConfig {
-                n_classes: 2,
-                n_features: 1 << 14,
-                epochs: 4,
-                ..Default::default()
-            }),
-            task.pool_docs.clone(),
-            task.pool_labels.clone(),
-            task.test_docs.clone(),
-            task.test_labels.clone(),
-            strategy,
-            config.clone(),
-            17,
-        )
-        .with_representations(reps.clone());
+        let mut learner = ActiveLearner::builder(TextClassifier::new(TextClassifierConfig {
+            n_classes: 2,
+            n_features: 1 << 14,
+            epochs: 4,
+            ..Default::default()
+        }))
+        .pool(task.pool_docs.clone(), task.pool_labels.clone())
+        .test(task.test_docs.clone(), task.test_labels.clone())
+        .strategy(strategy)
+        .config(config.clone())
+        .seed(17)
+        .representations(reps.clone())
+        .build();
         learner.run().unwrap()
     };
     let plain = run(None);
@@ -219,22 +210,19 @@ fn kcenter_batches_are_more_diverse_than_topk() {
         if kcenter {
             strategy = strategy.with_kcenter();
         }
-        let mut learner = ActiveLearner::new(
-            TextClassifier::new(TextClassifierConfig {
-                n_classes: 2,
-                n_features: 1 << 14,
-                epochs: 4,
-                ..Default::default()
-            }),
-            task.pool_docs.clone(),
-            task.pool_labels.clone(),
-            task.test_docs.clone(),
-            task.test_labels.clone(),
-            strategy,
-            config.clone(),
-            19,
-        )
-        .with_representations(reps.clone());
+        let mut learner = ActiveLearner::builder(TextClassifier::new(TextClassifierConfig {
+            n_classes: 2,
+            n_features: 1 << 14,
+            epochs: 4,
+            ..Default::default()
+        }))
+        .pool(task.pool_docs.clone(), task.pool_labels.clone())
+        .test(task.test_docs.clone(), task.test_labels.clone())
+        .strategy(strategy)
+        .config(config.clone())
+        .seed(19)
+        .representations(reps.clone())
+        .build();
         learner.run().unwrap()
     };
     let plain = run(false);
@@ -265,22 +253,19 @@ fn run_until_stops_on_budget_and_target() {
     let pool: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
     let labels: Vec<usize> = pool.iter().map(|&x| usize::from(x >= 0.5)).collect();
     let mk = || {
-        ActiveLearner::new(
-            FixedModel,
-            pool.clone(),
-            labels.clone(),
-            vec![0.2, 0.8],
-            vec![0, 1],
-            Strategy::new(BaseStrategy::Entropy),
-            PoolConfig {
+        ActiveLearner::builder(FixedModel)
+            .pool(pool.clone(), labels.clone())
+            .test(vec![0.2, 0.8], vec![0, 1])
+            .strategy(Strategy::new(BaseStrategy::Entropy))
+            .config(PoolConfig {
                 batch_size: 10,
                 rounds: 15,
                 init_labeled: 10,
                 history_max_len: None,
                 record_history: false,
-            },
-            4,
-        )
+            })
+            .seed(4)
+            .build()
     };
     // Budget: stop at 40 labels → 4 curve points (10, 20, 30, 40).
     let (r, reason) = mk()
@@ -308,22 +293,20 @@ fn run_until_plateau_fires_on_flat_metric() {
 
     let pool: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
     let labels: Vec<usize> = pool.iter().map(|&x| usize::from(x >= 0.5)).collect();
-    let mut learner = ActiveLearner::new(
-        FixedModel, // metric is constant → plateau after `patience` rounds
-        pool,
-        labels,
-        vec![0.2, 0.8],
-        vec![0, 1],
-        Strategy::new(BaseStrategy::Entropy),
-        PoolConfig {
+    // Metric is constant → plateau after `patience` rounds.
+    let mut learner = ActiveLearner::builder(FixedModel)
+        .pool(pool, labels)
+        .test(vec![0.2, 0.8], vec![0, 1])
+        .strategy(Strategy::new(BaseStrategy::Entropy))
+        .config(PoolConfig {
             batch_size: 10,
             rounds: 15,
             init_labeled: 10,
             history_max_len: None,
             record_history: false,
-        },
-        4,
-    );
+        })
+        .seed(4)
+        .build();
     let (r, reason) = learner
         .run_until(&StoppingRule::none().with_patience(3, 1e-6))
         .unwrap();

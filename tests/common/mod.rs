@@ -43,16 +43,13 @@ pub fn run_text(task: &TextTask, strategy: Strategy, config: PoolConfig, seed: u
         mc_passes: 8,
         ..Default::default()
     });
-    let mut learner = ActiveLearner::new(
-        model,
-        task.pool_docs.clone(),
-        task.pool_labels.clone(),
-        task.test_docs.clone(),
-        task.test_labels.clone(),
-        strategy,
-        config,
-        seed,
-    );
+    let mut learner = ActiveLearner::builder(model)
+        .pool(task.pool_docs.clone(), task.pool_labels.clone())
+        .test(task.test_docs.clone(), task.test_labels.clone())
+        .strategy(strategy)
+        .config(config)
+        .seed(seed)
+        .build();
     learner.run().expect("strategy capabilities satisfied")
 }
 

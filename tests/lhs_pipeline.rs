@@ -56,23 +56,20 @@ fn train_lhs_and_select_on_fresh_dataset() {
 
     // "MR" role: deployment target.
     let mr = tiny_text_task(2, 400, 42);
-    let mut learner = ActiveLearner::new(
-        trainer_model(2),
-        mr.pool_docs.clone(),
-        mr.pool_labels.clone(),
-        mr.test_docs.clone(),
-        mr.test_labels.clone(),
-        Strategy::new(BaseStrategy::Entropy),
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(trainer_model(2))
+        .pool(mr.pool_docs.clone(), mr.pool_labels.clone())
+        .test(mr.test_docs.clone(), mr.test_labels.clone())
+        .strategy(Strategy::new(BaseStrategy::Entropy))
+        .config(PoolConfig {
             batch_size: 15,
             rounds: 6,
             init_labeled: 15,
             history_max_len: None,
             record_history: false,
-        },
-        3,
-    )
-    .with_lhs(selector);
+        })
+        .seed(3)
+        .lhs(selector)
+        .build();
     let result = learner.run().expect("LHS run succeeds");
     assert_eq!(result.strategy_name, "LHS(entropy)");
     assert_eq!(result.curve.len(), 7);
@@ -126,23 +123,20 @@ fn lhs_training_is_deterministic() {
         )
         .unwrap();
         let mr = tiny_text_task(2, 250, 45);
-        let mut learner = ActiveLearner::new(
-            trainer_model(2),
-            mr.pool_docs.clone(),
-            mr.pool_labels.clone(),
-            mr.test_docs.clone(),
-            mr.test_labels.clone(),
-            Strategy::new(BaseStrategy::Entropy),
-            PoolConfig {
+        let mut learner = ActiveLearner::builder(trainer_model(2))
+            .pool(mr.pool_docs.clone(), mr.pool_labels.clone())
+            .test(mr.test_docs.clone(), mr.test_labels.clone())
+            .strategy(Strategy::new(BaseStrategy::Entropy))
+            .config(PoolConfig {
                 batch_size: 10,
                 rounds: 3,
                 init_labeled: 10,
                 history_max_len: None,
                 record_history: false,
-            },
-            5,
-        )
-        .with_lhs(selector);
+            })
+            .seed(5)
+            .lhs(selector)
+            .build();
         learner.run().unwrap()
     };
     let a = run(21);
@@ -175,23 +169,20 @@ fn artifacts_round_trip_through_json() {
     // identical selections.
     let mr = tiny_text_task(2, 250, 48);
     let run = |selector| {
-        let mut learner = ActiveLearner::new(
-            trainer_model(2),
-            mr.pool_docs.clone(),
-            mr.pool_labels.clone(),
-            mr.test_docs.clone(),
-            mr.test_labels.clone(),
-            Strategy::new(BaseStrategy::Entropy),
-            PoolConfig {
+        let mut learner = ActiveLearner::builder(trainer_model(2))
+            .pool(mr.pool_docs.clone(), mr.pool_labels.clone())
+            .test(mr.test_docs.clone(), mr.test_labels.clone())
+            .strategy(Strategy::new(BaseStrategy::Entropy))
+            .config(PoolConfig {
                 batch_size: 10,
                 rounds: 3,
                 init_labeled: 10,
                 history_max_len: None,
                 record_history: false,
-            },
-            5,
-        )
-        .with_lhs(selector);
+            })
+            .seed(5)
+            .lhs(selector)
+            .build();
         learner.run().unwrap()
     };
     let a = run(artifacts.clone().into_selector());

@@ -43,22 +43,19 @@ fn crf() -> CrfTagger {
 }
 
 fn run_ner(task: &NerTask, strategy: Strategy, rounds: usize, seed: u64) -> histal_core::RunResult {
-    let mut learner = ActiveLearner::new(
-        crf(),
-        task.pool.clone(),
-        task.pool_tags.clone(),
-        task.test.clone(),
-        task.test_tags.clone(),
-        strategy,
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(crf())
+        .pool(task.pool.clone(), task.pool_tags.clone())
+        .test(task.test.clone(), task.test_tags.clone())
+        .strategy(strategy)
+        .config(PoolConfig {
             batch_size: 20,
             rounds,
             init_labeled: 20,
             history_max_len: None,
             record_history: false,
-        },
-        seed,
-    );
+        })
+        .seed(seed)
+        .build();
     learner.run().expect("strategy capabilities satisfied")
 }
 
@@ -92,22 +89,19 @@ fn mnlp_and_bald_strategies_run() {
 #[test]
 fn egl_fails_cleanly_on_crf() {
     let task = tiny_ner_task(100, 33);
-    let mut learner = ActiveLearner::new(
-        crf(),
-        task.pool.clone(),
-        task.pool_tags.clone(),
-        task.test.clone(),
-        task.test_tags.clone(),
-        Strategy::new(BaseStrategy::Egl),
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(crf())
+        .pool(task.pool.clone(), task.pool_tags.clone())
+        .test(task.test.clone(), task.test_tags.clone())
+        .strategy(Strategy::new(BaseStrategy::Egl))
+        .config(PoolConfig {
             batch_size: 10,
             rounds: 2,
             init_labeled: 10,
             history_max_len: None,
             record_history: false,
-        },
-        3,
-    );
+        })
+        .seed(3)
+        .build();
     let err = learner.run().unwrap_err();
     assert!(err.to_string().contains("egl"));
 }
@@ -148,22 +142,19 @@ fn qbc_committee_runs_on_ner() {
         committee_epochs: 2,
         ..Default::default()
     });
-    let mut learner = ActiveLearner::new(
-        model,
-        task.pool.clone(),
-        task.pool_tags.clone(),
-        task.test.clone(),
-        task.test_tags.clone(),
-        Strategy::new(BaseStrategy::QbcKl),
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(model)
+        .pool(task.pool.clone(), task.pool_tags.clone())
+        .test(task.test.clone(), task.test_tags.clone())
+        .strategy(Strategy::new(BaseStrategy::QbcKl))
+        .config(PoolConfig {
             batch_size: 15,
             rounds: 3,
             init_labeled: 15,
             history_max_len: None,
             record_history: false,
-        },
-        6,
-    );
+        })
+        .seed(6)
+        .build();
     let r = learner.run().expect("committee provides qbc_kl");
     assert_eq!(r.curve.len(), 4);
 }

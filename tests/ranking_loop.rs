@@ -32,22 +32,19 @@ fn task(n: usize, seed: u64) -> RankTask {
 }
 
 fn run(t: &RankTask, strategy: Strategy, seed: u64) -> histal_core::RunResult {
-    let mut learner = ActiveLearner::new(
-        RankingModel::new(RankingModelConfig::default()),
-        t.pool.clone(),
-        t.pool_labels.clone(),
-        t.test.clone(),
-        t.test_labels.clone(),
-        strategy,
-        PoolConfig {
+    let mut learner = ActiveLearner::builder(RankingModel::new(RankingModelConfig::default()))
+        .pool(t.pool.clone(), t.pool_labels.clone())
+        .test(t.test.clone(), t.test_labels.clone())
+        .strategy(strategy)
+        .config(PoolConfig {
             batch_size: 15,
             rounds: 5,
             init_labeled: 15,
             history_max_len: None,
             record_history: false,
-        },
-        seed,
-    );
+        })
+        .seed(seed)
+        .build();
     learner.run().expect("ranking model provides probabilities")
 }
 

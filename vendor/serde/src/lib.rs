@@ -243,6 +243,21 @@ impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
     }
 }
 
+/// `Value` is its own data model: (de)serialization is the identity.
+/// Lets callers round-trip schema-less documents (e.g. validate a JSON
+/// line without committing to a record type).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Deserialize impls for std types
 // ---------------------------------------------------------------------------
