@@ -1,17 +1,15 @@
 //! The pool-based active learning driver.
 //!
-//! [`ActiveLearner`] owns the pool, the oracle labels, the test split, the
-//! underlying model, the [`HistoryStore`], and a [`Strategy`], and runs
-//! the iterative select–annotate–retrain loop of §2. It is generic over
-//! [`Model`], so the same driver executes both the text-classification
-//! and NER experiments (and user-provided models).
-
-use std::collections::VecDeque;
+//! [`ActiveLearner`] owns the samples, the test split, the underlying
+//! model and a [`Strategy`], and composes the staged round pipeline of
+//! [`crate::pipeline`] over a first-class [`Pool`]: fit → eval → score →
+//! fold history → select → annotate, repeated until the rounds are
+//! exhausted or a [`StoppingRule`] fires. It is generic over [`Model`],
+//! so the same driver executes both the text-classification and NER
+//! experiments (and user-provided models).
 
 use rand::prelude::SliceRandom;
-use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use histal_text::{PoolGeometry, SparseVec};
@@ -21,13 +19,17 @@ use histal_obs::trace::Level;
 use histal_obs::{session_event, session_span};
 
 use crate::error::Error;
-use crate::eval::SampleEval;
 use crate::history::HistoryStore;
 use crate::lhs::LhsSelector;
 use crate::model::Model;
+use crate::pipeline::{
+    Annotate, BaseScore, EvalPool, Fit, FoldHistory, HkldFold, KCenterSelect, LhsSelect, MmrSelect,
+    ParallelEval, PolicyFold, RetrainFit, RoundCtx, ScoreBase, Select, SelectCtx, TopKSelect,
+};
+use crate::pool::{Pool, SampleId};
 use crate::session::{NeedsPool, SessionBuilder, SessionObs};
 use crate::stopping::{StopReason, StoppingRule};
-use crate::strategy::combinators::{apply_density, kcenter_select, mmr_select, SimScratch};
+use crate::strategy::combinators::apply_density;
 use crate::strategy::Strategy;
 
 /// Static configuration of an active-learning run.
@@ -125,10 +127,15 @@ impl RunResult {
 const DIAG_WINDOW: usize = 3;
 
 /// A pool-based active learner (problem setting of §2, Figure 1).
+///
+/// Construction goes through [`ActiveLearner::builder`]; the loop itself
+/// is the stage composition in [`ActiveLearner::run_until`].
 pub struct ActiveLearner<M: Model> {
     model: M,
     samples: Vec<M::Sample>,
-    oracle_labels: Vec<M::Label>,
+    /// Labels revealed by the [`Annotate`] stage, indexed by sample id.
+    /// `Some` exactly for ids on the pool's labeled side.
+    revealed: Vec<Option<M::Label>>,
     test_samples: Vec<M::Sample>,
     test_labels: Vec<M::Label>,
     strategy: Strategy,
@@ -139,6 +146,9 @@ pub struct ActiveLearner<M: Model> {
     rng: ChaCha8Rng,
     seed: u64,
     obs: SessionObs,
+    fit_stage: Box<dyn Fit<M>>,
+    eval_stage: Box<dyn EvalPool<M>>,
+    annotate_stage: Box<dyn Annotate<M>>,
 }
 
 impl<M: Model> ActiveLearner<M> {
@@ -156,7 +166,7 @@ impl<M: Model> ActiveLearner<M> {
     pub(crate) fn from_parts(
         model: M,
         samples: Vec<M::Sample>,
-        oracle_labels: Vec<M::Label>,
+        annotate_stage: Box<dyn Annotate<M>>,
         test_samples: Vec<M::Sample>,
         test_labels: Vec<M::Label>,
         strategy: Strategy,
@@ -167,10 +177,11 @@ impl<M: Model> ActiveLearner<M> {
         seed: u64,
         obs: SessionObs,
     ) -> Self {
+        let revealed = (0..samples.len()).map(|_| None).collect();
         Self {
             model,
             samples,
-            oracle_labels,
+            revealed,
             test_samples,
             test_labels,
             strategy,
@@ -180,54 +191,10 @@ impl<M: Model> ActiveLearner<M> {
             rng,
             seed,
             obs,
+            fit_stage: Box::new(RetrainFit),
+            eval_stage: Box::new(ParallelEval),
+            annotate_stage,
         }
-    }
-
-    /// Create a learner over a pool with hidden oracle labels and a fixed
-    /// test split. `seed` makes the whole run deterministic.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ActiveLearner::builder(model).pool(..).test(..).strategy(..)`"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        model: M,
-        samples: Vec<M::Sample>,
-        oracle_labels: Vec<M::Label>,
-        test_samples: Vec<M::Sample>,
-        test_labels: Vec<M::Label>,
-        strategy: Strategy,
-        config: PoolConfig,
-        seed: u64,
-    ) -> Self {
-        ActiveLearner::builder(model)
-            .pool(samples, oracle_labels)
-            .test(test_samples, test_labels)
-            .strategy(strategy)
-            .config(config)
-            .seed(seed)
-            .build()
-    }
-
-    /// Attach a trained LHS selector; selection then ranks a candidate set
-    /// with the learned ranker instead of sorting by the history policy.
-    #[deprecated(since = "0.1.0", note = "use `SessionBuilder::lhs`")]
-    pub fn with_lhs(mut self, lhs: LhsSelector) -> Self {
-        self.lhs = Some(lhs);
-        self
-    }
-
-    /// Attach sparse representations enabling the density / MMR
-    /// combinators. `reps[i]` must describe pool sample `i`.
-    #[deprecated(since = "0.1.0", note = "use `SessionBuilder::representations`")]
-    pub fn with_representations(mut self, reps: Vec<SparseVec>) -> Self {
-        assert_eq!(
-            reps.len(),
-            self.samples.len(),
-            "one representation per pool sample"
-        );
-        self.representations = Some(reps);
-        self
     }
 
     /// Run the full loop. Returns an error if the strategy requires a
@@ -240,6 +207,11 @@ impl<M: Model> ActiveLearner<M> {
 
     /// Run until the configured rounds complete or `rule` fires, whichever
     /// comes first. Returns the run and why it stopped.
+    ///
+    /// This is a thin composition of the [`crate::pipeline`] stages: each
+    /// round runs fit → eval → score/fold → select → annotate, with the
+    /// per-stage wall-clock captured in [`RoundCtx`] and copied onto the
+    /// round's [`RoundRecord`].
     pub fn run_until(&mut self, rule: &StoppingRule) -> Result<(RunResult, StopReason), Error> {
         let n = self.samples.len();
         let _run_span = session_span!(
@@ -259,7 +231,7 @@ impl<M: Model> ActiveLearner<M> {
         // Rolling trackers make the per-round history fold O(1) per
         // sample. HKLD replaces the scalar fold entirely, and a
         // degenerate zero window (e.g. HUS with k = 0) falls back to the
-        // from-scratch slice path below.
+        // borrowed-segment slice path.
         if self.strategy.hkld.is_none() {
             let window = self.strategy.history.window();
             if window > 0 {
@@ -275,27 +247,39 @@ impl<M: Model> ActiveLearner<M> {
                 || self.strategy.kcenter;
             needed.then(|| PoolGeometry::build(reps))
         });
-        let mut scratch = SimScratch::default();
-        // Initial random labeled set s₀.
-        let mut order: Vec<usize> = (0..n).collect();
+        let mut ctx = RoundCtx::new();
+
+        // Assemble the per-run stages. Fit/eval/annotate live on the
+        // learner (they persist oracle state across runs); scoring,
+        // folding and selection are chosen here from the strategy.
+        let mut score_stage = BaseScore {
+            base: self.strategy.base,
+        };
+        let mut fold_stage: Box<dyn FoldHistory> = match self.strategy.hkld {
+            Some(k) => Box::new(HkldFold::new(k, n, self.config.history_max_len)),
+            None => Box::new(PolicyFold::new(self.strategy.history)),
+        };
+        let mut select_stage: Box<dyn Select> = if let Some(lhs) = &self.lhs {
+            Box::new(LhsSelect(lhs.clone()))
+        } else if let (Some(cfg), true) = (self.strategy.mmr, geometry.is_some()) {
+            Box::new(MmrSelect(cfg))
+        } else if self.strategy.kcenter && geometry.is_some() {
+            Box::new(KCenterSelect)
+        } else {
+            Box::new(TopKSelect)
+        };
+
+        // Initial random labeled set s₀, annotated through the oracle.
+        let mut pool = Pool::new(n);
+        let mut order: Vec<SampleId> = (0..n).collect();
         order.shuffle(&mut self.rng);
         let init = self.config.init_labeled.min(n);
-        let mut labeled: Vec<usize> = order[..init].to_vec();
-        let mut is_labeled = vec![false; n];
-        for &i in &labeled {
-            is_labeled[i] = true;
-        }
+        self.annotate_stage
+            .annotate(&order[..init], &self.samples, &mut pool, &mut self.revealed);
 
         let mut curve = Vec::with_capacity(self.config.rounds + 1);
         let mut rounds = Vec::with_capacity(self.config.rounds);
         let caps = self.strategy.base.caps();
-
-        let needs_prob_history = self.strategy.hkld.is_some();
-        let mut prob_history: Vec<VecDeque<Vec<f64>>> = if needs_prob_history {
-            vec![VecDeque::new(); n]
-        } else {
-            Vec::new()
-        };
 
         let mut stop_reason = StopReason::RoundsExhausted;
         // When the pool empties we have already recorded the metric for
@@ -303,137 +287,108 @@ impl<M: Model> ActiveLearner<M> {
         // duplicate that curve point.
         let mut recorded_final = false;
         for round in 0..self.config.rounds {
+            ctx.begin(round);
             let _round_span = session_span!(
                 self.obs.subscriber(),
                 Level::Debug,
                 "al.round",
                 round = round,
-                n_labeled = labeled.len(),
+                n_labeled = pool.n_labeled(),
             );
             let fit_start = std::time::Instant::now();
-            self.fit_and_record(&labeled, &mut curve);
-            let fit_ms = fit_start.elapsed().as_secs_f64() * 1e3;
+            self.fit_and_record(&pool, &mut curve);
+            ctx.timers.fit_ms = fit_start.elapsed().as_secs_f64() * 1e3;
             if let Some(reason) = rule.should_stop(&curve) {
                 stop_reason = reason;
                 return Ok((self.finish(curve, rounds, history), stop_reason));
             }
-            let unlabeled: Vec<usize> = (0..n).filter(|&i| !is_labeled[i]).collect();
-            if unlabeled.is_empty() {
+            if pool.n_unlabeled() == 0 {
                 stop_reason = StopReason::PoolExhausted;
                 recorded_final = true;
                 break;
             }
             // Evaluate the pool in parallel with per-sample deterministic
-            // seeds, then score.
+            // seeds.
             let eval_start = std::time::Instant::now();
             let eval_span = session_span!(
                 self.obs.subscriber(),
                 Level::Debug,
                 "al.eval",
-                n_unlabeled = unlabeled.len(),
+                n_unlabeled = pool.n_unlabeled(),
             );
-            let evals: Vec<SampleEval> = unlabeled
-                .par_iter()
-                .map(|&id| {
-                    let s = mix_seed(self.seed, round as u64, id as u64);
-                    self.model.eval_sample(&self.samples[id], &caps, s)
-                })
-                .collect();
+            self.eval_stage.eval(
+                &self.model,
+                &self.samples,
+                pool.unlabeled(),
+                &caps,
+                self.seed,
+                round,
+                &mut ctx.evals,
+            );
             drop(eval_span);
-            let eval_ms = eval_start.elapsed().as_secs_f64() * 1e3;
+            ctx.timers.eval_ms = eval_start.elapsed().as_secs_f64() * 1e3;
 
+            // Base scores, history recording + folding, and density
+            // weighting — together they are the "score" phase of the
+            // Table 2 breakdown.
             let score_start = std::time::Instant::now();
             let score_span = session_span!(self.obs.subscriber(), Level::Debug, "al.score");
-            let mut base_scores = Vec::with_capacity(unlabeled.len());
-            for eval in &evals {
-                let r: f64 = self.rng.gen();
-                base_scores.push(self.strategy.base.base_score(eval, r)?);
-            }
-            for (&id, &score) in unlabeled.iter().zip(&base_scores) {
-                history.append(id, score);
-            }
-            if needs_prob_history {
-                for (&id, eval) in unlabeled.iter().zip(&evals) {
-                    let seq = &mut prob_history[id];
-                    seq.push_back(eval.probs.clone());
-                    if let Some(cap) = self.config.history_max_len {
-                        if seq.len() > cap {
-                            seq.pop_front();
-                        }
-                    }
-                }
-            }
-            let mut final_scores: Vec<f64> = if let Some(k) = self.strategy.hkld {
-                // HKLD (Davy & Luz 2007): the committee is the models of
-                // the last k iterations; score = mean KL of each member's
-                // posterior from the committee mean.
-                unlabeled
-                    .iter()
-                    .map(|&id| {
-                        let seq = &prob_history[id];
-                        let start = seq.len().saturating_sub(k);
-                        hkld_score_members(seq.iter().skip(start).map(|p| p.as_slice()))
-                    })
-                    .collect()
-            } else {
-                unlabeled
-                    .iter()
-                    .map(|&id| match history.rolling(id) {
-                        Some(stats) => self.strategy.history.rolling_score(stats),
-                        None => self.strategy.history.final_score(&history.seq(id).to_vec()),
-                    })
-                    .collect()
-            };
+            score_stage.score(&ctx.evals, &mut self.rng, &mut ctx.base_scores)?;
+            fold_stage.record(pool.unlabeled(), &ctx.base_scores, &ctx.evals, &mut history);
+            fold_stage.fold(pool.unlabeled(), &history, &mut ctx.final_scores);
             if let (Some(cfg), Some(geom)) = (&self.strategy.density, &geometry) {
                 apply_density(
-                    &mut final_scores,
-                    &unlabeled,
+                    &mut ctx.final_scores,
+                    pool.unlabeled(),
                     geom,
                     cfg,
                     &mut self.rng,
-                    &mut scratch,
+                    &mut ctx.sim,
                 );
             }
             drop(score_span);
-            let score_ms = score_start.elapsed().as_secs_f64() * 1e3;
+            ctx.timers.score_ms = score_start.elapsed().as_secs_f64() * 1e3;
 
             let pick_start = std::time::Instant::now();
             let select_span = session_span!(self.obs.subscriber(), Level::Debug, "al.select");
-            let batch = self.config.batch_size.min(unlabeled.len());
-            let picked_positions: Vec<usize> = if let Some(lhs) = &self.lhs {
-                lhs.select(&unlabeled, &evals, &history, batch)
-            } else if let (Some(cfg), Some(geom)) = (&self.strategy.mmr, &geometry) {
-                mmr_select(&final_scores, &unlabeled, geom, batch, cfg, &mut scratch)
-            } else if let (true, Some(geom)) = (self.strategy.kcenter, &geometry) {
-                kcenter_select(&final_scores, &unlabeled, geom, batch, &mut scratch)
-            } else {
-                top_k(&final_scores, batch)
-            };
+            let batch = self.config.batch_size.min(pool.n_unlabeled());
+            let picked_positions = select_stage.select(SelectCtx {
+                scores: &ctx.final_scores,
+                unlabeled: pool.unlabeled(),
+                evals: &ctx.evals,
+                history: &history,
+                geometry: geometry.as_ref(),
+                batch,
+                scratch: &mut ctx.sim,
+                seq_buf: &mut ctx.seq_buf,
+            });
             drop(select_span);
-            let select_ms = pick_start.elapsed().as_secs_f64() * 1e3;
+            ctx.timers.select_ms = pick_start.elapsed().as_secs_f64() * 1e3;
 
-            let selected: Vec<usize> = picked_positions.iter().map(|&p| unlabeled[p]).collect();
-            let (mean_wshs, mean_fluct) = selection_diagnostics(&selected, &history);
-            for &id in &selected {
-                is_labeled[id] = true;
-                labeled.push(id);
-            }
+            let selected: Vec<SampleId> = picked_positions
+                .iter()
+                .map(|&p| pool.unlabeled()[p])
+                .collect();
+            let (mean_wshs, mean_fluct) =
+                selection_diagnostics(&selected, &history, &mut ctx.seq_buf);
+            self.annotate_stage
+                .annotate(&selected, &self.samples, &mut pool, &mut self.revealed);
             let record = RoundRecord {
                 round,
                 selected,
                 mean_wshs_of_selected: mean_wshs,
                 mean_fluct_of_selected: mean_fluct,
-                fit_ms,
-                eval_ms,
-                score_ms,
-                select_ms,
+                fit_ms: ctx.timers.fit_ms,
+                eval_ms: ctx.timers.eval_ms,
+                score_ms: ctx.timers.score_ms,
+                select_ms: ctx.timers.select_ms,
             };
             self.observe_round(&record)?;
             rounds.push(record);
         }
         // Metric after the final batch.
         if !recorded_final {
-            self.fit_and_record(&labeled, &mut curve);
+            self.fit_and_record(&pool, &mut curve);
         }
         if let Some(reason) = rule.should_stop(&curve) {
             stop_reason = reason;
@@ -495,21 +450,37 @@ impl<M: Model> ActiveLearner<M> {
         Ok(())
     }
 
-    fn fit_and_record(&mut self, labeled: &[usize], curve: &mut Vec<CurvePoint>) {
+    /// Run the [`Fit`] stage on the current labeled set (labeling order)
+    /// and append the resulting curve point.
+    fn fit_and_record(&mut self, pool: &Pool, curve: &mut Vec<CurvePoint>) {
         let _fit_span = session_span!(
             self.obs.subscriber(),
             Level::Debug,
             "al.fit",
-            n_labeled = labeled.len(),
+            n_labeled = pool.n_labeled(),
         );
-        let samples: Vec<&M::Sample> = labeled.iter().map(|&i| &self.samples[i]).collect();
-        let labels: Vec<&M::Label> = labeled.iter().map(|&i| &self.oracle_labels[i]).collect();
-        self.model.fit(&samples, &labels, &mut self.rng);
+        let samples: Vec<&M::Sample> = pool.labeled().iter().map(|&i| &self.samples[i]).collect();
+        let labels: Vec<&M::Label> = pool
+            .labeled()
+            .iter()
+            .map(|&i| {
+                self.revealed[i]
+                    .as_ref()
+                    .expect("labeled sample has a revealed label")
+            })
+            .collect();
         let test_s: Vec<&M::Sample> = self.test_samples.iter().collect();
         let test_l: Vec<&M::Label> = self.test_labels.iter().collect();
-        let metric = self.model.metric(&test_s, &test_l);
+        let metric = self.fit_stage.fit_measure(
+            &mut self.model,
+            &samples,
+            &labels,
+            &test_s,
+            &test_l,
+            &mut self.rng,
+        );
         curve.push(CurvePoint {
-            n_labeled: labeled.len(),
+            n_labeled: pool.n_labeled(),
             metric,
         });
     }
@@ -562,9 +533,9 @@ pub fn hkld_score(prob_seq: &[Vec<f64>], k: usize) -> f64 {
 }
 
 /// HKLD over an already-windowed committee, oldest first. Shared by the
-/// slice entry point above and the driver's ring-buffered posterior
+/// slice entry point above and the pipeline's ring-buffered posterior
 /// history (summation order must match the slice path bit-for-bit).
-fn hkld_score_members<'a>(window: impl Iterator<Item = &'a [f64]>) -> f64 {
+pub(crate) fn hkld_score_members<'a>(window: impl Iterator<Item = &'a [f64]>) -> f64 {
     let members: Vec<&[f64]> = window.filter(|p| !p.is_empty()).collect();
     if members.len() < 2 {
         return 0.0;
@@ -594,17 +565,20 @@ fn hkld_score_members<'a>(window: impl Iterator<Item = &'a [f64]>) -> f64 {
     (members.iter().map(|p| kl(p, &avg)).sum::<f64>() / members.len() as f64).max(0.0)
 }
 
-fn selection_diagnostics(selected: &[usize], history: &HistoryStore) -> (f64, f64) {
+fn selection_diagnostics(
+    selected: &[usize],
+    history: &HistoryStore,
+    buf: &mut Vec<f64>,
+) -> (f64, f64) {
     if selected.is_empty() {
         return (0.0, 0.0);
     }
     let mut wshs = 0.0;
     let mut fluct = 0.0;
-    let mut buf = Vec::new();
     for &id in selected {
-        history.seq(id).copy_into(&mut buf);
-        wshs += exp_weighted_sum(&buf, DIAG_WINDOW);
-        fluct += window_variance(&buf, DIAG_WINDOW);
+        history.seq(id).copy_into(buf);
+        wshs += exp_weighted_sum(buf, DIAG_WINDOW);
+        fluct += window_variance(buf, DIAG_WINDOW);
     }
     let n = selected.len() as f64;
     (wshs / n, fluct / n)
@@ -665,7 +639,7 @@ mod tests {
     #[test]
     fn diagnostics_empty_selection() {
         let h = HistoryStore::new(4);
-        assert_eq!(selection_diagnostics(&[], &h), (0.0, 0.0));
+        assert_eq!(selection_diagnostics(&[], &h, &mut Vec::new()), (0.0, 0.0));
     }
 
     #[test]
@@ -677,7 +651,7 @@ mod tests {
         for v in [0.5, 0.5, 0.5] {
             h.append(1, v);
         }
-        let (w, f) = selection_diagnostics(&[0, 1], &h);
+        let (w, f) = selection_diagnostics(&[0, 1], &h, &mut Vec::new());
         let w_expected =
             (exp_weighted_sum(&[0.0, 1.0, 0.0], 3) + exp_weighted_sum(&[0.5, 0.5, 0.5], 3)) / 2.0;
         let f_expected = (window_variance(&[0.0, 1.0, 0.0], 3) + 0.0) / 2.0;

@@ -36,6 +36,7 @@ use crate::error::Error;
 use crate::eval::SampleEval;
 use crate::history::HistoryStore;
 use crate::model::Model;
+use crate::pool::Pool;
 use crate::strategy::BaseStrategy;
 
 /// Which feature groups the ranker sees — each toggle corresponds to one
@@ -293,15 +294,29 @@ impl LhsSelector {
         history: &HistoryStore,
         batch: usize,
     ) -> Vec<usize> {
+        self.select_with_scratch(unlabeled, evals, history, batch, &mut Vec::new())
+    }
+
+    /// [`Self::select`] with a caller-owned scratch buffer for
+    /// materializing each candidate's (possibly ring-wrapped) history
+    /// window, so repeated rounds allocate no per-candidate sequence
+    /// copies. The driver's `LhsSelect` stage reuses one buffer across
+    /// the whole run.
+    pub fn select_with_scratch(
+        &self,
+        unlabeled: &[usize],
+        evals: &[SampleEval],
+        history: &HistoryStore,
+        batch: usize,
+        seq_buf: &mut Vec<f64>,
+    ) -> Vec<usize> {
         let candidates = candidate_set(evals, self.candidate_pool);
         let rows: Vec<Vec<f64>> = candidates
             .iter()
             .map(|&pos| {
-                self.features.extract(
-                    &history.seq(unlabeled[pos]).to_vec(),
-                    &evals[pos],
-                    self.predictor.as_ref(),
-                )
+                history.seq(unlabeled[pos]).copy_into(seq_buf);
+                self.features
+                    .extract(seq_buf, &evals[pos], self.predictor.as_ref())
             })
             .collect();
         let scores = self.ranker.score_batch(&rows);
@@ -498,7 +513,7 @@ where
         let evals = &sim.last_evals;
         let candidates = candidate_set(evals, config.candidates_per_round);
         // Trial-retrain for every candidate in parallel (line 7 of Alg. 1).
-        let labeled_ids = sim.labeled.clone();
+        let labeled_ids = sim.pool.labeled().to_vec();
         let deltas: Vec<f64> = candidates
             .par_iter()
             .map(|&pos| {
@@ -574,13 +589,14 @@ pub fn bucket_levels(deltas: &[f64], interval: f64) -> Vec<f64> {
         .collect()
 }
 
-/// Internal simulation state shared by the two phases of [`train_lhs`].
+/// Internal simulation state shared by the two phases of [`train_lhs`]:
+/// the same [`Pool`] partition the driver uses, minus the pipeline
+/// plumbing the trainer does not need.
 struct Simulation<'a, M: Model> {
     model: M,
     samples: &'a [M::Sample],
     labels: &'a [M::Label],
-    labeled: Vec<usize>,
-    is_labeled: Vec<bool>,
+    pool: Pool,
     history: HistoryStore,
     last_evals: Vec<SampleEval>,
 }
@@ -596,25 +612,31 @@ impl<'a, M: Model> Simulation<'a, M> {
         let n = samples.len();
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(rng);
-        let labeled: Vec<usize> = order[..init.min(n)].to_vec();
-        let mut is_labeled = vec![false; n];
-        for &i in &labeled {
-            is_labeled[i] = true;
-        }
+        let mut pool = Pool::new(n);
+        pool.label_batch(&order[..init.min(n)]);
         Self {
             model,
             samples,
             labels,
-            labeled,
-            is_labeled,
+            pool,
             history: HistoryStore::new(n),
             last_evals: Vec::new(),
         }
     }
 
     fn fit(&mut self, rng: &mut ChaCha8Rng) {
-        let s: Vec<&M::Sample> = self.labeled.iter().map(|&i| &self.samples[i]).collect();
-        let l: Vec<&M::Label> = self.labeled.iter().map(|&i| &self.labels[i]).collect();
+        let s: Vec<&M::Sample> = self
+            .pool
+            .labeled()
+            .iter()
+            .map(|&i| &self.samples[i])
+            .collect();
+        let l: Vec<&M::Label> = self
+            .pool
+            .labeled()
+            .iter()
+            .map(|&i| &self.labels[i])
+            .collect();
         self.model.fit(&s, &l, rng);
     }
 
@@ -629,9 +651,7 @@ impl<'a, M: Model> Simulation<'a, M> {
         round: usize,
         rng: &mut ChaCha8Rng,
     ) -> Result<(Vec<usize>, Vec<f64>), Error> {
-        let unlabeled: Vec<usize> = (0..self.samples.len())
-            .filter(|&i| !self.is_labeled[i])
-            .collect();
+        let unlabeled: Vec<usize> = self.pool.unlabeled().to_vec();
         let model = &self.model;
         let samples = self.samples;
         self.last_evals = unlabeled
@@ -653,9 +673,8 @@ impl<'a, M: Model> Simulation<'a, M> {
 
     fn label(&mut self, ids: &[usize]) {
         for &id in ids {
-            if !self.is_labeled[id] {
-                self.is_labeled[id] = true;
-                self.labeled.push(id);
+            if !self.pool.is_labeled(id) {
+                self.pool.label(id);
             }
         }
     }

@@ -88,6 +88,8 @@ pub mod history;
 pub mod lhs;
 pub mod metrics;
 pub mod model;
+pub mod pipeline;
+pub mod pool;
 pub mod session;
 pub mod stats;
 pub mod stopping;
@@ -101,5 +103,13 @@ pub use error::{Error, ErrorKind};
 pub use eval::{EvalCaps, SampleEval};
 pub use history::HistoryStore;
 pub use model::Model;
-pub use session::{fingerprint, RoundJournalRecord, RunJournal, SessionBuilder};
+pub use pipeline::{
+    Annotate, EvalPool, Fit, FoldHistory, HiddenOracle, Oracle, RoundCtx, ScoreBase, Select,
+    SelectCtx, StageTimers,
+};
+pub use pool::{Pool, SampleId};
+pub use session::{
+    fingerprint, NeedsPool, NeedsStrategy, NeedsTest, Ready, RoundJournalRecord, RunJournal,
+    SessionBuilder,
+};
 pub use strategy::{BaseStrategy, HistoryPolicy, Strategy};

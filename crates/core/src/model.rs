@@ -23,11 +23,11 @@ use crate::eval::{EvalCaps, SampleEval};
 /// * [`Model::metric`] is the task's headline number (accuracy for text
 ///   classification, span-F1 for NER); the driver records it per round and
 ///   the LHS trainer differentiates it (`Eval(M′) − Eval(M)`).
-pub trait Model: Send + Sync {
+pub trait Model: Send + Sync + 'static {
     /// Pool / test sample type (a featurized document or sentence).
-    type Sample: Send + Sync;
+    type Sample: Send + Sync + 'static;
     /// Gold label type (class index or tag sequence).
-    type Label: Send + Sync + Clone;
+    type Label: Send + Sync + Clone + 'static;
 
     /// Train on the labeled set. `rng` drives shuffling and any
     /// stochastic regularization.

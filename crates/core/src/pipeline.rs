@@ -1,0 +1,604 @@
+//! The staged round pipeline behind [`ActiveLearner::run_until`].
+//!
+//! The paper's loop (§2: train → score pool → fold history → annotate
+//! batch → repeat) is decomposed into replaceable stages, one trait per
+//! arrow:
+//!
+//! ```text
+//!   Fit          train the model on L, measure the test metric
+//!   EvalPool     evaluate every sample in U (parallel, seeded)
+//!   ScoreBase    φ_t(x) per evaluation (one RNG draw per sample)
+//!   FoldHistory  append to H_t(x), fold H_t(x) → selection score
+//!   Select       pick the batch (top-k / MMR / k-center / LHS)
+//!   Annotate     reveal labels via an Oracle, update the Pool
+//! ```
+//!
+//! [`ActiveLearner::run_until`] is a thin composition of these stages
+//! over a [`Pool`] and a [`RoundCtx`] (the reusable per-round buffers
+//! and per-stage timers). Each stage has exactly one default
+//! implementation reproducing the historical monolithic loop — byte for
+//! byte, including RNG draw order and tie-breaks — so swapping a stage
+//! (warm-start fit, a streaming pool, sharded selection) is a local
+//! change that cannot disturb the others.
+//!
+//! ## Ordering contract
+//!
+//! Stages that iterate the unlabeled pool do so in [`Pool::unlabeled`]
+//! order (ascending by id). Three things observe that order and pin it:
+//! the per-sample RNG draws in [`ScoreBase`], the density reference
+//! subsample drawn inside the score stage, and [`top_k`]'s
+//! lower-index-wins tie-break. See the `pool` module docs.
+//!
+//! [`ActiveLearner::run_until`]: crate::driver::ActiveLearner::run_until
+//! [`ActiveLearner`]: crate::driver::ActiveLearner
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use histal_text::PoolGeometry;
+
+use crate::driver::{hkld_score_members, mix_seed, top_k};
+use crate::error::Error;
+use crate::eval::{EvalCaps, SampleEval};
+use crate::history::HistoryStore;
+use crate::lhs::LhsSelector;
+use crate::model::Model;
+use crate::pool::{Pool, SampleId};
+use crate::strategy::combinators::{kcenter_select, mmr_select, SimScratch};
+use crate::strategy::{BaseStrategy, HistoryPolicy, MmrConfig};
+
+// ---------------------------------------------------------------------------
+// Round context
+// ---------------------------------------------------------------------------
+
+/// Wall-clock of each pipeline stage for one round, milliseconds. Feeds
+/// the matching fields of [`RoundRecord`](crate::driver::RoundRecord)
+/// (the Table 2 efficiency breakdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimers {
+    /// Model training ([`Fit`]).
+    pub fit_ms: f64,
+    /// Pool evaluation ([`EvalPool`]).
+    pub eval_ms: f64,
+    /// Scoring: base scores, history folding and density weighting
+    /// ([`ScoreBase`] + [`FoldHistory`]).
+    pub score_ms: f64,
+    /// Batch selection ([`Select`]).
+    pub select_ms: f64,
+}
+
+/// Reusable per-round working state: evaluation/score buffers, the
+/// similarity scratch for the combinators, and the stage timers. One
+/// `RoundCtx` lives for the whole run, so steady-state rounds reuse
+/// every buffer instead of reallocating.
+#[derive(Default)]
+pub struct RoundCtx {
+    /// Current round index (0-based).
+    pub round: usize,
+    /// Per-unlabeled-sample evaluations, in [`Pool::unlabeled`] order.
+    pub evals: Vec<SampleEval>,
+    /// Base scores `φ_t(x)`, parallel to `evals`.
+    pub base_scores: Vec<f64>,
+    /// Folded selection scores `F(H_t(x))`, parallel to `evals`.
+    pub final_scores: Vec<f64>,
+    /// Shared working memory for density/MMR/k-center.
+    pub sim: SimScratch,
+    /// Scratch for materializing history windows (diagnostics, LHS
+    /// feature rows).
+    pub seq_buf: Vec<f64>,
+    /// This round's stage timings.
+    pub timers: StageTimers,
+}
+
+impl RoundCtx {
+    /// Fresh context with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start round `round`: stamps the index and zeroes the timers. The
+    /// data buffers keep their capacity and are overwritten by the
+    /// stages that fill them.
+    pub fn begin(&mut self, round: usize) {
+        self.round = round;
+        self.timers = StageTimers::default();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fit
+// ---------------------------------------------------------------------------
+
+/// Stage 1: train the model on the labeled set and measure the test
+/// metric. The labeled slices arrive in labeling order (see
+/// [`Pool::labeled`]) — implementations must preserve it when handing
+/// samples to the model, since training is order-sensitive.
+pub trait Fit<M: Model> {
+    /// Train `model` and return the test metric.
+    fn fit_measure(
+        &mut self,
+        model: &mut M,
+        samples: &[&M::Sample],
+        labels: &[&M::Label],
+        test_samples: &[&M::Sample],
+        test_labels: &[&M::Label],
+        rng: &mut ChaCha8Rng,
+    ) -> f64;
+}
+
+/// Default [`Fit`]: retrain from scratch on the full labeled set every
+/// round (the paper's protocol). A warm-start implementation would keep
+/// optimizer state here between rounds.
+pub struct RetrainFit;
+
+impl<M: Model> Fit<M> for RetrainFit {
+    fn fit_measure(
+        &mut self,
+        model: &mut M,
+        samples: &[&M::Sample],
+        labels: &[&M::Label],
+        test_samples: &[&M::Sample],
+        test_labels: &[&M::Label],
+        rng: &mut ChaCha8Rng,
+    ) -> f64 {
+        model.fit(samples, labels, rng);
+        model.metric(test_samples, test_labels)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EvalPool
+// ---------------------------------------------------------------------------
+
+/// Stage 2: evaluate every unlabeled sample. Must fill `out` in
+/// `unlabeled` order, one [`SampleEval`] per id.
+pub trait EvalPool<M: Model> {
+    /// Evaluate `samples[id]` for every `id` in `unlabeled` into `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn eval(
+        &mut self,
+        model: &M,
+        samples: &[M::Sample],
+        unlabeled: &[SampleId],
+        caps: &EvalCaps,
+        seed: u64,
+        round: usize,
+        out: &mut Vec<SampleEval>,
+    );
+}
+
+/// Default [`EvalPool`]: deterministic data-parallel evaluation. Each
+/// sample's stochastic estimates (MC dropout, committees) derive from
+/// [`mix_seed`]`(seed, round, id)` alone, so the result is independent
+/// of the worker count and of which thread evaluates which sample.
+pub struct ParallelEval;
+
+impl<M: Model> EvalPool<M> for ParallelEval {
+    fn eval(
+        &mut self,
+        model: &M,
+        samples: &[M::Sample],
+        unlabeled: &[SampleId],
+        caps: &EvalCaps,
+        seed: u64,
+        round: usize,
+        out: &mut Vec<SampleEval>,
+    ) {
+        *out = unlabeled
+            .par_iter()
+            .map(|&id| {
+                let s = mix_seed(seed, round as u64, id as u64);
+                model.eval_sample(&samples[id], caps, s)
+            })
+            .collect();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScoreBase
+// ---------------------------------------------------------------------------
+
+/// Stage 3: the per-iteration informative score `φ_t(x)`.
+///
+/// Implementations must consume exactly one RNG draw per evaluation, in
+/// `evals` order, whether or not the draw is used — the draw sequence is
+/// part of the byte-identical contract (the `Random` baseline and the
+/// density subsample read the same stream).
+pub trait ScoreBase {
+    /// Fill `out` with one base score per evaluation.
+    fn score(
+        &mut self,
+        evals: &[SampleEval],
+        rng: &mut ChaCha8Rng,
+        out: &mut Vec<f64>,
+    ) -> Result<(), Error>;
+}
+
+/// Default [`ScoreBase`]: delegate to a [`BaseStrategy`] (entropy, LC,
+/// margin, EGL, BALD, …), passing each sample's RNG draw through for the
+/// `Random` baseline.
+pub struct BaseScore {
+    /// The base strategy evaluated per sample.
+    pub base: BaseStrategy,
+}
+
+impl ScoreBase for BaseScore {
+    fn score(
+        &mut self,
+        evals: &[SampleEval],
+        rng: &mut ChaCha8Rng,
+        out: &mut Vec<f64>,
+    ) -> Result<(), Error> {
+        out.clear();
+        for eval in evals {
+            let r: f64 = rng.gen();
+            out.push(self.base.base_score(eval, r)?);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FoldHistory
+// ---------------------------------------------------------------------------
+
+/// Stage 4: maintain the historical state and fold it into selection
+/// scores. Split into two calls because recording mutates the store the
+/// driver owns, while folding only reads it.
+pub trait FoldHistory {
+    /// Append this round's base scores (and any richer per-sample state
+    /// the policy needs, e.g. full posteriors) to the history.
+    fn record(
+        &mut self,
+        unlabeled: &[SampleId],
+        base_scores: &[f64],
+        evals: &[SampleEval],
+        history: &mut HistoryStore,
+    );
+
+    /// Fold each unlabeled sample's history into its selection score,
+    /// filling `out` in `unlabeled` order.
+    fn fold(&mut self, unlabeled: &[SampleId], history: &HistoryStore, out: &mut Vec<f64>);
+}
+
+/// Default [`FoldHistory`]: scalar folding via a [`HistoryPolicy`]
+/// (current-only, HUS, WSHS, FHS). Uses the store's O(1) rolling
+/// statistics when enabled, falling back to an allocation-free fold over
+/// the borrowed ring segments otherwise.
+pub struct PolicyFold {
+    policy: HistoryPolicy,
+}
+
+impl PolicyFold {
+    /// Fold with `policy`.
+    pub fn new(policy: HistoryPolicy) -> Self {
+        Self { policy }
+    }
+}
+
+impl FoldHistory for PolicyFold {
+    fn record(
+        &mut self,
+        unlabeled: &[SampleId],
+        base_scores: &[f64],
+        _evals: &[SampleEval],
+        history: &mut HistoryStore,
+    ) {
+        for (&id, &score) in unlabeled.iter().zip(base_scores) {
+            history.append(id, score);
+        }
+    }
+
+    fn fold(&mut self, unlabeled: &[SampleId], history: &HistoryStore, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(unlabeled.iter().map(|&id| match history.rolling(id) {
+            Some(stats) => self.policy.rolling_score(stats),
+            None => self.policy.final_score_seq(&history.seq(id)),
+        }));
+    }
+}
+
+/// [`FoldHistory`] for the HKLD baseline (Davy & Luz 2007): the
+/// committee is the posteriors of the last `k` iterations; the score is
+/// the mean KL divergence of each member from the committee mean. Owns
+/// the per-sample posterior ring buffers (the scalar history still
+/// receives the base scores, which the Table 6 diagnostics read).
+pub struct HkldFold {
+    k: usize,
+    cap: Option<usize>,
+    prob_history: Vec<VecDeque<Vec<f64>>>,
+}
+
+impl HkldFold {
+    /// Committee over the last `k` posteriors of `n` samples, retaining
+    /// at most `cap` per sample (mirrors the scalar history retention).
+    pub fn new(k: usize, n: usize, cap: Option<usize>) -> Self {
+        Self {
+            k,
+            cap,
+            prob_history: vec![VecDeque::new(); n],
+        }
+    }
+}
+
+impl FoldHistory for HkldFold {
+    fn record(
+        &mut self,
+        unlabeled: &[SampleId],
+        base_scores: &[f64],
+        evals: &[SampleEval],
+        history: &mut HistoryStore,
+    ) {
+        for (&id, &score) in unlabeled.iter().zip(base_scores) {
+            history.append(id, score);
+        }
+        for (&id, eval) in unlabeled.iter().zip(evals) {
+            let seq = &mut self.prob_history[id];
+            seq.push_back(eval.probs.clone());
+            if let Some(cap) = self.cap {
+                if seq.len() > cap {
+                    seq.pop_front();
+                }
+            }
+        }
+    }
+
+    fn fold(&mut self, unlabeled: &[SampleId], _history: &HistoryStore, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(unlabeled.iter().map(|&id| {
+            let seq = &self.prob_history[id];
+            let start = seq.len().saturating_sub(self.k);
+            hkld_score_members(seq.iter().skip(start).map(|p| p.as_slice()))
+        }));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Select
+// ---------------------------------------------------------------------------
+
+/// Everything a batch selector may consult, borrowed for one round.
+pub struct SelectCtx<'a> {
+    /// Folded selection scores, parallel to `unlabeled`.
+    pub scores: &'a [f64],
+    /// The unlabeled ids (ascending; see [`Pool::unlabeled`]).
+    pub unlabeled: &'a [SampleId],
+    /// This round's evaluations, parallel to `unlabeled`.
+    pub evals: &'a [SampleEval],
+    /// The scalar history store.
+    pub history: &'a HistoryStore,
+    /// Cached pool geometry, when representations were attached.
+    pub geometry: Option<&'a PoolGeometry>,
+    /// Batch size, already clamped to the pool.
+    pub batch: usize,
+    /// Shared similarity scratch.
+    pub scratch: &'a mut SimScratch,
+    /// Scratch for materializing history windows.
+    pub seq_buf: &'a mut Vec<f64>,
+}
+
+/// Stage 5: pick the batch. Returns up to `ctx.batch` *positions into
+/// `ctx.unlabeled`*, best first. A trait object replaces the historical
+/// if-else dispatch chain, so new selectors (sharded, streaming) plug in
+/// without touching the loop.
+pub trait Select {
+    /// Select the round's batch.
+    fn select(&mut self, ctx: SelectCtx<'_>) -> Vec<usize>;
+}
+
+/// Default [`Select`]: the `k` best scores, ties toward the lower
+/// position (= lower id, given ascending `unlabeled`). See [`top_k`].
+pub struct TopKSelect;
+
+impl Select for TopKSelect {
+    fn select(&mut self, ctx: SelectCtx<'_>) -> Vec<usize> {
+        top_k(ctx.scores, ctx.batch)
+    }
+}
+
+/// Greedy MMR batch diversity (Eq. 8). Requires pool geometry.
+pub struct MmrSelect(pub MmrConfig);
+
+impl Select for MmrSelect {
+    fn select(&mut self, ctx: SelectCtx<'_>) -> Vec<usize> {
+        let geom = ctx.geometry.expect("MMR selection requires pool geometry");
+        mmr_select(
+            ctx.scores,
+            ctx.unlabeled,
+            geom,
+            ctx.batch,
+            &self.0,
+            ctx.scratch,
+        )
+    }
+}
+
+/// Greedy k-center (core-set) batch selection. Requires pool geometry.
+pub struct KCenterSelect;
+
+impl Select for KCenterSelect {
+    fn select(&mut self, ctx: SelectCtx<'_>) -> Vec<usize> {
+        let geom = ctx
+            .geometry
+            .expect("k-center selection requires pool geometry");
+        kcenter_select(ctx.scores, ctx.unlabeled, geom, ctx.batch, ctx.scratch)
+    }
+}
+
+/// The learned LHS selector: ranks a candidate set (union of top-entropy
+/// and top-LC) with the trained ranker instead of sorting by the folded
+/// scores.
+pub struct LhsSelect(pub LhsSelector);
+
+impl Select for LhsSelect {
+    fn select(&mut self, ctx: SelectCtx<'_>) -> Vec<usize> {
+        self.0.select_with_scratch(
+            ctx.unlabeled,
+            ctx.evals,
+            ctx.history,
+            ctx.batch,
+            ctx.seq_buf,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Annotate + Oracle
+// ---------------------------------------------------------------------------
+
+/// The labeling authority: reveals the gold label of a selected sample.
+/// The default [`HiddenOracle`] plays back labels known up front (the
+/// experimental protocol); an interactive deployment would put the human
+/// annotator behind this trait.
+pub trait Oracle<M: Model> {
+    /// Reveal the label of pool sample `id`.
+    fn annotate(&mut self, id: SampleId, sample: &M::Sample) -> M::Label;
+}
+
+/// The standard experimental oracle: every pool label is known up front
+/// and "annotation" just reveals it.
+pub struct HiddenOracle<L> {
+    labels: Vec<L>,
+}
+
+impl<L> HiddenOracle<L> {
+    /// Wrap the hidden gold labels; `labels[id]` belongs to pool sample
+    /// `id`.
+    pub fn new(labels: Vec<L>) -> Self {
+        Self { labels }
+    }
+}
+
+impl<M: Model> Oracle<M> for HiddenOracle<M::Label> {
+    fn annotate(&mut self, id: SampleId, _sample: &M::Sample) -> M::Label {
+        self.labels[id].clone()
+    }
+}
+
+/// Stage 6: move the selected batch to the labeled side, revealing
+/// labels into the driver's label table.
+pub trait Annotate<M: Model> {
+    /// Annotate `selected` (in selection order): store each revealed
+    /// label at `revealed[id]` and update `pool`.
+    fn annotate(
+        &mut self,
+        selected: &[SampleId],
+        samples: &[M::Sample],
+        pool: &mut Pool,
+        revealed: &mut [Option<M::Label>],
+    );
+}
+
+/// Default [`Annotate`]: query an [`Oracle`] per sample, then label the
+/// batch in one pool update.
+pub struct OracleAnnotate<M: Model> {
+    oracle: Box<dyn Oracle<M>>,
+}
+
+impl<M: Model> OracleAnnotate<M> {
+    /// Annotate by querying `oracle`.
+    pub fn new(oracle: Box<dyn Oracle<M>>) -> Self {
+        Self { oracle }
+    }
+
+    /// The standard setup: a [`HiddenOracle`] over labels known up front.
+    pub fn hidden(labels: Vec<M::Label>) -> Self {
+        Self::new(Box::new(HiddenOracle::new(labels)))
+    }
+}
+
+impl<M: Model> Annotate<M> for OracleAnnotate<M> {
+    fn annotate(
+        &mut self,
+        selected: &[SampleId],
+        samples: &[M::Sample],
+        pool: &mut Pool,
+        revealed: &mut [Option<M::Label>],
+    ) {
+        for &id in selected {
+            revealed[id] = Some(self.oracle.annotate(id, &samples[id]));
+        }
+        pool.label_batch(selected);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_score_draws_once_per_eval() {
+        use rand::SeedableRng;
+        let evals = vec![SampleEval::from_probs(vec![0.5, 0.5]); 3];
+        let mut stage = BaseScore {
+            base: BaseStrategy::Random,
+        };
+        let mut rng_a = ChaCha8Rng::seed_from_u64(7);
+        let mut out = Vec::new();
+        stage.score(&evals, &mut rng_a, &mut out).unwrap();
+        // The same seed replayed by hand gives the same three draws.
+        let mut rng_b = ChaCha8Rng::seed_from_u64(7);
+        let expect: Vec<f64> = (0..3).map(|_| rng_b.gen()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn policy_fold_matches_slice_oracle() {
+        let mut history = HistoryStore::with_max_len(2, 3);
+        for v in [0.1, 0.9, 0.4, 0.7] {
+            history.append(0, v);
+            history.append(1, 1.0 - v);
+        }
+        let policy = HistoryPolicy::Wshs { l: 3 };
+        let mut fold = PolicyFold::new(policy);
+        let mut out = Vec::new();
+        fold.fold(&[0, 1], &history, &mut out);
+        for (pos, &id) in [0usize, 1].iter().enumerate() {
+            let expect = policy.final_score(&history.seq(id).to_vec());
+            assert_eq!(out[pos], expect, "sample {id}");
+        }
+    }
+
+    #[test]
+    fn hkld_fold_caps_posterior_retention() {
+        let mut history = HistoryStore::new(1);
+        let mut fold = HkldFold::new(2, 1, Some(2));
+        for p in [0.9, 0.1, 0.5] {
+            let evals = vec![SampleEval::from_probs(vec![p, 1.0 - p])];
+            fold.record(&[0], &[0.0], &evals, &mut history);
+        }
+        assert_eq!(fold.prob_history[0].len(), 2);
+        let mut out = Vec::new();
+        fold.fold(&[0], &history, &mut out);
+        let expect = crate::driver::hkld_score(&[vec![0.1, 0.9], vec![0.5, 0.5]], 2);
+        assert_eq!(out, vec![expect]);
+    }
+
+    #[test]
+    fn hidden_oracle_reveals_and_labels() {
+        #[derive(Clone)]
+        struct Dummy;
+        impl Model for Dummy {
+            type Sample = u8;
+            type Label = u8;
+            fn fit(&mut self, _: &[&u8], _: &[&u8], _: &mut ChaCha8Rng) {}
+            fn eval_sample(&self, _: &u8, _: &EvalCaps, _: u64) -> SampleEval {
+                SampleEval::default()
+            }
+            fn metric(&self, _: &[&u8], _: &[&u8]) -> f64 {
+                0.0
+            }
+        }
+        let samples: Vec<u8> = vec![10, 11, 12];
+        let mut stage: OracleAnnotate<Dummy> = OracleAnnotate::hidden(vec![5, 6, 7]);
+        let mut pool = Pool::new(3);
+        let mut revealed: Vec<Option<u8>> = vec![None; 3];
+        stage.annotate(&[2, 0], &samples, &mut pool, &mut revealed);
+        assert_eq!(pool.labeled(), &[2, 0]);
+        assert_eq!(pool.unlabeled(), &[1]);
+        assert_eq!(revealed, vec![Some(5), None, Some(7)]);
+    }
+}

@@ -1,10 +1,9 @@
 //! The typed session builder behind [`ActiveLearner`].
 //!
-//! [`SessionBuilder`] replaces the old positional
-//! `ActiveLearner::new(model, samples, labels, test, test_labels,
-//! strategy, config, seed)` constructor (eight arguments, four of them
-//! pairwise-swappable `Vec`s) with a typestate chain that makes the
-//! required inputs unforgettable and the optional ones named:
+//! [`SessionBuilder`] is the only way to construct an [`ActiveLearner`]:
+//! a typestate chain that makes the required inputs unforgettable and
+//! the optional ones named (the old eight-argument positional
+//! constructor, with its four pairwise-swappable `Vec`s, is gone):
 //!
 //! ```text
 //! ActiveLearner::builder(model)   SessionBuilder<M, NeedsPool>
@@ -47,6 +46,7 @@ use crate::driver::{ActiveLearner, PoolConfig, RoundRecord};
 use crate::error::Error;
 use crate::lhs::LhsSelector;
 use crate::model::Model;
+use crate::pipeline::{Oracle, OracleAnnotate};
 use crate::strategy::Strategy;
 
 // ---------------------------------------------------------------------------
@@ -215,6 +215,7 @@ pub struct SessionBuilder<M: Model, Stage = NeedsPool> {
     oracle_labels: Vec<M::Label>,
     test_samples: Vec<M::Sample>,
     test_labels: Vec<M::Label>,
+    oracle: Option<Box<dyn Oracle<M>>>,
     strategy: Option<Strategy>,
     config: PoolConfig,
     seed: u64,
@@ -232,6 +233,7 @@ impl<M: Model, Stage> SessionBuilder<M, Stage> {
             oracle_labels: self.oracle_labels,
             test_samples: self.test_samples,
             test_labels: self.test_labels,
+            oracle: self.oracle,
             strategy: self.strategy,
             config: self.config,
             seed: self.seed,
@@ -251,6 +253,7 @@ impl<M: Model> SessionBuilder<M, NeedsPool> {
             oracle_labels: Vec::new(),
             test_samples: Vec::new(),
             test_labels: Vec::new(),
+            oracle: None,
             strategy: None,
             config: PoolConfig::default(),
             seed: 0,
@@ -275,6 +278,19 @@ impl<M: Model> SessionBuilder<M, NeedsPool> {
         );
         self.samples = samples;
         self.oracle_labels = oracle_labels;
+        self.advance()
+    }
+
+    /// The unlabeled pool with a custom labeling [`Oracle`] instead of
+    /// up-front hidden labels: `oracle.annotate(id, sample)` is queried
+    /// when sample `id` is selected (and for the initial random set).
+    pub fn pool_with_oracle(
+        mut self,
+        samples: Vec<M::Sample>,
+        oracle: Box<dyn Oracle<M>>,
+    ) -> SessionBuilder<M, NeedsTest> {
+        self.samples = samples;
+        self.oracle = Some(oracle);
         self.advance()
     }
 }
@@ -363,10 +379,14 @@ impl<M: Model> SessionBuilder<M, Ready> {
 
     /// Construct the learner.
     pub fn build(self) -> ActiveLearner<M> {
+        let annotate = match self.oracle {
+            Some(oracle) => OracleAnnotate::new(oracle),
+            None => OracleAnnotate::hidden(self.oracle_labels),
+        };
         ActiveLearner::from_parts(
             self.model,
             self.samples,
-            self.oracle_labels,
+            Box::new(annotate),
             self.test_samples,
             self.test_labels,
             self.strategy.expect("strategy set by typestate"),

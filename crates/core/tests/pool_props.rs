@@ -1,0 +1,203 @@
+//! Property-based tests of the [`Pool`] labeled/unlabeled partition and
+//! of the driver's guarantee that every annotated sample comes from the
+//! unlabeled side.
+//!
+//! The partition invariants are checked against a naive oracle — a
+//! `Vec<bool>` mask filtered per query, exactly the representation the
+//! pipeline refactor replaced — across random label/unlabel sequences.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use histal_core::driver::{ActiveLearner, PoolConfig};
+use histal_core::eval::{EvalCaps, SampleEval};
+use histal_core::model::Model;
+use histal_core::pipeline::Oracle;
+use histal_core::pool::{Pool, SampleId};
+use histal_core::strategy::{BaseStrategy, HistoryPolicy, Strategy as AlStrategy};
+
+/// One step of a random partition workout.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Label a batch drawn (mod pool size) from these raw indices,
+    /// skipping duplicates and already-labeled ids.
+    LabelBatch(Vec<usize>),
+    /// Unlabel the id at this raw position (mod labeled count), if any.
+    Unlabel(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(0usize..1000, 1..8).prop_map(Op::LabelBatch),
+            prop::collection::vec(0usize..1000, 1..8).prop_map(Op::LabelBatch),
+            prop::collection::vec(0usize..1000, 1..8).prop_map(Op::LabelBatch),
+            (0usize..1000).prop_map(Op::Unlabel),
+        ],
+        0..40,
+    )
+}
+
+/// The naive mask representation the `Pool` replaced: a `Vec<bool>` plus
+/// a labeling-order list, with the unlabeled side rebuilt by filtering.
+struct NaiveMask {
+    mask: Vec<bool>,
+    labeled_order: Vec<usize>,
+}
+
+impl NaiveMask {
+    fn new(n: usize) -> Self {
+        Self {
+            mask: vec![false; n],
+            labeled_order: Vec::new(),
+        }
+    }
+
+    fn unlabeled(&self) -> Vec<usize> {
+        (0..self.mask.len()).filter(|&i| !self.mask[i]).collect()
+    }
+}
+
+proptest! {
+    /// After any sequence of batched labelings and unlabelings, the pool's
+    /// incremental partition equals the naive mask-filter oracle:
+    /// unlabeled ascending by id, labeled in labeling order, counts
+    /// consistent.
+    #[test]
+    fn partition_matches_naive_mask_oracle(n in 1usize..60, ops in ops()) {
+        let mut pool = Pool::new(n);
+        let mut naive = NaiveMask::new(n);
+
+        for op in ops {
+            match op {
+                Op::LabelBatch(raw) => {
+                    let mut batch: Vec<usize> = Vec::new();
+                    for r in raw {
+                        let id = r % n;
+                        if !naive.mask[id] && !batch.contains(&id) {
+                            batch.push(id);
+                        }
+                    }
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    pool.label_batch(&batch);
+                    for &id in &batch {
+                        naive.mask[id] = true;
+                        naive.labeled_order.push(id);
+                    }
+                }
+                Op::Unlabel(raw) => {
+                    if naive.labeled_order.is_empty() {
+                        continue;
+                    }
+                    let pos = raw % naive.labeled_order.len();
+                    let id = naive.labeled_order.remove(pos);
+                    naive.mask[id] = false;
+                    pool.unlabel(id);
+                }
+            }
+
+            // Partition equality against the filter-rebuilt oracle.
+            prop_assert_eq!(pool.unlabeled(), &naive.unlabeled()[..]);
+            prop_assert_eq!(pool.labeled(), &naive.labeled_order[..]);
+            prop_assert_eq!(pool.n_labeled() + pool.n_unlabeled(), n);
+            for id in 0..n {
+                prop_assert_eq!(pool.is_labeled(id), naive.mask[id]);
+            }
+            // The unlabeled side stays ascending — the iteration-order
+            // contract the RNG pairing depends on.
+            prop_assert!(pool.unlabeled().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}
+
+/// Posterior fixed by the sample value; fit is a no-op.
+#[derive(Clone)]
+struct FixedModel;
+
+impl Model for FixedModel {
+    type Sample = f64;
+    type Label = usize;
+
+    fn fit(&mut self, _: &[&f64], _: &[&usize], _: &mut ChaCha8Rng) {}
+
+    fn eval_sample(&self, sample: &f64, _: &EvalCaps, _: u64) -> SampleEval {
+        let p = sample.clamp(0.0, 1.0);
+        SampleEval::from_probs(vec![p, 1.0 - p])
+    }
+
+    fn metric(&self, _: &[&f64], _: &[&usize]) -> f64 {
+        0.0
+    }
+}
+
+/// Oracle that records every annotation request it receives.
+struct RecordingOracle {
+    labels: Vec<usize>,
+    calls: Arc<Mutex<Vec<SampleId>>>,
+}
+
+impl Oracle<FixedModel> for RecordingOracle {
+    fn annotate(&mut self, id: SampleId, _sample: &f64) -> usize {
+        self.calls.lock().unwrap().push(id);
+        self.labels[id]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every id the driver annotates — the initial set and each round's
+    /// `RoundRecord::selected` — was on the unlabeled side at annotation
+    /// time: replaying the oracle's call log against a fresh `Pool`
+    /// never labels a sample twice, and the per-round records match the
+    /// oracle's log exactly.
+    #[test]
+    fn selected_always_from_unlabeled_side(
+        n in 8usize..40,
+        batch in 1usize..4,
+        rounds in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let pool_samples: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let labels: Vec<usize> = pool_samples.iter().map(|&x| usize::from(x >= 0.5)).collect();
+        let calls = Arc::new(Mutex::new(Vec::new()));
+        let oracle = RecordingOracle { labels, calls: Arc::clone(&calls) };
+
+        let mut learner = ActiveLearner::builder(FixedModel)
+            .pool_with_oracle(pool_samples, Box::new(oracle))
+            .test(vec![0.1, 0.9], vec![0, 1])
+            .strategy(AlStrategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l: 3 }))
+            .config(PoolConfig {
+                batch_size: batch,
+                rounds,
+                init_labeled: batch,
+                history_max_len: None,
+                record_history: false,
+            })
+            .seed(seed)
+            .build();
+        let result = learner.run().expect("entropy needs no extra capabilities");
+
+        let calls = calls.lock().unwrap();
+        let init = batch.min(n);
+
+        // Replaying the full annotation log against a fresh Pool panics
+        // if any id was ever labeled twice; reaching the end proves every
+        // annotation came from the unlabeled side.
+        let mut replay = Pool::new(n);
+        for &id in calls.iter() {
+            prop_assert!(!replay.is_labeled(id), "sample {} annotated twice", id);
+            replay.label(id);
+        }
+
+        // The round records are exactly the oracle's post-init call log.
+        let from_rounds: Vec<usize> =
+            result.rounds.iter().flat_map(|r| r.selected.iter().copied()).collect();
+        prop_assert_eq!(&calls[init..], &from_rounds[..]);
+        prop_assert_eq!(replay.n_labeled(), init + from_rounds.len());
+    }
+}

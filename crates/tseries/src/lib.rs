@@ -24,9 +24,12 @@ pub use ar::ArPredictor;
 pub use holt::HoltPredictor;
 pub use lstm::{LstmConfig, LstmPredictor};
 pub use rolling::RollingStats;
-pub use stats::{autocorrelation, mean, variance, window_variance};
+pub use stats::{autocorrelation, mean, variance, window_variance, window_variance_parts};
 pub use trend::{mann_kendall, MannKendall, Trend};
-pub use window::{exp_weighted_sum, exp_weights, last_window, uniform_sum};
+pub use window::{
+    exp_weighted_sum, exp_weighted_sum_parts, exp_weights, last_window, last_window_parts,
+    uniform_sum, uniform_sum_parts,
+};
 
 /// A next-score predictor over historical evaluation sequences.
 ///

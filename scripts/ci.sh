@@ -14,6 +14,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --examples (migrated call sites stay compiling)"
+cargo build --workspace --examples
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
