@@ -5,7 +5,7 @@
 //! histal-experiments <command> [--full] [--quick] [--repeats N] [--scale F]
 //!                    [--threads N] [--targets a,b,c]
 //!                    [--variant paper|ar|linear|autocorr]
-//!                    [--journal FILE] [--trace[=LEVEL]]
+//!                    [--spec FILE] [--journal FILE] [--trace[=LEVEL]]
 //!
 //! Commands:
 //!   table2     Measured per-round strategy cost  (Table 2)
@@ -18,10 +18,12 @@
 //!   fig5       Hyper-parameter sensitivity       (Figure 5)
 //!   table6     Scores of selected samples        (Table 6)
 //!   table7     LHS feature ablation              (Table 7)
+//!   run        Execute an arbitrary experiment grid: `run --spec FILE`
+//!   spec-check Parse + validate every spec file:  `spec-check [DIR]`
 //!   bench      Per-cell harness timings → BENCH_harness.json
 //!              (`bench --check`: CI smoke on a reduced grid, no artifact)
 //!   resume     Re-run a journaled command, replaying completed cells:
-//!              `resume <fig3-text|fig3-ner|fig5> --journal FILE`
+//!              `resume <fig3-text|fig3-ner|fig5|run> --journal FILE`
 //!   all        Everything above in order
 //! ```
 //!
@@ -29,22 +31,31 @@
 //! Results are byte-identical at any thread count; only wall time
 //! changes.
 //!
-//! `--journal FILE` (fig3-text, fig3-ner, fig5) writes a crash-safe JSONL
-//! run journal: one record per driver round plus one per completed grid
-//! cell. After an interruption, `resume <command> --journal FILE` repairs
-//! the journal tail, replays every completed cell byte-identically and
-//! runs only what's missing. `--trace` prints span closures and events to
-//! stderr (`--trace=debug` and `--trace=trace` widen the level); stdout
-//! stays byte-identical to an uninstrumented run.
+//! `run --spec FILE` loads a JSON [`histal_bench::spec::ExperimentSpec`]
+//! and executes it with the same grid engine that powers the named
+//! commands — the checked-in files under `specs/` reproduce fig2, fig3,
+//! fig5, table2, table6 and table7 byte-for-byte, and custom files can
+//! describe new grids without touching code (see EXPERIMENTS.md).
+//!
+//! `--journal FILE` (fig3-text, fig3-ner, fig5, run) writes a crash-safe
+//! JSONL run journal: one record per driver round plus one per completed
+//! grid cell. After an interruption, `resume <command> --journal FILE`
+//! repairs the journal tail, replays every completed cell byte-identically
+//! and runs only what's missing. `--trace` prints span closures and
+//! events to stderr (`--trace=debug` and `--trace=trace` widen the
+//! level); stdout stays byte-identical to an uninstrumented run.
 //!
 //! Table 2 (efficiency) is a Criterion bench:
 //! `cargo bench -p histal-bench --bench strategy_overhead`.
 
 use std::sync::Arc;
 
+use histal_bench::executor::run_spec;
 use histal_bench::experiments::{self, Table7Variant};
 use histal_bench::journal::JournalCtx;
+use histal_bench::spec::ExperimentSpec;
 use histal_bench::tasks::Scale;
+use histal_core::error::Error;
 use histal_obs::trace::{set_subscriber, Level, StderrSubscriber};
 
 fn main() {
@@ -54,13 +65,14 @@ fn main() {
     }
     let command = args[0].as_str();
     // `compare` consumes its two strategy specs positionally; `resume`
-    // consumes the command to re-run.
+    // consumes the command to re-run; `spec-check` an optional directory.
     let mut positional: Vec<String> = Vec::new();
     let mut scale = Scale::quick();
     let mut targets = vec![0.72, 0.73, 0.735];
     let mut variant = Table7Variant::Paper;
     let mut threads: Option<usize> = None;
     let mut check = false;
+    let mut spec_path: Option<String> = None;
     let mut journal_path: Option<String> = None;
     let mut trace: Option<Level> = None;
 
@@ -70,6 +82,10 @@ fn main() {
             "--full" => scale = Scale::full(),
             "--quick" => scale = Scale::quick(),
             "--check" => check = true,
+            "--spec" => {
+                i += 1;
+                spec_path = Some(args.get(i).unwrap_or_else(|| bad_flag("spec")).to_string());
+            }
             "--journal" => {
                 i += 1;
                 journal_path = Some(
@@ -136,12 +152,22 @@ fn main() {
         set_subscriber(Arc::new(StderrSubscriber { max_level: level }));
     }
 
+    // `spec-check [DIR]` is a pure parse/validate pass — no grid runs, no
+    // journal, no scale banner.
+    if command == "spec-check" {
+        let dir = positional.first().map(String::as_str).unwrap_or("specs");
+        spec_check(dir);
+        return;
+    }
+
     // `resume <command> --journal FILE` reopens the journal and re-runs
     // the command; completed cells are replayed instead of re-run.
     let resuming = command == "resume";
     let command = if resuming {
         if positional.len() != 1 {
-            eprintln!("usage: histal-experiments resume <fig3-text|fig3-ner|fig5> --journal FILE");
+            eprintln!(
+                "usage: histal-experiments resume <fig3-text|fig3-ner|fig5|run> --journal FILE"
+            );
             std::process::exit(2);
         }
         positional.remove(0)
@@ -150,8 +176,8 @@ fn main() {
     };
     let command = command.as_str();
     let journal = journal_path.as_deref().map(|path| {
-        if !matches!(command, "fig3-text" | "fig3-ner" | "fig5") {
-            eprintln!("--journal is supported for fig3-text, fig3-ner and fig5 only");
+        if !matches!(command, "fig3-text" | "fig3-ner" | "fig5" | "run") {
+            eprintln!("--journal is supported for fig3-text, fig3-ner, fig5 and run only");
             std::process::exit(2);
         }
         let ctx = if resuming {
@@ -179,35 +205,50 @@ fn main() {
         rayon::current_num_threads()
     );
     let start = std::time::Instant::now();
-    match command {
-        "table3" => experiments::table3(),
-        "table4" => experiments::table4(),
-        "fig3-text" => {
-            experiments::fig3_text(&scale, journal.as_ref());
+    let result: Result<(), Error> = match command {
+        "table3" => {
+            experiments::table3();
+            Ok(())
         }
-        "fig3-ner" => {
-            experiments::fig3_ner(&scale, journal.as_ref());
+        "table4" => {
+            experiments::table4();
+            Ok(())
         }
+        "fig3-text" => experiments::fig3_text(&scale, journal.as_ref()).map(|_| ()),
+        "fig3-ner" => experiments::fig3_ner(&scale, journal.as_ref()).map(|_| ()),
         "table5" => experiments::table5(&scale, &targets),
         "fig4" => experiments::fig4(&scale),
         "fig5" => experiments::fig5(&scale, journal.as_ref()),
         "table6" => experiments::table6(&scale),
         "table7" => experiments::table7(&scale, variant),
-        "ceiling" => experiments::ceiling(&scale),
+        "ceiling" => {
+            experiments::ceiling(&scale);
+            Ok(())
+        }
         "table2" => experiments::table2(&scale),
         "fig2" => experiments::fig2(&scale),
         "noise" => experiments::noise(&scale),
         "agnostic" => experiments::agnostic(&scale),
         "imbalance" => experiments::imbalance(&scale),
         "sweep-batch" => experiments::sweep_batch(&scale),
+        "run" => {
+            let Some(path) = spec_path.as_deref() else {
+                eprintln!("usage: histal-experiments run --spec FILE [--journal FILE]");
+                std::process::exit(2);
+            };
+            load_spec(path).and_then(|spec| run_spec(&spec, &scale, journal.as_ref()).map(|_| ()))
+        }
         "compare" => {
             if positional.len() != 2 {
                 eprintln!("usage: histal-experiments compare <strategyA> <strategyB> [--full]");
                 std::process::exit(2);
             }
-            experiments::compare(&scale, &positional[0], &positional[1]);
+            experiments::compare(&scale, &positional[0], &positional[1])
         }
-        "significance" => experiments::significance(&scale),
+        "significance" => {
+            experiments::significance(&scale);
+            Ok(())
+        }
         "bench" => {
             if check {
                 experiments::bench_check(&scale)
@@ -215,25 +256,76 @@ fn main() {
                 experiments::bench(&scale)
             }
         }
-        "all" => {
-            experiments::fig2(&scale);
-            experiments::table2(&scale);
-            experiments::table3();
-            experiments::table4();
-            experiments::fig3_text(&scale, None);
-            experiments::fig3_ner(&scale, None);
-            experiments::table5(&scale, &targets);
-            experiments::fig4(&scale);
-            experiments::fig5(&scale, None);
-            experiments::table6(&scale);
-            experiments::table7(&scale, variant);
-        }
+        "all" => experiments::fig2(&scale)
+            .and_then(|()| experiments::table2(&scale))
+            .and_then(|()| {
+                experiments::table3();
+                experiments::table4();
+                experiments::fig3_text(&scale, None).map(|_| ())
+            })
+            .and_then(|()| experiments::fig3_ner(&scale, None).map(|_| ()))
+            .and_then(|()| experiments::table5(&scale, &targets))
+            .and_then(|()| experiments::fig4(&scale))
+            .and_then(|()| experiments::fig5(&scale, None))
+            .and_then(|()| experiments::table6(&scale))
+            .and_then(|()| experiments::table7(&scale, variant)),
         other => {
             eprintln!("unknown command: {other}");
             usage_and_exit();
         }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
     eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// Load and validate an [`ExperimentSpec`] from a JSON file.
+fn load_spec(path: &str) -> Result<ExperimentSpec, Error> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| Error::spec(format!("cannot read spec {path}: {e}")))?;
+    let spec = ExperimentSpec::from_json(&body).map_err(|e| Error::spec(format!("{path}: {e}")))?;
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Parse + validate every `*.json` under `dir`; exit nonzero if any
+/// fails. Used by CI to keep the checked-in spec library loadable.
+fn spec_check(dir: &str) {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| {
+        eprintln!("spec-check: cannot read {dir}: {e}");
+        std::process::exit(2);
+    });
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("spec-check: no spec files in {dir}");
+        std::process::exit(2);
+    }
+    let mut failures = 0usize;
+    for path in &paths {
+        let shown = path.display();
+        match std::fs::read_to_string(path)
+            .map_err(|e| Error::spec(format!("cannot read: {e}")))
+            .and_then(|body| ExperimentSpec::from_json(&body))
+            .and_then(|spec| spec.validate().map(|()| spec))
+        {
+            Ok(spec) => println!("ok  {shown} ({})", spec.name),
+            Err(e) => {
+                println!("ERR {shown}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("spec-check: {failures} of {} spec(s) failed", paths.len());
+        std::process::exit(1);
+    }
+    println!("spec-check OK ({} specs)", paths.len());
 }
 
 fn parse<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> T {
@@ -249,9 +341,9 @@ fn bad_flag(name: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|bench|resume|all> \
+        "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|run|spec-check|bench|resume|all> \
          [--full|--quick|--check] [--repeats N] [--scale F] [--threads N] [--targets a,b,c] \
-         [--variant paper|ar|linear|autocorr] [--journal FILE] [--trace[=info|debug|trace]]"
+         [--variant paper|ar|linear|autocorr] [--spec FILE] [--journal FILE] [--trace[=info|debug|trace]]"
     );
     std::process::exit(2);
 }

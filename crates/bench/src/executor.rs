@@ -1,0 +1,861 @@
+//! Generic grid executor behind the declarative experiment engine.
+//!
+//! [`GridExecutor`] turns an [`ExperimentSpec`] into results: it
+//! resolves datasets/strategies through [`crate::registry`], trains any
+//! LHS selectors the spec needs (deduplicated by training plan), flattens
+//! the `(dataset × group × strategy)` grid into cells, fans the cells out
+//! across the rayon pool (each cell fanning its repeats out in turn), and
+//! groups the outcomes back into report blocks. [`render_spec`] then
+//! prints the blocks according to the spec's [`ReportKind`] and produces
+//! the JSON payload [`write_rendered`] persists.
+//!
+//! # Determinism contract (journal-key compatibility)
+//!
+//! Seeds and journal cell keys are derived **only** from
+//! `(experiment, dataset, strategy, repeat)` — [`seed_for`] via FNV-1a,
+//! cell keys as `{experiment}/{dataset}/{strategy}/r{repeat}`, and the
+//! replay guard via [`cell_hash`]. `dataset` is always the *generated*
+//! corpus name (`task.name`, e.g. `MR`) and `strategy` the resolved
+//! strategy's canonical `Strategy::name()` — never a spec `rename`, and
+//! for `LHS(...)` tokens the *base* strategy's name. Display renames
+//! therefore never move a cell's RNG stream or its journal key, which is
+//! what keeps spec-driven runs byte-identical to the historical
+//! hand-coded grids and lets pre-refactor journals resume under the
+//! engine. Do not fold new inputs into these derivations.
+
+use std::time::Instant;
+
+use histal_core::analysis::{area_under_curve, average_curves, selection_stats};
+use histal_core::driver::{CurvePoint, PoolConfig, RunResult};
+use histal_core::error::Error;
+use histal_core::lhs::{train_lhs, LhsSelector, LhsTrainerConfig};
+use histal_core::session::fingerprint;
+use histal_core::strategy::Strategy;
+use histal_data::TextSpec;
+use histal_obs::span;
+use histal_obs::trace::Level;
+
+use crate::journal::{try_run_cell_opt, JournalCtx};
+use crate::registry::{self, DatasetDef, LhsPlan, Metric};
+use crate::report::{print_curves, print_table, write_json};
+use crate::spec::{render_template, ExperimentSpec, ReportKind};
+use crate::tasks::{NerTask, Scale, TextModel, TextTask};
+
+/// Pool configuration for a text dataset: the paper samples 20 batches of
+/// 25 (MR, SST-2) or 100 (TREC), the first batch random.
+pub fn text_pool_config(trec_like: bool, scale: &Scale) -> PoolConfig {
+    let batch = if trec_like { 100 } else { 25 };
+    PoolConfig {
+        batch_size: batch,
+        rounds: rounds_for(scale),
+        init_labeled: batch,
+        history_max_len: None,
+        record_history: false,
+    }
+}
+
+/// NER pool configuration: batch 100 up to 2 000 annotated sentences.
+pub fn ner_pool_config(scale: &Scale) -> PoolConfig {
+    PoolConfig {
+        batch_size: 100,
+        rounds: rounds_for(scale),
+        init_labeled: 100,
+        history_max_len: None,
+        record_history: false,
+    }
+}
+
+/// 19 selection rounds at full scale (init batch + 19 batches = the
+/// paper's 20 sampling rounds); scaled down for quick runs.
+pub fn rounds_for(scale: &Scale) -> usize {
+    ((19.0 * scale.factor).round() as usize).clamp(5, 19)
+}
+
+/// Per-repeat seed derivation (FNV-1a over
+/// `experiment ‖ dataset ‖ strategy ‖ repeat`). Part of the determinism
+/// contract — see the module docs before changing anything here.
+pub fn seed_for(experiment: &str, dataset: &str, strategy: &str, repeat: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in experiment
+        .bytes()
+        .chain(dataset.bytes())
+        .chain(strategy.bytes())
+        .chain([repeat as u8])
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of everything that determines a grid cell's output besides the
+/// seed. A resumed journal only replays a cell when this matches, so a
+/// journal written at one scale or pool config is never mixed into a run
+/// at another. The strategy goes in via its full `Debug` form, not its
+/// display name — variants that share a name but differ in
+/// hyper-parameters (fig5's WSHS window sweep) must hash apart.
+pub fn cell_hash(
+    experiment: &str,
+    dataset: &str,
+    strategy: &Strategy,
+    config: &PoolConfig,
+    scale: &Scale,
+    lhs: bool,
+) -> u64 {
+    fingerprint(&[
+        experiment,
+        dataset,
+        &format!("{strategy:?}"),
+        &format!(
+            "batch={} rounds={} init={}",
+            config.batch_size, config.rounds, config.init_labeled
+        ),
+        &format!("factor={} repeats={}", scale.factor, scale.repeats),
+        if lhs { "lhs" } else { "no-lhs" },
+    ])
+}
+
+/// Train the LHS selector on the Subj-analogue dataset per a spec-level
+/// training plan — §4.4's protocol: "train a ranker on an applicable
+/// labeled dataset and apply it on other unlabeled datasets of the same
+/// task". Training failures propagate as structured errors.
+pub fn train_lhs_plan(plan: &LhsPlan, scale: &Scale) -> Result<LhsSelector, Error> {
+    let subj = TextTask::build(&TextSpec::subj(), scale, 0x53_42);
+    let config = LhsTrainerConfig {
+        base: plan.base,
+        rounds: 8,
+        candidates_per_round: 24,
+        init_labeled: 25,
+        add_per_round: 5,
+        level_interval: 0.0,
+        features: plan.features,
+        predictor: plan.predictor.clone(),
+        ranker: plan.ranker.clone(),
+        selector_candidate_pool: 75,
+    };
+    train_lhs(
+        &subj.model(0),
+        &subj.pool_docs,
+        &subj.pool_labels,
+        &subj.test_docs,
+        &subj.test_labels,
+        &config,
+        seed_for("lhs-train", "subj", plan.base.name(), 0),
+    )
+}
+
+/// One resolved dataset of a grid: the built task plus its pool config.
+enum TaskInstance {
+    Text {
+        task: TextTask,
+        config: PoolConfig,
+        /// Multiclass dataset — LHS entries are skipped (the ranker is
+        /// trained on binary Subj; §5.4 applies it to binary tasks).
+        trec_like: bool,
+    },
+    Ner {
+        task: NerTask,
+        config: PoolConfig,
+    },
+}
+
+impl TaskInstance {
+    fn name(&self) -> &str {
+        match self {
+            Self::Text { task, .. } => &task.name,
+            Self::Ner { task, .. } => &task.name,
+        }
+    }
+
+    fn config(&self) -> &PoolConfig {
+        match self {
+            Self::Text { config, .. } => config,
+            Self::Ner { config, .. } => config,
+        }
+    }
+}
+
+/// One flattened grid cell awaiting execution.
+struct Cell {
+    task: usize,
+    group: usize,
+    strategy: Strategy,
+    /// Index into the trained selector list, for LHS cells.
+    lhs: Option<usize>,
+    /// Report label (spec rename, or the resolved display name).
+    display: String,
+    /// Experiment id for seeds and journal keys (entry override or the
+    /// spec's).
+    experiment: String,
+}
+
+/// One executed cell: the averaged curve plus the raw repeats.
+pub struct CellOutcome {
+    /// Report label of the cell.
+    pub name: String,
+    /// Curves averaged over repeats, `strategy_name` set to `name`.
+    pub avg: RunResult,
+    /// The raw per-repeat results (with round diagnostics / history).
+    pub runs: Vec<RunResult>,
+    /// End-to-end wall clock of the cell (all repeats), for BENCH.
+    pub wall_ms: f64,
+}
+
+/// One report block: the cells of one `(dataset × group)` pair.
+pub struct Block {
+    /// Dataset display label (spec rename, or the generated corpus name).
+    pub dataset: String,
+    /// Group label (for `{label}` templates).
+    pub label: String,
+    /// The block's pool configuration (budget, checkpoint maths).
+    pub config: PoolConfig,
+    /// Executed cells in spec order.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl Block {
+    /// Total label budget of the block's cells.
+    pub fn budget(&self) -> usize {
+        self.config.init_labeled + self.config.batch_size * self.config.rounds
+    }
+}
+
+/// The executed grid, grouped into report blocks in spec order.
+pub struct GridOutcome {
+    /// One block per `(dataset × group)` pair that produced cells.
+    pub blocks: Vec<Block>,
+}
+
+/// Executes one [`ExperimentSpec`] deterministically.
+pub struct GridExecutor<'a> {
+    spec: &'a ExperimentSpec,
+    scale: Scale,
+    journal: Option<&'a JournalCtx>,
+    serial: bool,
+}
+
+impl<'a> GridExecutor<'a> {
+    /// Build an executor; `cli_scale` supplies whatever the spec's
+    /// `scale` section leaves unset (spec fields win, so a spec can pin
+    /// e.g. `repeats: 1` regardless of the command line).
+    pub fn new(spec: &'a ExperimentSpec, cli_scale: &Scale) -> Self {
+        let mut scale = *cli_scale;
+        if let Some(s) = &spec.scale {
+            if let Some(f) = s.factor {
+                scale.factor = f;
+            }
+            if let Some(r) = s.repeats {
+                scale.repeats = r;
+            }
+        }
+        Self {
+            spec,
+            scale,
+            journal: None,
+            serial: false,
+        }
+    }
+
+    /// Attach a journal context: every `(cell, repeat)` is checkpointed
+    /// and previously completed cells replay instead of re-running.
+    pub fn journal(mut self, journal: Option<&'a JournalCtx>) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// Run cells one at a time instead of fanning them out — for BENCH,
+    /// where each cell's wall clock must be unpolluted by its
+    /// neighbours. Repeats still fan out inside the cell.
+    pub fn serial(mut self) -> Self {
+        self.serial = true;
+        self
+    }
+
+    /// The effective scale (CLI overridden by the spec).
+    pub fn scale(&self) -> &Scale {
+        &self.scale
+    }
+
+    fn apply_pool(&self, mut config: PoolConfig) -> PoolConfig {
+        if let Some(p) = &self.spec.pool {
+            if let Some(b) = p.batch_size {
+                config.batch_size = b;
+            }
+            if let Some(r) = p.rounds {
+                config.rounds = r;
+            }
+            if let Some(i) = p.init_labeled {
+                config.init_labeled = i;
+            }
+            if p.record_history {
+                config.record_history = true;
+            }
+        }
+        if self.spec.report == ReportKind::TrendCensus {
+            config.record_history = true;
+        }
+        config
+    }
+
+    /// Execute the grid. Validates the spec, builds every dataset,
+    /// trains the (deduplicated) LHS selectors, then runs all cells.
+    /// The first failing cell aborts the grid with an error naming its
+    /// cell key.
+    pub fn execute(&self) -> Result<GridOutcome, Error> {
+        let spec = self.spec;
+        spec.validate()?;
+        let _span = span!(Level::Info, "harness.experiment", name = spec.name.clone());
+
+        let model = match spec.model.as_deref() {
+            Some("nb") => TextModel::NaiveBayes,
+            _ => TextModel::LogReg,
+        };
+        let representations = spec.pool.as_ref().is_some_and(|p| p.representations);
+
+        // Datasets → built tasks with per-kind pool configs.
+        let mut instances: Vec<TaskInstance> = Vec::new();
+        for d in &spec.datasets {
+            match registry::parse_dataset(&d.dataset)? {
+                DatasetDef::Text { spec: tspec, noise } => {
+                    let trec_like = tspec.n_classes > 2;
+                    let mut task = TextTask::build(&tspec, &self.scale, spec.split_seed);
+                    if let Some(rate) = noise {
+                        histal_data::corrupt_labels(
+                            &mut task.pool_labels,
+                            task.n_classes,
+                            rate,
+                            spec.split_seed + 1,
+                        );
+                    }
+                    let config = self.apply_pool(text_pool_config(trec_like, &self.scale));
+                    instances.push(TaskInstance::Text {
+                        task,
+                        config,
+                        trec_like,
+                    });
+                }
+                DatasetDef::Ner { spec: nspec } => {
+                    let task = NerTask::build(&nspec, &self.scale);
+                    let config = self.apply_pool(ner_pool_config(&self.scale));
+                    instances.push(TaskInstance::Ner { task, config });
+                }
+            }
+        }
+
+        // Strategies: resolve every entry once, train each distinct LHS
+        // plan once (serially, before the fan-out).
+        let mut resolved: Vec<Vec<(registry::ResolvedStrategy, Option<usize>)>> = Vec::new();
+        let mut selectors: Vec<LhsSelector> = Vec::new();
+        let mut selector_keys: Vec<String> = Vec::new();
+        for group in &spec.groups {
+            let mut row = Vec::new();
+            for entry in &group.strategies {
+                let r = registry::parse_strategy(&entry.strategy)?;
+                let lhs = match &r.lhs {
+                    None => None,
+                    Some(plan) => {
+                        if representations {
+                            return Err(Error::spec(format!(
+                                "strategy `{}`: LHS selectors cannot be combined with \
+                                 `pool.representations`",
+                                entry.strategy
+                            )));
+                        }
+                        let key = plan.cache_key();
+                        let idx = match selector_keys.iter().position(|k| *k == key) {
+                            Some(i) => i,
+                            None => {
+                                selectors.push(train_lhs_plan(plan, &self.scale)?);
+                                selector_keys.push(key);
+                                selectors.len() - 1
+                            }
+                        };
+                        Some(idx)
+                    }
+                };
+                row.push((r, lhs));
+            }
+            resolved.push(row);
+        }
+
+        // Flatten the grid, dataset-major, skipping LHS cells on
+        // multiclass text datasets (the selector is trained on binary
+        // Subj — matches the historical fig3 grid).
+        let mut cells: Vec<Cell> = Vec::new();
+        for (ti, inst) in instances.iter().enumerate() {
+            let multiclass = matches!(
+                inst,
+                TaskInstance::Text {
+                    trec_like: true,
+                    ..
+                }
+            );
+            for (gi, group) in spec.groups.iter().enumerate() {
+                for (ei, entry) in group.strategies.iter().enumerate() {
+                    let (r, lhs) = &resolved[gi][ei];
+                    if lhs.is_some() && multiclass {
+                        continue;
+                    }
+                    cells.push(Cell {
+                        task: ti,
+                        group: gi,
+                        strategy: r.strategy.clone(),
+                        lhs: *lhs,
+                        display: entry.rename.clone().unwrap_or_else(|| r.display_name()),
+                        experiment: entry
+                            .experiment
+                            .clone()
+                            .unwrap_or_else(|| spec.experiment_id().to_string()),
+                    });
+                }
+            }
+        }
+
+        let run_one = |c: usize| -> Result<CellOutcome, Error> {
+            let cell = &cells[c];
+            let inst = &instances[cell.task];
+            let start = Instant::now();
+            let name = cell.strategy.name();
+            let hash = cell_hash(
+                &cell.experiment,
+                inst.name(),
+                &cell.strategy,
+                inst.config(),
+                &self.scale,
+                cell.lhs.is_some(),
+            );
+            let runs: Vec<Result<RunResult, Error>> = rayon::run_indexed(self.scale.repeats, |r| {
+                let seed = seed_for(&cell.experiment, inst.name(), &name, r);
+                let key = format!("{}/{}/{name}/r{r}", cell.experiment, inst.name());
+                let _span = span!(
+                    Level::Debug,
+                    "harness.cell",
+                    cell = key.clone(),
+                    seed = seed
+                );
+                try_run_cell_opt(self.journal, &key, hash, seed, |j| match inst {
+                    TaskInstance::Text { task, config, .. } => {
+                        if representations {
+                            task.try_run_with_representations_journaled(
+                                cell.strategy.clone(),
+                                config,
+                                seed,
+                                j,
+                            )
+                        } else {
+                            task.try_run_model(
+                                model,
+                                cell.strategy.clone(),
+                                cell.lhs.map(|i| selectors[i].clone()),
+                                config,
+                                seed,
+                                j,
+                            )
+                        }
+                    }
+                    TaskInstance::Ner { task, config } => {
+                        task.try_run_journaled(cell.strategy.clone(), config, seed, j)
+                    }
+                })
+                .map_err(|e| e.in_cell(&key))
+            });
+            let runs: Vec<RunResult> = runs.into_iter().collect::<Result<_, _>>()?;
+            let mut avg = average_curves(&runs);
+            avg.strategy_name = cell.display.clone();
+            Ok(CellOutcome {
+                name: cell.display.clone(),
+                avg,
+                runs,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            })
+        };
+        let outcomes: Vec<Result<CellOutcome, Error>> = if self.serial {
+            (0..cells.len()).map(run_one).collect()
+        } else {
+            rayon::run_indexed(cells.len(), run_one)
+        };
+
+        // Regroup consecutive cells per (dataset, group) into blocks —
+        // output order matches the historical serial nested loops.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut last_key = None;
+        for (cell, outcome) in cells.iter().zip(outcomes) {
+            let outcome = outcome?;
+            let key = (cell.task, cell.group);
+            if last_key != Some(key) {
+                last_key = Some(key);
+                blocks.push(Block {
+                    dataset: spec.datasets[cell.task]
+                        .rename
+                        .clone()
+                        .unwrap_or_else(|| instances[cell.task].name().to_string()),
+                    label: spec.groups[cell.group].label.clone(),
+                    config: instances[cell.task].config().clone(),
+                    cells: Vec::new(),
+                });
+            }
+            blocks
+                .last_mut()
+                .expect("block pushed above")
+                .cells
+                .push(outcome);
+        }
+        Ok(GridOutcome { blocks })
+    }
+}
+
+/// One block's curve series: `(strategy display name, curve points)`.
+pub type CurveSeries = Vec<(String, Vec<CurvePoint>)>;
+
+/// JSON payload produced by [`render_spec`], mirroring the historical
+/// per-figure shapes so `results/*.json` files stay byte-compatible.
+pub enum Rendered {
+    /// Curves grouped per block under a `json_key` template
+    /// (fig3-style).
+    Grouped(Vec<(String, CurveSeries)>),
+    /// One flat curve list across all blocks (fig5-style).
+    Flat(CurveSeries),
+    /// Table rows (metrics / timing / stats reports).
+    Rows(Vec<Vec<String>>),
+}
+
+/// Render an executed grid: print the spec's tables/curves and return
+/// the JSON payload to persist.
+pub fn render_spec(spec: &ExperimentSpec, outcome: &GridOutcome) -> Result<Rendered, Error> {
+    match spec.report {
+        ReportKind::Curves => Ok(render_curves(spec, outcome)),
+        ReportKind::Metrics => render_metrics(spec, outcome),
+        ReportKind::Timing => Ok(render_timing(spec, outcome)),
+        ReportKind::SelectionStats => Ok(render_selection_stats(spec, outcome)),
+        ReportKind::TrendCensus => Ok(render_trend_census(spec, outcome)),
+        ReportKind::Checkpoints => Ok(render_checkpoints(spec, outcome)),
+    }
+}
+
+/// Persist a rendered payload as `results/{name}.json`.
+pub fn write_rendered(name: &str, rendered: &Rendered) {
+    match rendered {
+        Rendered::Grouped(g) => write_json(name, g),
+        Rendered::Flat(f) => write_json(name, f),
+        Rendered::Rows(r) => write_json(name, r),
+    }
+}
+
+/// Execute + render + persist one spec — the whole figure/table pipeline.
+pub fn run_spec(
+    spec: &ExperimentSpec,
+    cli_scale: &Scale,
+    journal: Option<&JournalCtx>,
+) -> Result<GridOutcome, Error> {
+    let outcome = GridExecutor::new(spec, cli_scale)
+        .journal(journal)
+        .execute()?;
+    let rendered = render_spec(spec, &outcome)?;
+    write_rendered(&spec.name, &rendered);
+    Ok(outcome)
+}
+
+fn render_curves(spec: &ExperimentSpec, outcome: &GridOutcome) -> Rendered {
+    for block in &outcome.blocks {
+        let title = render_template(&spec.title, &block.dataset, &block.label);
+        let results: Vec<RunResult> = block.cells.iter().map(|c| c.avg.clone()).collect();
+        print_curves(&title, &results);
+    }
+    let curves = |block: &Block| -> CurveSeries {
+        block
+            .cells
+            .iter()
+            .map(|c| (c.name.clone(), c.avg.curve.clone()))
+            .collect()
+    };
+    match &spec.json_key {
+        Some(template) => Rendered::Grouped(
+            outcome
+                .blocks
+                .iter()
+                .map(|b| (render_template(template, &b.dataset, &b.label), curves(b)))
+                .collect(),
+        ),
+        None => Rendered::Flat(outcome.blocks.iter().flat_map(&curves).collect()),
+    }
+}
+
+fn render_metrics(spec: &ExperimentSpec, outcome: &GridOutcome) -> Result<Rendered, Error> {
+    let metrics: Vec<Metric> = spec
+        .metrics
+        .iter()
+        .map(|m| registry::parse_metric(m))
+        .collect::<Result<_, _>>()?;
+    let dataset_col = spec.dataset_column.is_some() || spec.datasets.len() > 1;
+    let mut rows = Vec::new();
+    for block in &outcome.blocks {
+        let lookup: Vec<(String, &RunResult)> = block
+            .cells
+            .iter()
+            .map(|c| (c.name.clone(), &c.avg))
+            .collect();
+        for cell in &block.cells {
+            let mut row = Vec::new();
+            if dataset_col {
+                row.push(block.dataset.clone());
+            }
+            row.push(cell.name.clone());
+            for m in &metrics {
+                row.push(registry::evaluate_metric(
+                    m,
+                    &cell.avg,
+                    block.budget(),
+                    &lookup,
+                ));
+            }
+            rows.push(row);
+        }
+    }
+    let mut header: Vec<String> = Vec::new();
+    if dataset_col {
+        header.push(
+            spec.dataset_column
+                .clone()
+                .unwrap_or_else(|| "Dataset".into()),
+        );
+    }
+    header.push("Strategy".into());
+    header.extend(metrics.iter().map(|m| m.header()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(&spec.title, &header_refs, &rows);
+    Ok(Rendered::Rows(rows))
+}
+
+fn render_timing(spec: &ExperimentSpec, outcome: &GridOutcome) -> Rendered {
+    let mut rows = Vec::new();
+    for cell in outcome.blocks.iter().flat_map(|b| &b.cells) {
+        let rounds: Vec<_> = cell.runs.iter().flat_map(|r| &r.rounds).collect();
+        let n = rounds.len().max(1) as f64;
+        let fit: f64 = rounds.iter().map(|r| r.fit_ms).sum::<f64>() / n;
+        let eval: f64 = rounds.iter().map(|r| r.eval_ms).sum::<f64>() / n;
+        let score: f64 = rounds.iter().map(|r| r.score_ms).sum::<f64>() / n;
+        let select: f64 = rounds.iter().map(|r| r.select_ms).sum::<f64>() / n;
+        rows.push(vec![
+            cell.name.clone(),
+            format!("{fit:.2}"),
+            format!("{eval:.2}"),
+            format!("{score:.3}"),
+            format!("{select:.3}"),
+        ]);
+    }
+    print_table(
+        &spec.title,
+        &[
+            "Strategy",
+            "train (ms)",
+            "evaluate pool O(T) (ms)",
+            "history fold (ms)",
+            "select (ms)",
+        ],
+        &rows,
+    );
+    Rendered::Rows(rows)
+}
+
+fn render_selection_stats(spec: &ExperimentSpec, outcome: &GridOutcome) -> Rendered {
+    let mut rows = Vec::new();
+    for cell in outcome.blocks.iter().flat_map(|b| &b.cells) {
+        let n = cell.runs.len() as f64;
+        let (mut w, mut f) = (0.0, 0.0);
+        for r in &cell.runs {
+            let s = selection_stats(r);
+            w += s.mean_wshs;
+            f += s.mean_fluct;
+        }
+        rows.push(vec![
+            cell.name.clone(),
+            format!("{:.4}", w / n),
+            format!("{:.6}", f / n),
+        ]);
+    }
+    print_table(
+        &spec.title,
+        &["Method", "WSHS score", "FHS (fluctuation) score"],
+        &rows,
+    );
+    Rendered::Rows(rows)
+}
+
+fn render_trend_census(spec: &ExperimentSpec, outcome: &GridOutcome) -> Rendered {
+    use histal_tseries::{mann_kendall, variance, Trend};
+
+    let block = outcome.blocks.first();
+    let seqs: &[Vec<f64>] = block
+        .and_then(|b| b.cells.first())
+        .and_then(|c| c.runs.first())
+        .map(|r| r.history.as_slice())
+        .unwrap_or(&[]);
+    // Census over samples that survived all rounds unlabeled.
+    let full_len = block.map(|b| b.config.rounds).unwrap_or(0);
+    let mut counts = [0usize; 4]; // stable, increasing, decreasing, fluctuating
+    let mut exemplar: [Option<Vec<f64>>; 4] = [None, None, None, None];
+    let mut vars: Vec<f64> = seqs
+        .iter()
+        .filter(|s| s.len() == full_len)
+        .map(|s| variance(s))
+        .collect();
+    vars.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let var_hi = vars.get(vars.len() * 3 / 4).copied().unwrap_or(0.0);
+    for s in seqs.iter().filter(|s| s.len() == full_len) {
+        let mk = mann_kendall(s);
+        let class = match mk.trend() {
+            Trend::Increasing => 1,
+            Trend::Decreasing => 2,
+            Trend::NoTrend => {
+                if variance(s) > var_hi {
+                    3
+                } else {
+                    0
+                }
+            }
+        };
+        counts[class] += 1;
+        if exemplar[class].is_none() {
+            exemplar[class] = Some(s.clone());
+        }
+    }
+    let names = [
+        "(a) stable",
+        "(b) increasing",
+        "(c) decreasing",
+        "(d) fluctuating",
+    ];
+    let total: usize = counts.iter().sum();
+    let mut rows = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let example = exemplar[i]
+            .as_ref()
+            .map(|s| {
+                s.iter()
+                    .rev()
+                    .take(5)
+                    .rev()
+                    .map(|v| format!("{v:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default();
+        rows.push(vec![
+            name.to_string(),
+            counts[i].to_string(),
+            format!("{:.1}%", 100.0 * counts[i] as f64 / total.max(1) as f64),
+            example,
+        ]);
+    }
+    print_table(
+        &spec.title,
+        &["Shape", "#samples", "share", "example (last 5 scores)"],
+        &rows,
+    );
+    Rendered::Rows(rows)
+}
+
+fn render_checkpoints(spec: &ExperimentSpec, outcome: &GridOutcome) -> Rendered {
+    // Accuracy checkpoints: five evenly spaced label budgets.
+    let checkpoints: Vec<usize> = outcome
+        .blocks
+        .first()
+        .map(|b| {
+            (1..=5)
+                .map(|k| b.config.init_labeled + b.config.batch_size * (k * b.config.rounds / 5))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut rows = Vec::new();
+    for cell in outcome.blocks.iter().flat_map(|b| &b.cells) {
+        let mut row = vec![cell.name.clone()];
+        for &cp in &checkpoints {
+            let metric = cell
+                .avg
+                .curve
+                .iter()
+                .rfind(|p| p.n_labeled <= cp)
+                .map(|p| p.metric)
+                .unwrap_or(0.0);
+            row.push(format!("{metric:.4}"));
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<String> = vec!["#Samples".into()];
+    header.extend(checkpoints.iter().map(|c| c.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(&spec.title, &header_refs, &rows);
+    Rendered::Rows(rows)
+}
+
+/// Mean of per-run areas under the learning curve — matches the
+/// historical extension experiments, which averaged AUCs over raw
+/// repeats rather than taking the AUC of the averaged curve.
+pub fn mean_auc(cell: &CellOutcome) -> f64 {
+    let n = cell.runs.len().max(1) as f64;
+    cell.runs.iter().map(area_under_curve).sum::<f64>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_vary_by_all_inputs() {
+        let base = seed_for("e", "d", "s", 0);
+        assert_ne!(base, seed_for("x", "d", "s", 0));
+        assert_ne!(base, seed_for("e", "x", "s", 0));
+        assert_ne!(base, seed_for("e", "d", "x", 0));
+        assert_ne!(base, seed_for("e", "d", "s", 1));
+        assert_eq!(base, seed_for("e", "d", "s", 0));
+    }
+
+    #[test]
+    fn rounds_scale_with_factor() {
+        assert_eq!(rounds_for(&Scale::full()), 19);
+        let tiny = Scale {
+            factor: 0.1,
+            repeats: 1,
+        };
+        assert_eq!(rounds_for(&tiny), 5);
+    }
+
+    #[test]
+    fn spec_scale_overrides_cli_scale() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"name":"x","datasets":["mr"],
+                "groups":[{"strategies":["entropy"]}],
+                "scale":{"repeats":1}}"#,
+        )
+        .unwrap();
+        let cli = Scale {
+            factor: 0.5,
+            repeats: 4,
+        };
+        let exec = GridExecutor::new(&spec, &cli);
+        assert_eq!(exec.scale().repeats, 1);
+        assert_eq!(exec.scale().factor, 0.5);
+    }
+
+    #[test]
+    fn failing_cell_reports_its_key() {
+        // QBC needs a committee the default model doesn't provide, so the
+        // cell fails — the error must name the cell key.
+        let spec = ExperimentSpec::from_json(
+            r#"{"name":"x","experiment":"xx","datasets":["mr"],
+                "groups":[{"strategies":["qbc"]}],
+                "scale":{"factor":0.02,"repeats":1}}"#,
+        )
+        .unwrap();
+        let cli = Scale {
+            factor: 0.02,
+            repeats: 1,
+        };
+        let err = match GridExecutor::new(&spec, &cli).execute() {
+            Ok(_) => panic!("qbc without a committee must fail"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("xx/MR/QBC"), "{msg}");
+    }
+}

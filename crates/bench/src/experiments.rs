@@ -1,41 +1,42 @@
 //! One function per table/figure of the paper's evaluation section.
 //!
-//! | function | paper artifact |
-//! |---|---|
-//! | [`table3`] | Table 3 — text dataset statistics |
-//! | [`table4`] | Table 4 — NER dataset statistics |
-//! | [`fig3_text`] | Figure 3 rows 1–3 — general strategies, text |
-//! | [`fig3_ner`] | Figure 3 row 4 — general strategies, NER |
-//! | [`table5`] | Table 5 — annotation cost to reach target accuracy |
-//! | [`fig4`] | Figure 4 — SOTA strategies + history wrappers |
-//! | [`fig5`] | Figure 5 — hyper-parameter sensitivity |
-//! | [`table6`] | Table 6 — WSHS/FHS scores of selected samples |
-//! | [`table7`] | Table 7 — LHS feature ablation |
+//! | function | paper artifact | spec |
+//! |---|---|---|
+//! | [`table3`] | Table 3 — text dataset statistics | hand-coded |
+//! | [`table4`] | Table 4 — NER dataset statistics | hand-coded |
+//! | [`fig2`] | Figure 2 — history sequence shapes | `specs/fig2.json` |
+//! | [`table2`] | Table 2 — per-round strategy cost | `specs/table2.json` |
+//! | [`fig3_text`] | Figure 3 rows 1–3 — general strategies, text | `specs/fig3_text.json` |
+//! | [`fig3_ner`] | Figure 3 row 4 — general strategies, NER | `specs/fig3_ner.json` |
+//! | [`table5`] | Table 5 — annotation cost to target accuracy | in-code spec |
+//! | [`fig4`] | Figure 4 — SOTA strategies + history wrappers | in-code spec |
+//! | [`fig5`] | Figure 5 — hyper-parameter sensitivity | `specs/fig5.json` |
+//! | [`table6`] | Table 6 — WSHS/FHS scores of selected samples | `specs/table6.json` |
+//! | [`table7`] | Table 7 — LHS feature ablation | `specs/table7.json` |
 //!
-//! Table 2 (efficiency) is regenerated by `cargo bench -p histal-bench
-//! --bench strategy_overhead`.
+//! Every grid experiment is an [`ExperimentSpec`] executed by
+//! [`crate::executor::GridExecutor`]; the checked-in JSON files under
+//! `specs/` are embedded at compile time (and validated by CI), so
+//! `histal-experiments fig5` and `histal-experiments run --spec
+//! specs/fig5.json` are the same code path. Only the dataset-statistics
+//! tables, the diagnostic commands (`ceiling`, `significance`,
+//! `compare`) and the BENCH gates remain hand-coded.
 
-use histal_core::analysis::{average_curves, format_cost, samples_to_target, selection_stats};
-use histal_core::driver::{PoolConfig, RunResult};
-use histal_core::lhs::{
-    train_lhs, LhsFeatureConfig, LhsSelector, LhsTrainerConfig, PredictorKind, RankerKind,
-};
-use histal_core::session::fingerprint;
+use histal_core::analysis::{area_under_curve, average_curves};
+use histal_core::driver::RunResult;
+use histal_core::error::Error;
 use histal_core::strategy::{BaseStrategy, HistoryPolicy, Strategy};
 use histal_data::{NerDataset, NerSpec, TextDataset, TextSpec};
-use histal_ltr::LambdaMartConfig;
-use histal_obs::span;
-use histal_obs::trace::Level;
 
-use crate::journal::{run_cell_opt, JournalCtx};
+use crate::executor::{
+    mean_auc, render_spec, run_spec, seed_for, text_pool_config, train_lhs_plan, CellOutcome,
+    GridExecutor, Rendered,
+};
+use crate::journal::JournalCtx;
+use crate::registry::{self, ResolvedStrategy, FHS_WF, FHS_WS, WINDOW};
 use crate::report::{print_curves, print_table, write_json};
-use crate::tasks::{NerTask, Scale, TextTask};
-
-/// History window used throughout (the paper recommends 3–5; Fig. 5).
-const WINDOW: usize = 3;
-/// FHS weights (Fig. 5 finds w_f ≈ 0.5 best).
-const FHS_WS: f64 = 0.5;
-const FHS_WF: f64 = 0.5;
+use crate::spec::{DatasetEntry, ExperimentSpec, GroupSpec, PoolSpec, ReportKind, StrategyEntry};
+use crate::tasks::{Scale, TextTask};
 
 fn hus(base: BaseStrategy) -> Strategy {
     Strategy::new(base).with_history(HistoryPolicy::Hus { k: WINDOW })
@@ -53,217 +54,24 @@ fn fhs(base: BaseStrategy) -> Strategy {
     })
 }
 
-/// Pool configuration for a text dataset: the paper samples 20 batches of
-/// 25 (MR, SST-2) or 100 (TREC), the first batch random.
-fn text_pool_config(trec_like: bool, scale: &Scale) -> PoolConfig {
-    let batch = if trec_like { 100 } else { 25 };
-    PoolConfig {
-        batch_size: batch,
-        rounds: rounds_for(scale),
-        init_labeled: batch,
-        history_max_len: None,
-        record_history: false,
-    }
-}
-
-/// NER pool configuration: batch 100 up to 2 000 annotated sentences.
-fn ner_pool_config(scale: &Scale) -> PoolConfig {
-    PoolConfig {
-        batch_size: 100,
-        rounds: rounds_for(scale),
-        init_labeled: 100,
-        history_max_len: None,
-        record_history: false,
-    }
-}
-
-/// 19 selection rounds at full scale (init batch + 19 batches = the
-/// paper's 20 sampling rounds); scaled down for quick runs.
-fn rounds_for(scale: &Scale) -> usize {
-    ((19.0 * scale.factor).round() as usize).clamp(5, 19)
-}
-
-fn seed_for(experiment: &str, dataset: &str, strategy: &str, repeat: usize) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in experiment
-        .bytes()
-        .chain(dataset.bytes())
-        .chain(strategy.bytes())
-        .chain([repeat as u8])
-    {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// Format an optional final metric for a table cell.
 fn fmt_metric(m: Option<f64>) -> String {
     m.map(|v| format!("{v:.4}")).unwrap_or_else(|| "n/a".into())
 }
 
-/// Hash of everything that determines a grid cell's output besides the
-/// seed. A resumed journal only replays a cell when this matches, so a
-/// journal written at one scale or pool config is never mixed into a run
-/// at another. The strategy goes in via its full `Debug` form, not its
-/// display name — variants that share a name but differ in
-/// hyper-parameters (fig5's WSHS window sweep) must hash apart.
-fn cell_hash(
-    experiment: &str,
-    dataset: &str,
-    strategy: &Strategy,
-    config: &PoolConfig,
-    scale: &Scale,
-    lhs: bool,
-) -> u64 {
-    fingerprint(&[
-        experiment,
-        dataset,
-        &format!("{strategy:?}"),
-        &format!(
-            "batch={} rounds={} init={}",
-            config.batch_size, config.rounds, config.init_labeled
-        ),
-        &format!("factor={} repeats={}", scale.factor, scale.repeats),
-        if lhs { "lhs" } else { "no-lhs" },
-    ])
+/// Parse one of the embedded `specs/*.json` files. A parse failure here
+/// is a build defect (the files are validated by CI and tests), but it
+/// still surfaces as a structured error rather than a panic.
+fn embedded_spec(json: &str) -> Result<ExperimentSpec, Error> {
+    ExperimentSpec::from_json(json)
 }
 
-/// Run a text strategy `repeats` times in parallel and average the
-/// curves. Each repeat derives its own seed from
-/// `(experiment, dataset, strategy, repeat)`, so the runs are mutually
-/// independent and the fan-out is byte-identical to the serial loop.
-fn avg_text(
-    task: &TextTask,
-    strategy: Strategy,
-    lhs: Option<&LhsSelector>,
-    config: &PoolConfig,
-    scale: &Scale,
-    experiment: &str,
-) -> RunResult {
-    avg_text_journaled(task, strategy, lhs, config, scale, experiment, None)
-}
-
-/// Journal-aware [`avg_text`]: each repeat is one journal cell keyed
-/// `{experiment}/{dataset}/{strategy}/r{repeat}`. With `journal = None`
-/// this is exactly the plain fan-out.
-fn avg_text_journaled(
-    task: &TextTask,
-    strategy: Strategy,
-    lhs: Option<&LhsSelector>,
-    config: &PoolConfig,
-    scale: &Scale,
-    experiment: &str,
-    journal: Option<&JournalCtx>,
-) -> RunResult {
-    let name = strategy.name();
-    let hash = cell_hash(
-        experiment,
-        &task.name,
-        &strategy,
-        config,
-        scale,
-        lhs.is_some(),
-    );
-    let runs: Vec<RunResult> = rayon::run_indexed(scale.repeats, |r| {
-        let seed = seed_for(experiment, &task.name, &name, r);
-        let cell = format!("{experiment}/{}/{name}/r{r}", task.name);
-        let _span = span!(
-            Level::Debug,
-            "harness.cell",
-            cell = cell.clone(),
-            seed = seed
-        );
-        run_cell_opt(journal, &cell, hash, seed, |j| {
-            task.run_journaled(strategy.clone(), lhs.cloned(), config, seed, j)
-        })
-    });
-    average_curves(&runs)
-}
-
-fn avg_ner(
-    task: &NerTask,
-    strategy: Strategy,
-    config: &PoolConfig,
-    scale: &Scale,
-    experiment: &str,
-) -> RunResult {
-    avg_ner_journaled(task, strategy, config, scale, experiment, None)
-}
-
-/// Journal-aware [`avg_ner`]; see [`avg_text_journaled`].
-fn avg_ner_journaled(
-    task: &NerTask,
-    strategy: Strategy,
-    config: &PoolConfig,
-    scale: &Scale,
-    experiment: &str,
-    journal: Option<&JournalCtx>,
-) -> RunResult {
-    let name = strategy.name();
-    let hash = cell_hash(experiment, &task.name, &strategy, config, scale, false);
-    let runs: Vec<RunResult> = rayon::run_indexed(scale.repeats, |r| {
-        let seed = seed_for(experiment, &task.name, &name, r);
-        let cell = format!("{experiment}/{}/{name}/r{r}", task.name);
-        let _span = span!(
-            Level::Debug,
-            "harness.cell",
-            cell = cell.clone(),
-            seed = seed
-        );
-        run_cell_opt(journal, &cell, hash, seed, |j| {
-            task.run_journaled(strategy.clone(), config, seed, j)
-        })
-    });
-    average_curves(&runs)
-}
-
-/// Train the LHS selector on the Subj-analogue dataset for a given base
-/// strategy — §4.4's protocol: "train a ranker on an applicable labeled
-/// dataset and apply it on other unlabeled datasets of the same task".
-pub fn train_lhs_on_subj(
-    base: BaseStrategy,
-    features: LhsFeatureConfig,
-    predictor: PredictorKind,
-    ranker: RankerKind,
-    scale: &Scale,
-) -> LhsSelector {
-    let subj = TextTask::build(&TextSpec::subj(), scale, 0x53_42);
-    let config = LhsTrainerConfig {
-        base,
-        rounds: 8,
-        candidates_per_round: 24,
-        init_labeled: 25,
-        add_per_round: 5,
-        level_interval: 0.0,
-        features,
-        predictor,
-        ranker,
-        selector_candidate_pool: 75,
-    };
-    train_lhs(
-        &subj.model(0),
-        &subj.pool_docs,
-        &subj.pool_labels,
-        &subj.test_docs,
-        &subj.test_labels,
-        &config,
-        seed_for("lhs-train", "subj", base.name(), 0),
-    )
-    .expect("LHS training on Subj")
-}
-
-fn default_lhs(base: BaseStrategy, scale: &Scale) -> LhsSelector {
-    train_lhs_on_subj(
-        base,
-        LhsFeatureConfig {
-            window: WINDOW,
-            ..Default::default()
-        },
-        PredictorKind::default(),
-        RankerKind::LambdaMart(LambdaMartConfig::default()),
-        scale,
-    )
+/// A label-less [`GroupSpec`] from plain strategy tokens.
+fn group(tokens: &[&str]) -> GroupSpec {
+    GroupSpec {
+        label: String::new(),
+        strategies: tokens.iter().map(|t| StrategyEntry::new(*t)).collect(),
+    }
 }
 
 /// Extension experiment: model-agnosticism. The paper claims its
@@ -271,65 +79,27 @@ fn default_lhs(base: BaseStrategy, scale: &Scale) -> LhsSelector {
 /// discriminative classifier for multinomial Naive Bayes (a one-pass
 /// generative model with very different score dynamics) and reruns the
 /// entropy family.
-pub fn agnostic(scale: &Scale) {
-    use histal_core::analysis::area_under_curve;
-    use histal_core::driver::ActiveLearner;
-    use histal_models::{NaiveBayes, NaiveBayesConfig, TextClassifier};
-
-    let task = TextTask::build(&TextSpec::mr(), scale, 0xA6);
-    let config = text_pool_config(false, scale);
-    let strategies = [
-        Strategy::new(BaseStrategy::Entropy),
-        wshs(BaseStrategy::Entropy),
-        fhs(BaseStrategy::Entropy),
-    ];
+pub fn agnostic(scale: &Scale) -> Result<(), Error> {
     let mut rows = Vec::new();
-    enum ModelKind {
-        LogReg,
-        Nb,
-    }
-    for (model_name, kind) in [
-        ("logistic (TextCNN proxy)", ModelKind::LogReg),
-        ("naive bayes", ModelKind::Nb),
+    for (model_name, model, experiment) in [
+        ("logistic (TextCNN proxy)", None, "agnostic-logreg"),
+        ("naive bayes", Some("nb"), "agnostic-nb"),
     ] {
-        for strategy in &strategies {
-            let mut aucs = 0.0;
-            for r in 0..scale.repeats {
-                let seed = seed_for("agnostic", model_name, &strategy.name(), r);
-                let result = match kind {
-                    ModelKind::LogReg => {
-                        let model: TextClassifier = task.model(0);
-                        let mut learner = ActiveLearner::builder(model)
-                            .pool(task.pool_docs.clone(), task.pool_labels.clone())
-                            .test(task.test_docs.clone(), task.test_labels.clone())
-                            .strategy(strategy.clone())
-                            .config(config.clone())
-                            .seed(seed)
-                            .build();
-                        learner.run().expect("entropy family")
-                    }
-                    ModelKind::Nb => {
-                        let model = NaiveBayes::new(NaiveBayesConfig {
-                            n_classes: task.n_classes,
-                            n_features: crate::tasks::TEXT_FEATURES,
-                            ..Default::default()
-                        });
-                        let mut learner = ActiveLearner::builder(model)
-                            .pool(task.pool_docs.clone(), task.pool_labels.clone())
-                            .test(task.test_docs.clone(), task.test_labels.clone())
-                            .strategy(strategy.clone())
-                            .config(config.clone())
-                            .seed(seed)
-                            .build();
-                        learner.run().expect("entropy family")
-                    }
-                };
-                aucs += area_under_curve(&result);
-            }
+        let spec = ExperimentSpec {
+            name: experiment.into(),
+            experiment: experiment.into(),
+            split_seed: 0xA6,
+            model: model.map(String::from),
+            datasets: vec![DatasetEntry::new("mr")],
+            groups: vec![group(&["entropy", "WSHS(entropy)", "FHS(entropy)"])],
+            ..Default::default()
+        };
+        let outcome = GridExecutor::new(&spec, scale).execute()?;
+        for cell in outcome.blocks.iter().flat_map(|b| &b.cells) {
             rows.push(vec![
                 model_name.to_string(),
-                strategy.name(),
-                format!("{:.4}", aucs / scale.repeats as f64),
+                cell.name.clone(),
+                format!("{:.4}", mean_auc(cell)),
             ]);
         }
     }
@@ -339,103 +109,74 @@ pub fn agnostic(scale: &Scale) {
         &rows,
     );
     write_json("agnostic", &rows);
+    Ok(())
 }
 
 /// Extension experiment: robustness to annotation noise. Corrupts a
 /// fraction of the oracle labels on the MR analogue and compares how the
 /// base and history-aware strategies degrade.
-pub fn noise(scale: &Scale) {
-    let config = text_pool_config(false, scale);
-    let mut rows = Vec::new();
-    for &rate in &[0.0, 0.1, 0.2] {
-        let mut task = TextTask::build(&TextSpec::mr(), scale, 0xA0);
-        if rate > 0.0 {
-            histal_data::corrupt_labels(&mut task.pool_labels, task.n_classes, rate, 0xA1);
-        }
-        for strategy in [
-            Strategy::new(BaseStrategy::Entropy),
-            wshs(BaseStrategy::Entropy),
-            fhs(BaseStrategy::Entropy),
-        ] {
-            let r = avg_text(&task, strategy, None, &config, scale, "noise");
-            rows.push(vec![
-                format!("{:.0}%", rate * 100.0),
-                r.strategy_name.clone(),
-                fmt_metric(r.final_metric()),
-            ]);
-        }
-    }
-    print_table(
-        "Extension — final accuracy under label noise (MR analogue)",
-        &["Noise", "Strategy", "Final accuracy"],
-        &rows,
-    );
-    write_json("noise", &rows);
+pub fn noise(scale: &Scale) -> Result<(), Error> {
+    let dataset = |token: &str, rename: &str| DatasetEntry {
+        dataset: token.into(),
+        rename: Some(rename.into()),
+    };
+    let spec = ExperimentSpec {
+        name: "noise".into(),
+        experiment: "noise".into(),
+        split_seed: 0xA0,
+        datasets: vec![
+            dataset("mr", "0%"),
+            dataset("mr?noise=0.1", "10%"),
+            dataset("mr?noise=0.2", "20%"),
+        ],
+        groups: vec![group(&["entropy", "WSHS(entropy)", "FHS(entropy)"])],
+        title: "Extension — final accuracy under label noise (MR analogue)".into(),
+        metrics: vec!["final".into()],
+        dataset_column: Some("Noise".into()),
+        report: ReportKind::Metrics,
+        ..Default::default()
+    };
+    run_spec(&spec, scale, None)?;
+    Ok(())
 }
 
-/// Parse a strategy spec of the form `base` or `wrapper(base)`, e.g.
-/// `entropy`, `WSHS(LC)`, `FHS(entropy)`, `HUS(EGL)`, `random`.
-pub fn parse_strategy(spec: &str) -> Option<Strategy> {
-    let spec = spec.trim();
-    let (wrapper, base_name) = match spec.split_once('(') {
-        Some((w, rest)) => (Some(w.trim()), rest.trim_end_matches(')').trim()),
-        None => (None, spec),
-    };
-    let base = match base_name.to_ascii_lowercase().as_str() {
-        "random" => BaseStrategy::Random,
-        "entropy" => BaseStrategy::Entropy,
-        "lc" | "least-confidence" | "leastconfidence" => BaseStrategy::LeastConfidence,
-        "margin" => BaseStrategy::Margin,
-        "egl" => BaseStrategy::Egl,
-        "egl-word" | "eglword" => BaseStrategy::EglWord,
-        "bald" => BaseStrategy::Bald,
-        "mnlp" => BaseStrategy::Mnlp,
-        "qbc" => BaseStrategy::QbcKl,
-        _ => return None,
-    };
-    match wrapper.map(str::to_ascii_lowercase).as_deref() {
-        None => Some(Strategy::new(base)),
-        Some("hus") => Some(hus(base)),
-        Some("wshs") => Some(wshs(base)),
-        Some("fhs") => Some(fhs(base)),
-        _ => None,
-    }
-}
-
-/// Head-to-head comparison of two strategy specs on the MR analogue:
+/// Head-to-head comparison of two strategy tokens on the MR analogue:
 /// averaged curves, ALC, and a Wilcoxon significance verdict — the
-/// harness's user-facing utility command.
-pub fn compare(scale: &Scale, spec_a: &str, spec_b: &str) {
-    use histal_core::analysis::area_under_curve;
+/// harness's user-facing utility command. Tokens go through the full
+/// registry grammar, so wrapper parameters, `LHS(...)` (trained on the
+/// fly) and diversity suffixes all work here.
+pub fn compare(scale: &Scale, token_a: &str, token_b: &str) -> Result<(), Error> {
     use histal_core::stats::wilcoxon_signed_rank;
 
-    let (Some(a), Some(b)) = (parse_strategy(spec_a), parse_strategy(spec_b)) else {
-        eprintln!(
-            "cannot parse strategy specs {spec_a:?} / {spec_b:?}              (expected e.g. entropy, WSHS(LC), FHS(EGL))"
-        );
-        std::process::exit(2);
-    };
+    let a = registry::parse_strategy(token_a)?;
+    let b = registry::parse_strategy(token_b)?;
     let task = TextTask::build(&TextSpec::mr(), scale, 0xC0);
     let config = text_pool_config(false, scale);
-    let collect = |strategy: &Strategy| -> (RunResult, Vec<f64>) {
+    let collect = |r: &ResolvedStrategy| -> Result<(RunResult, Vec<f64>), Error> {
+        let selector = match &r.lhs {
+            Some(plan) => Some(train_lhs_plan(plan, scale)?),
+            None => None,
+        };
         let runs: Vec<RunResult> = (0..scale.repeats.max(3))
-            .map(|r| {
+            .map(|rep| {
                 task.run(
-                    strategy.clone(),
-                    None,
+                    r.strategy.clone(),
+                    selector.clone(),
                     &config,
-                    seed_for("cmp", &task.name, &strategy.name(), r),
+                    seed_for("cmp", &task.name, &r.strategy.name(), rep),
                 )
             })
             .collect();
         let points = runs
             .iter()
-            .flat_map(|r| r.curve.iter().map(|p| p.metric))
+            .flat_map(|run| run.curve.iter().map(|p| p.metric))
             .collect();
-        (average_curves(&runs), points)
+        let mut avg = average_curves(&runs);
+        avg.strategy_name = r.display_name();
+        Ok((avg, points))
     };
-    let (run_a, pts_a) = collect(&a);
-    let (run_b, pts_b) = collect(&b);
+    let (run_a, pts_a) = collect(&a)?;
+    let (run_b, pts_b) = collect(&b)?;
     print_curves(
         &format!(
             "Compare — {} vs {}",
@@ -468,35 +209,38 @@ pub fn compare(scale: &Scale, spec_a: &str, spec_b: &str) {
         },
     ]);
     print_table("Verdict", &["Strategy", "ALC", "Final accuracy"], &rows);
+    Ok(())
 }
 
 /// Extension experiment: batch-size sensitivity. The paper fixes batch
 /// 25 (MR/SST-2) and 100 (TREC); this sweeps the batch size at a fixed
 /// 500-label budget to show where batch-mode selection starts costing
 /// accuracy (larger batches select more redundantly per round).
-pub fn sweep_batch(scale: &Scale) {
-    use histal_core::analysis::area_under_curve;
-    let task = TextTask::build(&TextSpec::mr(), scale, 0x5B);
+pub fn sweep_batch(scale: &Scale) -> Result<(), Error> {
     let budget = 500;
     let mut rows = Vec::new();
     for &batch in &[10usize, 25, 50, 100] {
-        let config = PoolConfig {
-            batch_size: batch,
-            rounds: (budget / batch).saturating_sub(1).max(1),
-            init_labeled: batch,
-            history_max_len: None,
-            record_history: false,
+        let spec = ExperimentSpec {
+            name: format!("sweep_{batch}"),
+            experiment: "sweep".into(),
+            split_seed: 0x5B,
+            datasets: vec![DatasetEntry::new("mr")],
+            groups: vec![group(&["entropy", "FHS(entropy)"])],
+            pool: Some(PoolSpec {
+                batch_size: Some(batch),
+                rounds: Some((budget / batch).saturating_sub(1).max(1)),
+                init_labeled: Some(batch),
+                ..Default::default()
+            }),
+            ..Default::default()
         };
-        for strategy in [
-            Strategy::new(BaseStrategy::Entropy),
-            fhs(BaseStrategy::Entropy),
-        ] {
-            let r = avg_text(&task, strategy, None, &config, scale, "sweep");
+        let outcome = GridExecutor::new(&spec, scale).execute()?;
+        for cell in outcome.blocks.iter().flat_map(|b| &b.cells) {
             rows.push(vec![
                 batch.to_string(),
-                r.strategy_name.clone(),
-                format!("{:.4}", area_under_curve(&r)),
-                fmt_metric(r.final_metric()),
+                cell.name.clone(),
+                format!("{:.4}", area_under_curve(&cell.avg)),
+                fmt_metric(cell.avg.final_metric()),
             ]);
         }
     }
@@ -506,41 +250,41 @@ pub fn sweep_batch(scale: &Scale) {
         &rows,
     );
     write_json("sweep_batch", &rows);
+    Ok(())
 }
 
 /// Extension experiment: class imbalance. Regenerates the MR analogue
 /// with 80/20 class priors and compares the strategy family — imbalance
 /// starves the minority class of labels, a classic AL stressor.
-pub fn imbalance(scale: &Scale) {
-    let config = text_pool_config(false, scale);
-    let mut rows = Vec::new();
-    for (name, priors) in [("balanced", None), ("80/20", Some(vec![0.8, 0.2]))] {
-        let mut spec = TextSpec::mr();
-        if let Some(p) = priors {
-            spec = spec.with_class_priors(p);
-        }
-        let task = TextTask::build(&spec, scale, 0x1B);
-        for strategy in [
-            Strategy::new(BaseStrategy::Random),
-            Strategy::new(BaseStrategy::Entropy),
-            wshs(BaseStrategy::Entropy),
-            fhs(BaseStrategy::Entropy),
-        ] {
-            let r = avg_text(&task, strategy, None, &config, scale, "imb");
-            rows.push(vec![
-                name.to_string(),
-                r.strategy_name.clone(),
-                format!("{:.4}", histal_core::analysis::area_under_curve(&r)),
-                fmt_metric(r.final_metric()),
-            ]);
-        }
-    }
-    print_table(
-        "Extension — class imbalance (MR analogue, 80/20 priors)",
-        &["Priors", "Strategy", "ALC", "Final accuracy"],
-        &rows,
-    );
-    write_json("imbalance", &rows);
+pub fn imbalance(scale: &Scale) -> Result<(), Error> {
+    let spec = ExperimentSpec {
+        name: "imbalance".into(),
+        experiment: "imb".into(),
+        split_seed: 0x1B,
+        datasets: vec![
+            DatasetEntry {
+                dataset: "mr".into(),
+                rename: Some("balanced".into()),
+            },
+            DatasetEntry {
+                dataset: "mr?priors=0.8/0.2".into(),
+                rename: Some("80/20".into()),
+            },
+        ],
+        groups: vec![group(&[
+            "random",
+            "entropy",
+            "WSHS(entropy)",
+            "FHS(entropy)",
+        ])],
+        title: "Extension — class imbalance (MR analogue, 80/20 priors)".into(),
+        metrics: vec!["alc".into(), "final".into()],
+        dataset_column: Some("Priors".into()),
+        report: ReportKind::Metrics,
+        ..Default::default()
+    };
+    run_spec(&spec, scale, None)?;
+    Ok(())
 }
 
 /// Extension experiment: statistical significance of the history-aware
@@ -606,154 +350,20 @@ pub fn significance(scale: &Scale) {
 /// real per-sample sequences, classify each by Mann–Kendall trend and
 /// fluctuation, and report the census plus one exemplar per shape —
 /// demonstrating that all four motivating patterns occur in practice.
-pub fn fig2(scale: &Scale) {
-    use histal_tseries::{mann_kendall, variance, Trend};
-
-    let task = TextTask::build(&TextSpec::mr(), scale, 0xF2A);
-    let mut config = text_pool_config(false, scale);
-    config.record_history = true;
-    let run = task.run(
-        Strategy::new(BaseStrategy::Entropy),
-        None,
-        &config,
-        seed_for("fig2", &task.name, "entropy", 0),
-    );
-    let seqs = run.history;
-    // Census over samples that survived all rounds unlabeled.
-    let full_len = config.rounds;
-    let mut counts = [0usize; 4]; // stable, increasing, decreasing, fluctuating
-    let mut exemplar: [Option<Vec<f64>>; 4] = [None, None, None, None];
-    let mut vars: Vec<f64> = seqs
-        .iter()
-        .filter(|s| s.len() == full_len)
-        .map(|s| variance(s))
-        .collect();
-    vars.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let var_hi = vars.get(vars.len() * 3 / 4).copied().unwrap_or(0.0);
-    for s in seqs.iter().filter(|s| s.len() == full_len) {
-        let mk = mann_kendall(s);
-        let class = match mk.trend() {
-            Trend::Increasing => 1,
-            Trend::Decreasing => 2,
-            Trend::NoTrend => {
-                if variance(s) > var_hi {
-                    3
-                } else {
-                    0
-                }
-            }
-        };
-        counts[class] += 1;
-        if exemplar[class].is_none() {
-            exemplar[class] = Some(s.clone());
-        }
-    }
-    let names = [
-        "(a) stable",
-        "(b) increasing",
-        "(c) decreasing",
-        "(d) fluctuating",
-    ];
-    let total: usize = counts.iter().sum();
-    let mut rows = Vec::new();
-    for (i, name) in names.iter().enumerate() {
-        let example = exemplar[i]
-            .as_ref()
-            .map(|s| {
-                s.iter()
-                    .rev()
-                    .take(5)
-                    .rev()
-                    .map(|v| format!("{v:.2}"))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            })
-            .unwrap_or_default();
-        rows.push(vec![
-            name.to_string(),
-            counts[i].to_string(),
-            format!("{:.1}%", 100.0 * counts[i] as f64 / total.max(1) as f64),
-            example,
-        ]);
-    }
-    print_table(
-        "Figure 2 — trend census of real historical sequences (MR, entropy)",
-        &["Shape", "#samples", "share", "example (last 5 scores)"],
-        &rows,
-    );
-    write_json("fig2", &rows);
+pub fn fig2(scale: &Scale) -> Result<(), Error> {
+    let spec = embedded_spec(include_str!("../../../specs/fig2.json"))?;
+    run_spec(&spec, scale, None)?;
+    Ok(())
 }
 
 /// Table 2 (measured): per-round wall-clock breakdown of basic vs
 /// history-aware strategies on the MR analogue. The paper's claim is
 /// that the history strategies add `O(1)` time on top of the `O(T)`
 /// evaluation pass; here the `select` column is that overhead, measured.
-pub fn table2(scale: &Scale) {
-    let task = TextTask::build(&TextSpec::mr(), scale, 0xF2);
-    let config = text_pool_config(false, scale);
-    let selector = default_lhs(BaseStrategy::Entropy, scale);
-    let mut rows = Vec::new();
-    let mut push = |name: &str, result: RunResult| {
-        let n = result.rounds.len().max(1) as f64;
-        let fit: f64 = result.rounds.iter().map(|r| r.fit_ms).sum::<f64>() / n;
-        let eval: f64 = result.rounds.iter().map(|r| r.eval_ms).sum::<f64>() / n;
-        let score: f64 = result.rounds.iter().map(|r| r.score_ms).sum::<f64>() / n;
-        let select: f64 = result.rounds.iter().map(|r| r.select_ms).sum::<f64>() / n;
-        rows.push(vec![
-            name.to_string(),
-            format!("{fit:.2}"),
-            format!("{eval:.2}"),
-            format!("{score:.3}"),
-            format!("{select:.3}"),
-        ]);
-    };
-    let seed = seed_for("t2", &task.name, "timing", 0);
-    push(
-        "entropy (basic)",
-        task.run(Strategy::new(BaseStrategy::Entropy), None, &config, seed),
-    );
-    push(
-        "HUS(entropy)",
-        task.run(hus(BaseStrategy::Entropy), None, &config, seed),
-    );
-    push(
-        "WSHS(entropy)",
-        task.run(wshs(BaseStrategy::Entropy), None, &config, seed),
-    );
-    push(
-        "FHS(entropy)",
-        task.run(fhs(BaseStrategy::Entropy), None, &config, seed),
-    );
-    push(
-        "LHS(entropy)",
-        task.run(
-            Strategy::new(BaseStrategy::Entropy),
-            Some(selector),
-            &config,
-            seed,
-        ),
-    );
-    push(
-        "HKLD(k=3)",
-        task.run(
-            Strategy::new(BaseStrategy::Entropy).with_hkld(3),
-            None,
-            &config,
-            seed,
-        ),
-    );
-    print_table(
-        "Table 2 (measured) — mean per-round cost in ms (MR analogue)",
-        &[
-            "Strategy",
-            "train (ms)",
-            "evaluate pool O(T) (ms)",
-            "history fold (ms)",
-            "select (ms)",
-        ],
-        &rows,
-    );
-    write_json("table2", &rows);
+pub fn table2(scale: &Scale) -> Result<(), Error> {
+    let spec = embedded_spec(include_str!("../../../specs/table2.json"))?;
+    run_spec(&spec, scale, None)?;
+    Ok(())
 }
 
 /// Diagnostic (not a paper artifact): fully-supervised test accuracy of
@@ -849,185 +459,51 @@ pub fn table4() {
 }
 
 // ---------------------------------------------------------------------
-// E3: Figure 3 (text) — general strategies
+// E3 / E4: Figure 3 — general strategies
 // ---------------------------------------------------------------------
-
-/// One cell of the (dataset × strategy) grid the harness fans out.
-struct TextCell {
-    /// Index into the prepared task list.
-    task: usize,
-    /// Base strategy this cell belongs to (for grouping/printing).
-    base: usize,
-    strategy: Strategy,
-    /// Index into the trained LHS selectors, if this is an LHS cell.
-    lhs: Option<usize>,
-    experiment: &'static str,
-}
 
 /// Figure 3, rows 1–3: {entropy, LC, EGL} × {base, HUS, WSHS, FHS, LHS}
 /// on MR, SST-2 and TREC (LHS only on the binary datasets, as in §5.4).
 ///
-/// The full (dataset × strategy × seed) grid is flattened into cells and
-/// fanned out across the rayon pool; every cell's seed derives from
-/// `(experiment, dataset, strategy, repeat)`, so results are collected
-/// back in grid order and are byte-identical at any thread count.
-///
 /// With `journal = Some(..)` every (cell, repeat) checkpoint lands in
 /// the journal and previously completed cells are replayed instead of
 /// re-run (`histal-experiments resume`).
-pub fn fig3_text(scale: &Scale, journal: Option<&JournalCtx>) -> Vec<(String, Vec<RunResult>)> {
-    let _span = span!(Level::Info, "harness.experiment", name = "fig3_text");
-    let bases = [
-        BaseStrategy::Entropy,
-        BaseStrategy::LeastConfidence,
-        BaseStrategy::Egl,
-    ];
-    // LHS rankers are trained once per base strategy on Subj.
-    let selectors: Vec<LhsSelector> = bases.iter().map(|&b| default_lhs(b, scale)).collect();
-    let tasks: Vec<(TextTask, PoolConfig, bool)> =
-        [TextSpec::mr(), TextSpec::sst2(), TextSpec::trec()]
-            .iter()
-            .map(|spec| {
-                let trec_like = spec.n_classes > 2;
-                (
-                    TextTask::build(spec, scale, 0xF3),
-                    text_pool_config(trec_like, scale),
-                    trec_like,
-                )
-            })
-            .collect();
-    let mut cells: Vec<TextCell> = Vec::new();
-    for (ti, (_, _, trec_like)) in tasks.iter().enumerate() {
-        for (bi, &base) in bases.iter().enumerate() {
-            for strategy in [Strategy::new(base), hus(base), wshs(base), fhs(base)] {
-                cells.push(TextCell {
-                    task: ti,
-                    base: bi,
-                    strategy,
-                    lhs: None,
-                    experiment: "fig3",
-                });
-            }
-            if !trec_like {
-                cells.push(TextCell {
-                    task: ti,
-                    base: bi,
-                    strategy: Strategy::new(base),
-                    lhs: Some(bi),
-                    experiment: "fig3-lhs",
-                });
-            }
-        }
-    }
-    let results: Vec<RunResult> = rayon::run_indexed(cells.len(), |c| {
-        let cell = &cells[c];
-        let (task, config, _) = &tasks[cell.task];
-        let mut r = avg_text_journaled(
-            task,
-            cell.strategy.clone(),
-            cell.lhs.map(|i| &selectors[i]),
-            config,
-            scale,
-            cell.experiment,
-            journal,
-        );
-        if cell.lhs.is_some() {
-            r.strategy_name = format!("LHS({})", bases[cell.base].name());
-        }
-        r
-    });
-    // Regroup the flat results per (dataset, base) and print in grid
-    // order — output is identical to the former serial nested loops.
-    let mut all = Vec::new();
-    for ((ti, bi), group) in cells.iter().zip(results).fold(
-        Vec::<((usize, usize), Vec<RunResult>)>::new(),
-        |mut acc, (cell, r)| {
-            let key = (cell.task, cell.base);
-            match acc.last_mut() {
-                Some((k, g)) if *k == key => g.push(r),
-                _ => acc.push((key, vec![r])),
-            }
-            acc
-        },
-    ) {
-        let task = &tasks[ti].0;
-        let base = bases[bi];
-        print_curves(
-            &format!("Figure 3 — {} / base {}", task.name, base.name()),
-            &group,
-        );
-        all.push((format!("{}:{}", task.name, base.name()), group));
-    }
-    let json: Vec<_> = all
+pub fn fig3_text(
+    scale: &Scale,
+    journal: Option<&JournalCtx>,
+) -> Result<Vec<(String, Vec<RunResult>)>, Error> {
+    let spec = embedded_spec(include_str!("../../../specs/fig3_text.json"))?;
+    let outcome = run_spec(&spec, scale, journal)?;
+    Ok(outcome
+        .blocks
         .iter()
-        .map(|(k, rs)| {
+        .map(|b| {
             (
-                k.clone(),
-                rs.iter()
-                    .map(|r| (r.strategy_name.clone(), r.curve.clone()))
-                    .collect::<Vec<_>>(),
+                format!("{}:{}", b.dataset, b.label),
+                b.cells.iter().map(|c| c.avg.clone()).collect(),
             )
         })
-        .collect();
-    write_json("fig3_text", &json);
-    all
+        .collect())
 }
 
-// ---------------------------------------------------------------------
-// E4: Figure 3 (NER)
-// ---------------------------------------------------------------------
-
 /// Figure 3, row 4: {random, LC, WSHS(LC), FHS(LC)} on the three NER
-/// datasets. Like [`fig3_text`], the (dataset × strategy) grid is
-/// flattened and fanned out across the pool in deterministic order, and
-/// `journal` checkpoints each (cell, repeat) for `resume`.
-pub fn fig3_ner(scale: &Scale, journal: Option<&JournalCtx>) -> Vec<(String, Vec<RunResult>)> {
-    let _span = span!(Level::Info, "harness.experiment", name = "fig3_ner");
-    let tasks: Vec<NerTask> = [
-        NerSpec::conll2003_english(),
-        NerSpec::conll2002_spanish(),
-        NerSpec::conll2002_dutch(),
-    ]
-    .iter()
-    .map(|spec| NerTask::build(spec, scale))
-    .collect();
-    let config = ner_pool_config(scale);
-    let strategies = [
-        Strategy::new(BaseStrategy::Random),
-        Strategy::new(BaseStrategy::LeastConfidence),
-        wshs(BaseStrategy::LeastConfidence),
-        fhs(BaseStrategy::LeastConfidence),
-    ];
-    let per_task = strategies.len();
-    let flat: Vec<RunResult> = rayon::run_indexed(tasks.len() * per_task, |c| {
-        avg_ner_journaled(
-            &tasks[c / per_task],
-            strategies[c % per_task].clone(),
-            &config,
-            scale,
-            "fig3n",
-            journal,
-        )
-    });
-    let mut all = Vec::new();
-    for (task, group) in tasks.iter().zip(flat.chunks(per_task)) {
-        let results = group.to_vec();
-        print_curves(&format!("Figure 3 — NER / {}", task.name), &results);
-        all.push((task.name.clone(), results));
-    }
-    let json: Vec<_> = all
+/// datasets; `journal` checkpoints each (cell, repeat) for `resume`.
+pub fn fig3_ner(
+    scale: &Scale,
+    journal: Option<&JournalCtx>,
+) -> Result<Vec<(String, Vec<RunResult>)>, Error> {
+    let spec = embedded_spec(include_str!("../../../specs/fig3_ner.json"))?;
+    let outcome = run_spec(&spec, scale, journal)?;
+    Ok(outcome
+        .blocks
         .iter()
-        .map(|(k, rs)| {
+        .map(|b| {
             (
-                k.clone(),
-                rs.iter()
-                    .map(|r| (r.strategy_name.clone(), r.curve.clone()))
-                    .collect::<Vec<_>>(),
+                b.dataset.clone(),
+                b.cells.iter().map(|c| c.avg.clone()).collect(),
             )
         })
-        .collect();
-    write_json("fig3_ner", &json);
-    all
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -1035,58 +511,36 @@ pub fn fig3_ner(scale: &Scale, journal: Option<&JournalCtx>) -> Vec<(String, Vec
 // ---------------------------------------------------------------------
 
 /// Table 5: labeled samples needed to reach each target accuracy on the
-/// MR analogue, for all fifteen strategy variants.
-pub fn table5(scale: &Scale, targets: &[f64]) {
-    let task = TextTask::build(&TextSpec::mr(), scale, 0xF3);
-    let config = text_pool_config(false, scale);
-    let budget = config.init_labeled + config.batch_size * config.rounds;
-    let bases = [
-        BaseStrategy::Entropy,
-        BaseStrategy::LeastConfidence,
-        BaseStrategy::Egl,
-    ];
-    let mut rows = Vec::new();
-    let mut push_row = |result: &RunResult| {
-        let mut row = vec![result.strategy_name.clone()];
-        for &t in targets {
-            row.push(format_cost(samples_to_target(result, t), budget));
-        }
-        rows.push(row);
-    };
-    let random = avg_text(
-        &task,
-        Strategy::new(BaseStrategy::Random),
-        None,
-        &config,
-        scale,
-        "t5",
-    );
-    push_row(&random);
-    for base in bases {
-        let selector = default_lhs(base, scale);
-        for strategy in [Strategy::new(base), hus(base), wshs(base), fhs(base)] {
-            push_row(&avg_text(&task, strategy, None, &config, scale, "t5"));
-        }
-        let mut lhs_run = avg_text(
-            &task,
-            Strategy::new(base),
-            Some(&selector),
-            &config,
-            scale,
-            "t5-lhs",
-        );
-        lhs_run.strategy_name = format!("LHS({})", base.name());
-        push_row(&lhs_run);
+/// MR analogue, for all fifteen strategy variants. The target columns
+/// come from `--targets`, so this grid is assembled in code rather than
+/// loaded from a checked-in file.
+pub fn table5(scale: &Scale, targets: &[f64]) -> Result<(), Error> {
+    let mut strategies = vec![StrategyEntry::new("random")];
+    for base in ["entropy", "LC", "EGL"] {
+        strategies.push(StrategyEntry::new(base));
+        strategies.push(StrategyEntry::new(format!("HUS({base})")));
+        strategies.push(StrategyEntry::new(format!("WSHS({base})")));
+        strategies.push(StrategyEntry::new(format!("FHS({base})")));
+        let mut lhs = StrategyEntry::new(format!("LHS({base})"));
+        lhs.experiment = Some("t5-lhs".into());
+        strategies.push(lhs);
     }
-    let mut header: Vec<String> = vec!["Strategy".into()];
-    header.extend(targets.iter().map(|t| format!("acc ≥ {t}")));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    print_table(
-        "Table 5 — annotated samples required (MR analogue)",
-        &header_refs,
-        &rows,
-    );
-    write_json("table5", &rows);
+    let spec = ExperimentSpec {
+        name: "table5".into(),
+        experiment: "t5".into(),
+        split_seed: 0xF3,
+        datasets: vec![DatasetEntry::new("mr")],
+        groups: vec![GroupSpec {
+            label: String::new(),
+            strategies,
+        }],
+        title: "Table 5 — annotated samples required (MR analogue)".into(),
+        metrics: targets.iter().map(|t| format!("target:{t}")).collect(),
+        report: ReportKind::Metrics,
+        ..Default::default()
+    };
+    run_spec(&spec, scale, None)?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -1094,99 +548,52 @@ pub fn table5(scale: &Scale, targets: &[f64]) {
 // ---------------------------------------------------------------------
 
 /// Figure 4: history wrappers on the SOTA strategies — BALD and EGL-word
-/// for text; BALD and MNLP for NER.
-pub fn fig4(scale: &Scale) {
+/// for text; BALD and MNLP for NER. Two specs (one per task kind) whose
+/// grouped payloads merge into the single historical `results/fig4.json`.
+pub fn fig4(scale: &Scale) -> Result<(), Error> {
+    let text = ExperimentSpec {
+        name: "fig4".into(),
+        experiment: "fig4".into(),
+        split_seed: 0xF4,
+        datasets: vec![
+            DatasetEntry::new("mr"),
+            DatasetEntry::new("sst2"),
+            DatasetEntry::new("trec"),
+        ],
+        groups: vec![group(&[
+            "bald",
+            "WSHS(bald)",
+            "egl-word",
+            "WSHS(egl-word)",
+            "FHS(egl-word)",
+        ])],
+        title: "Figure 4 — text / {dataset}".into(),
+        json_key: Some("{dataset}".into()),
+        ..Default::default()
+    };
+    let ner = ExperimentSpec {
+        name: "fig4n".into(),
+        experiment: "fig4n".into(),
+        datasets: vec![
+            DatasetEntry::new("conll2003-en"),
+            DatasetEntry::new("conll2002-es"),
+            DatasetEntry::new("conll2002-nl"),
+        ],
+        groups: vec![group(&["bald", "WSHS(bald)", "mnlp", "WSHS(mnlp)"])],
+        title: "Figure 4 — NER / {dataset}".into(),
+        json_key: Some("{dataset}".into()),
+        ..Default::default()
+    };
     let mut json = Vec::new();
-    for spec in [TextSpec::mr(), TextSpec::sst2(), TextSpec::trec()] {
-        let trec_like = spec.n_classes > 2;
-        let task = TextTask::build(&spec, scale, 0xF4);
-        let config = text_pool_config(trec_like, scale);
-        let results = vec![
-            avg_text(
-                &task,
-                Strategy::new(BaseStrategy::Bald),
-                None,
-                &config,
-                scale,
-                "fig4",
-            ),
-            avg_text(
-                &task,
-                wshs(BaseStrategy::Bald),
-                None,
-                &config,
-                scale,
-                "fig4",
-            ),
-            avg_text(
-                &task,
-                Strategy::new(BaseStrategy::EglWord),
-                None,
-                &config,
-                scale,
-                "fig4",
-            ),
-            avg_text(
-                &task,
-                wshs(BaseStrategy::EglWord),
-                None,
-                &config,
-                scale,
-                "fig4",
-            ),
-            avg_text(
-                &task,
-                fhs(BaseStrategy::EglWord),
-                None,
-                &config,
-                scale,
-                "fig4",
-            ),
-        ];
-        print_curves(&format!("Figure 4 — text / {}", task.name), &results);
-        json.push((
-            task.name.clone(),
-            results
-                .iter()
-                .map(|r| (r.strategy_name.clone(), r.curve.clone()))
-                .collect::<Vec<_>>(),
-        ));
-    }
-    for spec in [
-        NerSpec::conll2003_english(),
-        NerSpec::conll2002_spanish(),
-        NerSpec::conll2002_dutch(),
-    ] {
-        let task = NerTask::build(&spec, scale);
-        let config = ner_pool_config(scale);
-        let results = vec![
-            avg_ner(
-                &task,
-                Strategy::new(BaseStrategy::Bald),
-                &config,
-                scale,
-                "fig4n",
-            ),
-            avg_ner(&task, wshs(BaseStrategy::Bald), &config, scale, "fig4n"),
-            avg_ner(
-                &task,
-                Strategy::new(BaseStrategy::Mnlp),
-                &config,
-                scale,
-                "fig4n",
-            ),
-            avg_ner(&task, wshs(BaseStrategy::Mnlp), &config, scale, "fig4n"),
-        ];
-        print_curves(&format!("Figure 4 — NER / {}", task.name), &results);
-        json.push((
-            task.name.clone(),
-            results
-                .iter()
-                .map(|r| (r.strategy_name.clone(), r.curve.clone()))
-                .collect::<Vec<_>>(),
-        ));
+    for spec in [text, ner] {
+        let outcome = GridExecutor::new(&spec, scale).execute()?;
+        // Curves + json_key always renders Grouped.
+        if let Rendered::Grouped(groups) = render_spec(&spec, &outcome)? {
+            json.extend(groups);
+        }
     }
     write_json("fig4", &json);
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -1196,37 +603,10 @@ pub fn fig4(scale: &Scale) {
 /// Figure 5: WSHS window size l ∈ {2, 3, 6} (left) and FHS fluctuation
 /// weight w_f ∈ {0.2, 0.4, 0.5} at l = 3 (right), on the MR analogue.
 /// `journal` checkpoints each (cell, repeat) for `resume`.
-pub fn fig5(scale: &Scale, journal: Option<&JournalCtx>) {
-    let _span = span!(Level::Info, "harness.experiment", name = "fig5");
-    let task = TextTask::build(&TextSpec::mr(), scale, 0xF5);
-    let config = text_pool_config(false, scale);
-    let mut window_results = Vec::new();
-    for l in [2usize, 3, 6] {
-        let strategy = Strategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l });
-        let mut r = avg_text_journaled(&task, strategy, None, &config, scale, "fig5", journal);
-        r.strategy_name = format!("WSHS l={l}");
-        window_results.push(r);
-    }
-    print_curves("Figure 5 (left) — WSHS window size", &window_results);
-
-    let mut weight_results = Vec::new();
-    for wf in [0.2f64, 0.4, 0.5] {
-        let strategy = Strategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Fhs {
-            l: 3,
-            w_score: 1.0 - wf,
-            w_fluct: wf,
-        });
-        let mut r = avg_text_journaled(&task, strategy, None, &config, scale, "fig5", journal);
-        r.strategy_name = format!("FHS wf={wf}");
-        weight_results.push(r);
-    }
-    print_curves("Figure 5 (right) — FHS fluctuation weight", &weight_results);
-    let json: Vec<_> = window_results
-        .iter()
-        .chain(&weight_results)
-        .map(|r| (r.strategy_name.clone(), r.curve.clone()))
-        .collect();
-    write_json("fig5", &json);
+pub fn fig5(scale: &Scale, journal: Option<&JournalCtx>) -> Result<(), Error> {
+    let spec = embedded_spec(include_str!("../../../specs/fig5.json"))?;
+    run_spec(&spec, scale, journal)?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -1235,49 +615,10 @@ pub fn fig5(scale: &Scale, journal: Option<&JournalCtx>) {
 
 /// Table 6: average WSHS score and history fluctuation of the samples
 /// selected by WSHS, FHS and LHS on the MR analogue.
-pub fn table6(scale: &Scale) {
-    let task = TextTask::build(&TextSpec::mr(), scale, 0xF6);
-    let config = text_pool_config(false, scale);
-    let selector = default_lhs(BaseStrategy::Entropy, scale);
-    let mut rows = Vec::new();
-    let mut push = |name: &str, runs: Vec<RunResult>| {
-        let n = runs.len() as f64;
-        let (mut w, mut f) = (0.0, 0.0);
-        for r in &runs {
-            let s = selection_stats(r);
-            w += s.mean_wshs;
-            f += s.mean_fluct;
-        }
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.4}", w / n),
-            format!("{:.6}", f / n),
-        ]);
-    };
-    let run_many = |strategy: Strategy, lhs: Option<&LhsSelector>| -> Vec<RunResult> {
-        (0..scale.repeats)
-            .map(|r| {
-                task.run(
-                    strategy.clone(),
-                    lhs.cloned(),
-                    &config,
-                    seed_for("t6", &task.name, &strategy.name(), r),
-                )
-            })
-            .collect()
-    };
-    push("WSHS", run_many(wshs(BaseStrategy::Entropy), None));
-    push("FHS", run_many(fhs(BaseStrategy::Entropy), None));
-    push(
-        "LHS",
-        run_many(Strategy::new(BaseStrategy::Entropy), Some(&selector)),
-    );
-    print_table(
-        "Table 6 — mean WSHS / fluctuation score of selected samples (MR analogue)",
-        &["Method", "WSHS score", "FHS (fluctuation) score"],
-        &rows,
-    );
-    write_json("table6", &rows);
+pub fn table6(scale: &Scale) -> Result<(), Error> {
+    let spec = embedded_spec(include_str!("../../../specs/table6.json"))?;
+    run_spec(&spec, scale, None)?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -1299,109 +640,43 @@ pub enum Table7Variant {
     Autocorr,
 }
 
-/// Table 7: accuracy on the MR analogue when each LHS feature group is
-/// removed in turn.
-pub fn table7(scale: &Scale, variant: Table7Variant) {
-    let task = TextTask::build(&TextSpec::mr(), scale, 0xF7);
-    let config = text_pool_config(false, scale);
-    let base = BaseStrategy::Entropy;
-    let full = LhsFeatureConfig {
-        window: WINDOW,
-        use_autocorr: matches!(variant, Table7Variant::Autocorr),
-        ..Default::default()
-    };
-    let ablations: Vec<(&str, LhsFeatureConfig)> = vec![
-        ("LHS", full),
-        (
-            "-history sequence",
-            LhsFeatureConfig {
-                use_history: false,
-                ..full
-            },
-        ),
-        (
-            "-fluctuation",
-            LhsFeatureConfig {
-                use_fluctuation: false,
-                ..full
-            },
-        ),
-        (
-            "-sequence trend",
-            LhsFeatureConfig {
-                use_trend: false,
-                ..full
-            },
-        ),
-        (
-            "-next prediction",
-            LhsFeatureConfig {
-                use_prediction: false,
-                ..full
-            },
-        ),
-        (
-            "-probability",
-            LhsFeatureConfig {
-                use_probs: false,
-                ..full
-            },
-        ),
-    ];
-    // Accuracy checkpoints: every 4th curve point.
-    let checkpoints: Vec<usize> = (1..=5)
-        .map(|k| config.init_labeled + config.batch_size * (k * config.rounds / 5))
-        .collect();
-    let mut rows = Vec::new();
-    for (name, features) in ablations {
-        let (predictor, ranker) = match variant {
-            Table7Variant::Paper => (
-                PredictorKind::default(),
-                RankerKind::LambdaMart(LambdaMartConfig::default()),
-            ),
-            Table7Variant::ArPredictor => (
-                PredictorKind::Ar { order: 3 },
-                RankerKind::LambdaMart(LambdaMartConfig::default()),
-            ),
-            Table7Variant::LinearRanker => (
-                PredictorKind::default(),
-                RankerKind::Linear(Default::default()),
-            ),
-            Table7Variant::Autocorr => (
-                PredictorKind::default(),
-                RankerKind::LambdaMart(LambdaMartConfig::default()),
-            ),
-        };
-        let selector = train_lhs_on_subj(base, features, predictor, ranker, scale);
-        let result = avg_text(
-            &task,
-            Strategy::new(base),
-            Some(&selector),
-            &config,
-            scale,
-            name,
-        );
-        let mut row = vec![name.to_string()];
-        for &cp in &checkpoints {
-            let metric = result
-                .curve
-                .iter()
-                .rfind(|p| p.n_labeled <= cp)
-                .map(|p| p.metric)
-                .unwrap_or(0.0);
-            row.push(format!("{metric:.4}"));
-        }
-        rows.push(row);
+/// Insert an extra `key=value` parameter into an `LHS...(base)` token,
+/// e.g. `LHS{history=false}(entropy)` + `predictor=ar:3` →
+/// `LHS{predictor=ar:3,history=false}(entropy)`.
+fn add_lhs_param(token: &str, param: &str) -> String {
+    match token.split_once('{') {
+        Some((head, rest)) => format!("{head}{{{param},{rest}"),
+        None => match token.split_once('(') {
+            Some((head, rest)) => format!("{head}{{{param}}}({rest}"),
+            None => token.to_string(),
+        },
     }
-    let mut header: Vec<String> = vec!["#Samples".into()];
-    header.extend(checkpoints.iter().map(|c| c.to_string()));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    print_table(
-        &format!("Table 7 — LHS ablation ({variant:?} variant, MR analogue)"),
-        &header_refs,
-        &rows,
-    );
-    write_json(&format!("table7_{variant:?}"), &rows);
+}
+
+/// Table 7: accuracy on the MR analogue when each LHS feature group is
+/// removed in turn. The non-`Paper` variants rewrite the checked-in
+/// spec's strategy tokens (an extra `predictor=`/`ranker=`/`autocorr=`
+/// parameter); seeds are untouched because they derive from the base
+/// strategy name, not the LHS plan.
+pub fn table7(scale: &Scale, variant: Table7Variant) -> Result<(), Error> {
+    let mut spec = embedded_spec(include_str!("../../../specs/table7.json"))?;
+    if variant != Table7Variant::Paper {
+        spec.name = format!("table7_{variant:?}");
+        spec.title = spec.title.replace("Paper", &format!("{variant:?}"));
+        let param = match variant {
+            Table7Variant::Paper => unreachable!("guarded above"),
+            Table7Variant::ArPredictor => "predictor=ar:3",
+            Table7Variant::LinearRanker => "ranker=linear",
+            Table7Variant::Autocorr => "autocorr=true",
+        };
+        for g in &mut spec.groups {
+            for entry in &mut g.strategies {
+                entry.strategy = add_lhs_param(&entry.strategy, param);
+            }
+        }
+    }
+    run_spec(&spec, scale, None)?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -1444,24 +719,18 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
-/// Time one cell: run all its repeats (fanned out like the real
-/// harness), take the cell's wall clock, and fold the per-round phase
-/// timings out of every repeat's round diagnostics.
-fn bench_cell(experiment: &str, dataset: &str, run: impl FnOnce() -> Vec<RunResult>) -> BenchCell {
-    let start = std::time::Instant::now();
-    let runs = run();
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+/// Fold one executed cell into a [`BenchCell`]: the cell's wall clock
+/// plus the per-round phase timings summed over every repeat.
+fn bench_cell(experiment: &str, dataset: &str, cell: &CellOutcome) -> BenchCell {
     let (mut fit_ms, mut eval_ms, mut score_ms, mut select_ms) = (0.0, 0.0, 0.0, 0.0);
-    for round in runs.iter().flat_map(|r| &r.rounds) {
+    for round in cell.runs.iter().flat_map(|r| &r.rounds) {
         fit_ms += round.fit_ms;
         eval_ms += round.eval_ms;
         score_ms += round.score_ms;
         select_ms += round.select_ms;
     }
-    let strategy = runs
-        .first()
-        .map(|r| r.strategy_name.clone())
-        .unwrap_or_default();
+    let strategy = cell.name.clone();
+    let wall_ms = cell.wall_ms;
     eprintln!(
         "  {experiment:>9} {dataset:<20} {strategy:<14} wall {wall_ms:>9.1} ms \
          (fit {fit_ms:.1} / eval {eval_ms:.1} / score {score_ms:.1} / select {select_ms:.1})"
@@ -1481,92 +750,78 @@ fn bench_cell(experiment: &str, dataset: &str, run: impl FnOnce() -> Vec<RunResu
 /// BENCH: time a representative slice of the experiment grid and write
 /// the perf trajectory to `BENCH_harness.json` at the repo root.
 ///
-/// Cells run **serially** so each cell's wall clock is unpolluted by its
-/// neighbours; the parallelism being measured is the intra-cell kind
-/// (repeat fan-out plus the chunked training kernels), which scales with
-/// `--threads`. Timings vary run to run, but the `RunResult` behind each
-/// cell is byte-identical at any thread count.
-pub fn bench(scale: &Scale) {
-    bench_impl(scale, false);
+/// Cells run **serially** (the executor's serial mode) so each cell's
+/// wall clock is unpolluted by its neighbours; the parallelism being
+/// measured is the intra-cell kind (repeat fan-out plus the chunked
+/// training kernels), which scales with `--threads`. Timings vary run to
+/// run, but the `RunResult` behind each cell is byte-identical at any
+/// thread count.
+pub fn bench(scale: &Scale) -> Result<(), Error> {
+    bench_impl(scale, false)
 }
 
 /// CI smoke mode (`bench --check`): run a reduced grid — MR text cells
 /// plus the diversity cell, no NER — validate the timing diagnostics,
 /// and never touch `BENCH_harness.json`.
-pub fn bench_check(scale: &Scale) {
-    bench_impl(scale, true);
+pub fn bench_check(scale: &Scale) -> Result<(), Error> {
+    bench_impl(scale, true)
 }
 
-fn bench_impl(scale: &Scale, check: bool) {
+fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
     let threads = rayon::current_num_threads();
     eprintln!("# BENCH: {threads} thread(s), scale {:.2}", scale.factor);
-    let mut cells = Vec::new();
 
-    let specs = if check {
-        vec![TextSpec::mr()]
+    let text_datasets = if check {
+        vec![DatasetEntry::new("mr")]
     } else {
-        vec![TextSpec::mr(), TextSpec::sst2(), TextSpec::trec()]
+        vec![
+            DatasetEntry::new("mr"),
+            DatasetEntry::new("sst2"),
+            DatasetEntry::new("trec"),
+        ]
     };
-    for spec in specs {
-        let trec_like = spec.n_classes > 2;
-        let task = TextTask::build(&spec, scale, 0xBE);
-        let config = text_pool_config(trec_like, scale);
-        for strategy in [
-            Strategy::new(BaseStrategy::Random),
-            Strategy::new(BaseStrategy::Entropy),
-            wshs(BaseStrategy::Entropy),
-        ] {
-            let name = strategy.name();
-            cells.push(bench_cell("bench", &task.name, || {
-                rayon::run_indexed(scale.repeats, |r| {
-                    task.run(
-                        strategy.clone(),
-                        None,
-                        &config,
-                        seed_for("bench", &task.name, &name, r),
-                    )
-                })
-            }));
-        }
-    }
-
-    // Diversity-combinator cell: density weighting + MMR batch selection
-    // on MR — the cosine-heavy path the scoring engine optimizes.
-    {
-        let task = TextTask::build(&TextSpec::mr(), scale, 0xBE);
-        let config = text_pool_config(false, scale);
-        let strategy = wshs(BaseStrategy::Entropy)
-            .with_density(histal_core::strategy::DensityConfig::default())
-            .with_mmr(histal_core::strategy::MmrConfig::default());
-        let name = format!("{}+div", strategy.name());
-        cells.push(bench_cell("bench-div", &task.name, || {
-            rayon::run_indexed(scale.repeats, |r| {
-                task.run_with_representations(
-                    strategy.clone(),
-                    &config,
-                    seed_for("bench-div", &task.name, &name, r),
-                )
-            })
-        }));
-    }
-
+    let mut specs = vec![
+        ExperimentSpec {
+            name: "bench".into(),
+            experiment: "bench".into(),
+            split_seed: 0xBE,
+            datasets: text_datasets,
+            groups: vec![group(&["random", "entropy", "WSHS(entropy)"])],
+            ..Default::default()
+        },
+        // Diversity-combinator cell: density weighting + MMR batch
+        // selection on MR — the cosine-heavy path the scoring engine
+        // optimizes.
+        ExperimentSpec {
+            name: "bench-div".into(),
+            experiment: "bench-div".into(),
+            split_seed: 0xBE,
+            datasets: vec![DatasetEntry::new("mr")],
+            groups: vec![group(&["WSHS(entropy)+density+mmr"])],
+            pool: Some(PoolSpec {
+                representations: true,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    ];
     if !check {
-        let ner = NerTask::build(&NerSpec::conll2003_english(), scale);
-        let ner_config = ner_pool_config(scale);
-        for strategy in [
-            Strategy::new(BaseStrategy::LeastConfidence),
-            wshs(BaseStrategy::LeastConfidence),
-        ] {
-            let name = strategy.name();
-            cells.push(bench_cell("bench-ner", &ner.name, || {
-                rayon::run_indexed(scale.repeats, |r| {
-                    ner.run(
-                        strategy.clone(),
-                        &ner_config,
-                        seed_for("bench-ner", &ner.name, &name, r),
-                    )
-                })
-            }));
+        specs.push(ExperimentSpec {
+            name: "bench-ner".into(),
+            experiment: "bench-ner".into(),
+            datasets: vec![DatasetEntry::new("conll2003-en")],
+            groups: vec![group(&["LC", "WSHS(LC)"])],
+            ..Default::default()
+        });
+    }
+
+    let mut cells: Vec<BenchCell> = Vec::new();
+    for spec in &specs {
+        let outcome = GridExecutor::new(spec, scale).serial().execute()?;
+        for block in &outcome.blocks {
+            for c in &block.cells {
+                cells.push(bench_cell(spec.experiment_id(), &block.dataset, c));
+            }
         }
     }
 
@@ -1600,9 +855,9 @@ fn bench_impl(scale: &Scale, check: bool) {
             "bench --check must cover the diversity cell"
         );
         obs_overhead_gate(scale, &cells);
-        sharded_metrics_gate(scale);
+        sharded_metrics_gate(scale)?;
         println!("bench --check OK ({} cells)", cells.len());
-        return;
+        return Ok(());
     }
 
     let report = BenchReport {
@@ -1616,6 +871,7 @@ fn bench_impl(scale: &Scale, check: bool) {
         Ok(()) => println!("(wrote {path})"),
         Err(e) => eprintln!("warn: cannot write {path}: {e}"),
     }
+    Ok(())
 }
 
 /// `bench --check` gate: with no subscriber installed (the default),
@@ -1627,7 +883,7 @@ fn bench_impl(scale: &Scale, check: bool) {
 /// Runs after every timed cell so the counting pass (which installs a
 /// trace-level collector) can't pollute the timings.
 fn obs_overhead_gate(scale: &Scale, cells: &[BenchCell]) {
-    use histal_obs::trace::disabled_span_cost_ns;
+    use histal_obs::trace::{disabled_span_cost_ns, Level};
     use histal_obs::{subscriber_scope, CollectingSubscriber};
     use std::sync::Arc;
 
@@ -1675,8 +931,9 @@ fn obs_overhead_gate(scale: &Scale, cells: &[BenchCell]) {
 /// `bench --check` gate: per-worker metric shards merged in index order
 /// must add up exactly. Runs the MR entropy cell with one registry per
 /// repeat, merges, and checks the counters against the runs' own round
-/// diagnostics.
-fn sharded_metrics_gate(scale: &Scale) {
+/// diagnostics. A missing counter or a failed run surfaces as a
+/// structured [`Error`] (span context attached) instead of a panic.
+fn sharded_metrics_gate(scale: &Scale) -> Result<(), Error> {
     use histal_core::driver::ActiveLearner;
     use histal_obs::{MetricValue, MetricsRegistry};
     use std::sync::Arc;
@@ -1688,7 +945,7 @@ fn sharded_metrics_gate(scale: &Scale) {
     let shards: Vec<Arc<MetricsRegistry>> = (0..scale.repeats)
         .map(|_| Arc::new(MetricsRegistry::new()))
         .collect();
-    let runs: Vec<RunResult> = rayon::run_indexed(scale.repeats, |r| {
+    let runs: Vec<Result<RunResult, Error>> = rayon::run_indexed(scale.repeats, |r| {
         let mut learner = ActiveLearner::builder(task.model(0))
             .pool(task.pool_docs.clone(), task.pool_labels.clone())
             .test(task.test_docs.clone(), task.test_labels.clone())
@@ -1697,13 +954,14 @@ fn sharded_metrics_gate(scale: &Scale) {
             .seed(seed_for("bench", &task.name, &name, r))
             .metrics(shards[r].clone())
             .build();
-        learner.run().expect("entropy needs no capabilities")
+        learner.run()
     });
+    let runs: Vec<RunResult> = runs.into_iter().collect::<Result<_, _>>()?;
     let merged = MetricsRegistry::new();
     for shard in &shards {
         merged.merge_from(shard);
     }
-    let counter = |metric: &str| -> u64 {
+    let counter = |metric: &str| -> Result<u64, Error> {
         merged
             .snapshot()
             .into_iter()
@@ -1711,7 +969,7 @@ fn sharded_metrics_gate(scale: &Scale) {
                 MetricValue::Counter(c) if n == metric => Some(c),
                 _ => None,
             })
-            .unwrap_or_else(|| panic!("merged registry missing counter {metric}"))
+            .ok_or_else(|| Error::invariant(format!("merged registry missing counter {metric}")))
     };
     let expect_rounds: u64 = runs.iter().map(|r| r.rounds.len() as u64).sum();
     let expect_selected: u64 = runs
@@ -1720,12 +978,12 @@ fn sharded_metrics_gate(scale: &Scale) {
         .map(|round| round.selected.len() as u64)
         .sum();
     assert_eq!(
-        counter("al.rounds"),
+        counter("al.rounds")?,
         expect_rounds,
         "sharded al.rounds counter disagrees with round diagnostics"
     );
     assert_eq!(
-        counter("al.selected"),
+        counter("al.selected")?,
         expect_selected,
         "sharded al.selected counter disagrees with round diagnostics"
     );
@@ -1733,6 +991,7 @@ fn sharded_metrics_gate(scale: &Scale) {
         "  metrics gate: {} shards merged, al.rounds {expect_rounds}, al.selected {expect_selected}",
         shards.len()
     );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1740,52 +999,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_bare_bases() {
-        assert_eq!(parse_strategy("entropy").unwrap().name(), "entropy");
-        assert_eq!(parse_strategy("LC").unwrap().name(), "LC");
-        assert_eq!(parse_strategy("random").unwrap().name(), "random");
-        assert_eq!(parse_strategy("egl-word").unwrap().name(), "EGL-word");
-    }
-
-    #[test]
-    fn parse_wrapped_strategies() {
+    fn add_lhs_param_inserts_into_both_token_forms() {
         assert_eq!(
-            parse_strategy("WSHS(entropy)").unwrap().name(),
-            "WSHS(entropy)"
+            add_lhs_param("LHS(entropy)", "ranker=linear"),
+            "LHS{ranker=linear}(entropy)"
         );
-        assert_eq!(parse_strategy("fhs(LC)").unwrap().name(), "FHS(LC)");
-        assert_eq!(parse_strategy("HUS(EGL)").unwrap().name(), "HUS(EGL)");
         assert_eq!(
-            parse_strategy(" wshs( mnlp ) ").unwrap().name(),
-            "WSHS(MNLP)"
+            add_lhs_param("LHS{history=false}(entropy)", "predictor=ar:3"),
+            "LHS{predictor=ar:3,history=false}(entropy)"
         );
     }
 
     #[test]
-    fn parse_rejects_garbage() {
-        assert!(parse_strategy("").is_none());
-        assert!(parse_strategy("frobnicate").is_none());
-        assert!(parse_strategy("LHS(entropy)").is_none()); // needs training, not parseable
-        assert!(parse_strategy("WSHS(frobnicate)").is_none());
+    fn embedded_specs_parse_and_validate() {
+        for json in [
+            include_str!("../../../specs/fig2.json"),
+            include_str!("../../../specs/fig3_text.json"),
+            include_str!("../../../specs/fig3_ner.json"),
+            include_str!("../../../specs/fig5.json"),
+            include_str!("../../../specs/table2.json"),
+            include_str!("../../../specs/table6.json"),
+            include_str!("../../../specs/table7.json"),
+        ] {
+            let spec = embedded_spec(json).expect("embedded spec parses");
+            spec.validate().expect("embedded spec validates");
+        }
     }
 
     #[test]
-    fn seeds_vary_by_all_inputs() {
-        let base = seed_for("e", "d", "s", 0);
-        assert_ne!(base, seed_for("x", "d", "s", 0));
-        assert_ne!(base, seed_for("e", "x", "s", 0));
-        assert_ne!(base, seed_for("e", "d", "x", 0));
-        assert_ne!(base, seed_for("e", "d", "s", 1));
-        assert_eq!(base, seed_for("e", "d", "s", 0));
-    }
-
-    #[test]
-    fn rounds_scale_with_factor() {
-        assert_eq!(rounds_for(&Scale::full()), 19);
-        let tiny = Scale {
-            factor: 0.1,
-            repeats: 1,
-        };
-        assert_eq!(rounds_for(&tiny), 5);
+    fn table7_variant_rewrite_still_validates() {
+        let mut spec = embedded_spec(include_str!("../../../specs/table7.json")).unwrap();
+        for g in &mut spec.groups {
+            for entry in &mut g.strategies {
+                entry.strategy = add_lhs_param(&entry.strategy, "predictor=ar:3");
+            }
+        }
+        spec.validate().expect("rewritten ablation spec validates");
     }
 }

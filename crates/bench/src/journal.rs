@@ -28,6 +28,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use histal_core::driver::RunResult;
+use histal_core::error::Error;
 use histal_core::session::RunJournal;
 use histal_obs::event;
 use histal_obs::trace::Level;
@@ -103,8 +104,16 @@ impl JournalCtx {
         RunJournal::new(Arc::clone(&self.journal), cell, config_hash, seed)
     }
 
-    /// Append the cell-complete record.
-    pub fn complete(&self, cell: &str, config_hash: u64, seed: u64, result: &RunResult) {
+    /// Append the cell-complete record, surfacing append failures as a
+    /// structured [`Error`] (the run must abort rather than continue
+    /// with a checkpoint file that would lie on resume).
+    pub fn try_complete(
+        &self,
+        cell: &str,
+        config_hash: u64,
+        seed: u64,
+        result: &RunResult,
+    ) -> Result<(), Error> {
         let record = CellRecord {
             kind: "cell".to_string(),
             cell: cell.to_string(),
@@ -112,9 +121,34 @@ impl JournalCtx {
             seed,
             result: result.clone(),
         };
-        self.journal
-            .append(&record)
+        self.journal.append(&record).map_err(Error::journal)
+    }
+
+    /// Append the cell-complete record, panicking on append failure.
+    pub fn complete(&self, cell: &str, config_hash: u64, seed: u64, result: &RunResult) {
+        self.try_complete(cell, config_hash, seed, result)
             .expect("journal cell record write failed");
+    }
+
+    /// Fallible [`Self::run_cell`]: replay `cell` if a previous run
+    /// completed it, otherwise execute `run` with a per-round journal
+    /// handle and checkpoint the result. Errors from `run` propagate
+    /// without writing a cell record, so a failed cell re-runs on
+    /// resume.
+    pub fn try_run_cell(
+        &self,
+        cell: &str,
+        config_hash: u64,
+        seed: u64,
+        run: impl FnOnce(Option<RunJournal>) -> Result<RunResult, Error>,
+    ) -> Result<RunResult, Error> {
+        if let Some(cached) = self.cached(cell, config_hash) {
+            event!(Level::Info, "journal.replay", cell = cell.to_string());
+            return Ok(cached.clone());
+        }
+        let result = run(Some(self.run_journal(cell, config_hash, seed)))?;
+        self.try_complete(cell, config_hash, seed, &result)?;
+        Ok(result)
     }
 
     /// Run `cell` through the journal: replay it if a previous run
@@ -127,13 +161,23 @@ impl JournalCtx {
         seed: u64,
         run: impl FnOnce(Option<RunJournal>) -> RunResult,
     ) -> RunResult {
-        if let Some(cached) = self.cached(cell, config_hash) {
-            event!(Level::Info, "journal.replay", cell = cell.to_string());
-            return cached.clone();
-        }
-        let result = run(Some(self.run_journal(cell, config_hash, seed)));
-        self.complete(cell, config_hash, seed, &result);
-        result
+        self.try_run_cell(cell, config_hash, seed, |j| Ok(run(j)))
+            .expect("journal cell record write failed")
+    }
+}
+
+/// Optional fallible journaling: `None` runs the closure bare; `Some`
+/// routes it through [`JournalCtx::try_run_cell`].
+pub fn try_run_cell_opt(
+    ctx: Option<&JournalCtx>,
+    cell: &str,
+    config_hash: u64,
+    seed: u64,
+    run: impl FnOnce(Option<RunJournal>) -> Result<RunResult, Error>,
+) -> Result<RunResult, Error> {
+    match ctx {
+        Some(ctx) => ctx.try_run_cell(cell, config_hash, seed, run),
+        None => run(None),
     }
 }
 

@@ -5,10 +5,13 @@
 //! `DESIGN.md` maps experiment ids (E1–E10) to these modules; see
 //! `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
 
+pub mod executor;
 pub mod experiments;
 pub mod journal;
 pub mod plot;
+pub mod registry;
 pub mod report;
+pub mod spec;
 pub mod tasks;
 
 pub use tasks::{NerTask, Scale, TextTask};

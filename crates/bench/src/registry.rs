@@ -1,0 +1,801 @@
+//! Name-keyed registries behind the declarative experiment engine.
+//!
+//! Three registries resolve the string tokens an
+//! [`ExperimentSpec`](crate::spec::ExperimentSpec) carries into the
+//! concrete objects the executor runs:
+//!
+//! * [`parse_strategy`] — the strategy grammar (`base`,
+//!   `WRAPPER(base)`, `WRAPPER{param=value,…}(base)`, plus `+density` /
+//!   `+mmr` / `+kcenter` diversity suffixes). Subsumes the old
+//!   `Option`-returning `parse_strategy` of the experiments module: an
+//!   unknown token now produces a structured
+//!   [`histal_core::error::Error`] naming the token and listing every
+//!   valid strategy and wrapper.
+//! * [`parse_dataset`] — dataset references over the `histal-data`
+//!   builders (`mr`, `sst2`, `trec`, `conll2003-en`, …), with optional
+//!   `?noise=RATE` / `?priors=a/b` generation modifiers.
+//! * [`parse_metric`] — pluggable report metrics (`final`, `alc`,
+//!   `target:T`, `speedup:REF`), evaluated over the full learning curve
+//!   in [`evaluate_metric`].
+//!
+//! All three return `Result<_, histal_core::error::Error>` with
+//! [`ErrorKind::UnknownName`](histal_core::error::ErrorKind) /
+//! [`ErrorKind::Spec`](histal_core::error::ErrorKind) payloads, so a
+//! typo'd spec fails with an actionable message instead of a silent
+//! `None`.
+
+use histal_core::analysis::{area_under_curve, format_cost, samples_to_target};
+use histal_core::driver::RunResult;
+use histal_core::error::Error;
+use histal_core::lhs::{LhsFeatureConfig, PredictorKind, RankerKind};
+use histal_core::strategy::{BaseStrategy, DensityConfig, HistoryPolicy, MmrConfig, Strategy};
+use histal_data::{NerSpec, TextSpec};
+use histal_ltr::LambdaMartConfig;
+
+/// History window used throughout the harness defaults (the paper
+/// recommends 3–5; Fig. 5).
+pub const WINDOW: usize = 3;
+/// Default FHS weights (Fig. 5 finds w_f ≈ 0.5 best).
+pub const FHS_WS: f64 = 0.5;
+/// See [`FHS_WS`].
+pub const FHS_WF: f64 = 0.5;
+
+/// Canonical base-strategy names the grammar accepts.
+pub const BASE_NAMES: &[&str] = &[
+    "random", "entropy", "lc", "margin", "egl", "egl-word", "bald", "mnlp", "qbc",
+];
+
+/// Wrapper names the grammar accepts (shown as `WRAPPER(base)` in
+/// error listings).
+pub const WRAPPER_NAMES: &[&str] = &["HUS", "WSHS", "FHS", "HKLD", "LHS"];
+
+/// Everything a strategy token resolves to. `strategy` is what the
+/// driver runs (and what seeds / journal cell keys derive from — for an
+/// LHS token that is the *base* strategy, matching the historical
+/// hand-coded grids); `lhs` is the selector-training plan for LHS
+/// tokens; `display` overrides the report label when it differs from
+/// `strategy.name()` (again only for LHS).
+#[derive(Debug, Clone)]
+pub struct ResolvedStrategy {
+    /// The configured driver strategy.
+    pub strategy: Strategy,
+    /// Selector training plan, for `LHS(...)` tokens.
+    pub lhs: Option<LhsPlan>,
+    /// Report label override (e.g. `"LHS(entropy)"`).
+    pub display: Option<String>,
+}
+
+impl ResolvedStrategy {
+    /// The label this strategy carries in reports.
+    pub fn display_name(&self) -> String {
+        self.display.clone().unwrap_or_else(|| self.strategy.name())
+    }
+}
+
+/// How to train an LHS selector (ranker + predictor + feature set);
+/// §4.4's protocol trains it once on the Subj analogue and applies it
+/// to the target dataset.
+#[derive(Debug, Clone)]
+pub struct LhsPlan {
+    /// Base strategy whose scores seed the history corpus.
+    pub base: BaseStrategy,
+    /// Feature groups the ranker sees.
+    pub features: LhsFeatureConfig,
+    /// Next-score predictor.
+    pub predictor: PredictorKind,
+    /// Learning-to-rank model.
+    pub ranker: RankerKind,
+}
+
+impl LhsPlan {
+    /// Cache key: two plans with equal keys train identical selectors.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            self.base, self.features, self.predictor, self.ranker
+        )
+    }
+}
+
+fn valid_strategy_names() -> Vec<String> {
+    BASE_NAMES
+        .iter()
+        .map(|b| b.to_string())
+        .chain(WRAPPER_NAMES.iter().map(|w| format!("{w}(base)")))
+        .collect()
+}
+
+fn parse_base(token: &str) -> Result<BaseStrategy, Error> {
+    match token.to_ascii_lowercase().as_str() {
+        "random" => Ok(BaseStrategy::Random),
+        "entropy" => Ok(BaseStrategy::Entropy),
+        "lc" | "least-confidence" | "leastconfidence" => Ok(BaseStrategy::LeastConfidence),
+        "margin" => Ok(BaseStrategy::Margin),
+        "egl" => Ok(BaseStrategy::Egl),
+        "egl-word" | "eglword" => Ok(BaseStrategy::EglWord),
+        "bald" => Ok(BaseStrategy::Bald),
+        "mnlp" => Ok(BaseStrategy::Mnlp),
+        "qbc" => Ok(BaseStrategy::QbcKl),
+        _ => Err(Error::unknown_name(
+            "strategy",
+            token,
+            valid_strategy_names(),
+        )),
+    }
+}
+
+/// One `key=value` wrapper parameter (`WSHS{l=6}(entropy)`).
+struct Param<'a> {
+    key: String,
+    value: &'a str,
+}
+
+fn parse_params(body: &str) -> Result<Vec<Param<'_>>, Error> {
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part.split_once('=').ok_or_else(|| {
+            Error::spec(format!("parameter `{part}` is not of the form key=value"))
+        })?;
+        out.push(Param {
+            key: k.trim().to_ascii_lowercase(),
+            value: v.trim(),
+        });
+    }
+    Ok(out)
+}
+
+fn param_usize(p: &Param<'_>) -> Result<usize, Error> {
+    p.value.parse().map_err(|_| {
+        Error::spec(format!(
+            "parameter `{}={}` is not an integer",
+            p.key, p.value
+        ))
+    })
+}
+
+fn param_f64(p: &Param<'_>) -> Result<f64, Error> {
+    p.value
+        .parse()
+        .map_err(|_| Error::spec(format!("parameter `{}={}` is not a number", p.key, p.value)))
+}
+
+fn param_bool(p: &Param<'_>) -> Result<bool, Error> {
+    match p.value {
+        "true" | "on" | "1" => Ok(true),
+        "false" | "off" | "0" => Ok(false),
+        _ => Err(Error::spec(format!(
+            "parameter `{}={}` is not a boolean",
+            p.key, p.value
+        ))),
+    }
+}
+
+fn unknown_param(wrapper: &str, p: &Param<'_>, valid: &[&str]) -> Error {
+    Error::spec(format!(
+        "unknown parameter `{}` for {wrapper} (valid: {})",
+        p.key,
+        valid.join(", ")
+    ))
+}
+
+fn lhs_plan(base: BaseStrategy, params: &[Param<'_>]) -> Result<LhsPlan, Error> {
+    let mut features = LhsFeatureConfig {
+        window: WINDOW,
+        ..Default::default()
+    };
+    let mut predictor = PredictorKind::default();
+    let mut ranker = RankerKind::LambdaMart(LambdaMartConfig::default());
+    for p in params {
+        match p.key.as_str() {
+            "window" => features.window = param_usize(p)?,
+            "history" => features.use_history = param_bool(p)?,
+            "fluctuation" => features.use_fluctuation = param_bool(p)?,
+            "trend" => features.use_trend = param_bool(p)?,
+            "prediction" => features.use_prediction = param_bool(p)?,
+            "probs" => features.use_probs = param_bool(p)?,
+            "autocorr" => features.use_autocorr = param_bool(p)?,
+            "predictor" => {
+                predictor = match p.value.to_ascii_lowercase().as_str() {
+                    "lstm" => PredictorKind::default(),
+                    "holt" => PredictorKind::Holt,
+                    v => match v.strip_prefix("ar:").map(str::parse) {
+                        Some(Ok(order)) => PredictorKind::Ar { order },
+                        _ => {
+                            return Err(Error::unknown_name(
+                                "LHS predictor",
+                                p.value,
+                                ["lstm", "ar:ORDER", "holt"],
+                            ))
+                        }
+                    },
+                }
+            }
+            "ranker" => {
+                ranker = match p.value.to_ascii_lowercase().as_str() {
+                    "lambdamart" => RankerKind::LambdaMart(LambdaMartConfig::default()),
+                    "linear" => RankerKind::Linear(Default::default()),
+                    _ => {
+                        return Err(Error::unknown_name(
+                            "LHS ranker",
+                            p.value,
+                            ["lambdamart", "linear"],
+                        ))
+                    }
+                }
+            }
+            _ => {
+                return Err(unknown_param(
+                    "LHS",
+                    p,
+                    &[
+                        "window",
+                        "history",
+                        "fluctuation",
+                        "trend",
+                        "prediction",
+                        "probs",
+                        "autocorr",
+                        "predictor",
+                        "ranker",
+                    ],
+                ))
+            }
+        }
+    }
+    Ok(LhsPlan {
+        base,
+        features,
+        predictor,
+        ranker,
+    })
+}
+
+/// Parse a strategy token: `base`, `WRAPPER(base)` or
+/// `WRAPPER{k=v,…}(base)`, optionally followed by `+density` / `+mmr` /
+/// `+kcenter` diversity suffixes. Examples: `entropy`, `WSHS(LC)`,
+/// `WSHS{l=6}(entropy)`, `FHS{l=3,wf=0.2}(entropy)`, `HKLD{k=3}(entropy)`,
+/// `LHS{predictor=ar:3}(entropy)`, `WSHS(entropy)+density+mmr`.
+///
+/// Unknown bases, wrappers, parameters or suffixes produce a structured
+/// [`Error`] naming the offending token and listing the valid choices.
+pub fn parse_strategy(token: &str) -> Result<ResolvedStrategy, Error> {
+    let mut rest = token.trim();
+    // Split off `+modifier` suffixes (rightmost first, outside parens).
+    let mut modifiers = Vec::new();
+    while let Some(pos) = rest.rfind('+') {
+        if rest[pos..].contains(')') {
+            break; // '+' inside the wrapped part — not a suffix
+        }
+        modifiers.push(rest[pos + 1..].trim().to_string());
+        rest = rest[..pos].trim_end();
+    }
+    modifiers.reverse();
+
+    let (head, inner) = match rest.split_once('(') {
+        Some((head, tail)) => {
+            let tail = tail.trim_end();
+            let Some(inner) = tail.strip_suffix(')') else {
+                return Err(Error::spec(format!("unbalanced parentheses in `{token}`")));
+            };
+            (head.trim(), Some(inner.trim()))
+        }
+        None => (rest, None),
+    };
+    let (name, params) = match head.split_once('{') {
+        Some((name, tail)) => {
+            let Some(body) = tail.trim_end().strip_suffix('}') else {
+                return Err(Error::spec(format!("unbalanced braces in `{token}`")));
+            };
+            (name.trim(), parse_params(body)?)
+        }
+        None => (head, Vec::new()),
+    };
+
+    let mut resolved = match inner {
+        None => {
+            if !params.is_empty() {
+                return Err(Error::spec(format!(
+                    "base strategy `{name}` takes no parameters"
+                )));
+            }
+            ResolvedStrategy {
+                strategy: Strategy::new(parse_base(name)?),
+                lhs: None,
+                display: None,
+            }
+        }
+        Some(inner) => {
+            let base = parse_base(inner)?;
+            match name.to_ascii_uppercase().as_str() {
+                "HUS" => {
+                    let mut k = WINDOW;
+                    for p in &params {
+                        match p.key.as_str() {
+                            "k" | "l" => k = param_usize(p)?,
+                            _ => return Err(unknown_param("HUS", p, &["k"])),
+                        }
+                    }
+                    ResolvedStrategy {
+                        strategy: Strategy::new(base).with_history(HistoryPolicy::Hus { k }),
+                        lhs: None,
+                        display: None,
+                    }
+                }
+                "WSHS" => {
+                    let mut l = WINDOW;
+                    for p in &params {
+                        match p.key.as_str() {
+                            "l" => l = param_usize(p)?,
+                            _ => return Err(unknown_param("WSHS", p, &["l"])),
+                        }
+                    }
+                    ResolvedStrategy {
+                        strategy: Strategy::new(base).with_history(HistoryPolicy::Wshs { l }),
+                        lhs: None,
+                        display: None,
+                    }
+                }
+                "FHS" => {
+                    let mut l = WINDOW;
+                    let mut wf = FHS_WF;
+                    let mut ws = None;
+                    for p in &params {
+                        match p.key.as_str() {
+                            "l" => l = param_usize(p)?,
+                            "wf" => wf = param_f64(p)?,
+                            "ws" => ws = Some(param_f64(p)?),
+                            _ => return Err(unknown_param("FHS", p, &["l", "wf", "ws"])),
+                        }
+                    }
+                    // Default w_s complements w_f (Fig. 5's convention);
+                    // with the default w_f this is the paper's 0.5/0.5.
+                    let w_score = ws.unwrap_or(1.0 - wf);
+                    ResolvedStrategy {
+                        strategy: Strategy::new(base).with_history(HistoryPolicy::Fhs {
+                            l,
+                            w_score,
+                            w_fluct: wf,
+                        }),
+                        lhs: None,
+                        display: None,
+                    }
+                }
+                "HKLD" => {
+                    let mut k = WINDOW;
+                    for p in &params {
+                        match p.key.as_str() {
+                            "k" => k = param_usize(p)?,
+                            _ => return Err(unknown_param("HKLD", p, &["k"])),
+                        }
+                    }
+                    ResolvedStrategy {
+                        strategy: Strategy::new(base).with_hkld(k),
+                        lhs: None,
+                        display: None,
+                    }
+                }
+                "LHS" => ResolvedStrategy {
+                    strategy: Strategy::new(base),
+                    lhs: Some(lhs_plan(base, &params)?),
+                    display: Some(format!("LHS({})", base.name())),
+                },
+                _ => {
+                    return Err(Error::unknown_name(
+                        "strategy wrapper",
+                        name,
+                        WRAPPER_NAMES.iter().map(|w| format!("{w}(base)")),
+                    ))
+                }
+            }
+        }
+    };
+
+    for m in &modifiers {
+        match m.to_ascii_lowercase().as_str() {
+            "density" => {
+                resolved.strategy = resolved.strategy.with_density(DensityConfig::default())
+            }
+            "mmr" => resolved.strategy = resolved.strategy.with_mmr(MmrConfig::default()),
+            "kcenter" => resolved.strategy = resolved.strategy.with_kcenter(),
+            _ => {
+                return Err(Error::unknown_name(
+                    "strategy modifier",
+                    m.as_str(),
+                    ["density", "mmr", "kcenter"],
+                ))
+            }
+        }
+    }
+    Ok(resolved)
+}
+
+// ---------------------------------------------------------------------
+// Dataset registry
+// ---------------------------------------------------------------------
+
+/// Which task family a dataset reference belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Text classification (logreg / naive-bayes models).
+    Text,
+    /// Named-entity recognition (CRF model).
+    Ner,
+}
+
+/// A resolved dataset reference: the generator spec plus the optional
+/// `?key=value` modifiers of the token.
+#[derive(Debug, Clone)]
+pub enum DatasetDef {
+    /// A text-classification corpus.
+    Text {
+        /// Generator spec (priors modifier already applied).
+        spec: TextSpec,
+        /// Fraction of pool labels to corrupt after the split
+        /// (`?noise=RATE`); the corruption seed is `split_seed + 1`.
+        noise: Option<f64>,
+    },
+    /// An NER corpus.
+    Ner {
+        /// Generator spec.
+        spec: NerSpec,
+    },
+}
+
+impl DatasetDef {
+    /// Which task family this dataset drives.
+    pub fn kind(&self) -> TaskKind {
+        match self {
+            Self::Text { .. } => TaskKind::Text,
+            Self::Ner { .. } => TaskKind::Ner,
+        }
+    }
+}
+
+/// Parse a dataset token: a `histal-data` builder name optionally
+/// followed by `?key=value&key=value` modifiers. Examples: `mr`,
+/// `sst2`, `conll2003-en`, `mr?noise=0.1`, `mr?priors=0.8/0.2`.
+pub fn parse_dataset(token: &str) -> Result<DatasetDef, Error> {
+    let token = token.trim();
+    let (name, mods) = match token.split_once('?') {
+        Some((n, m)) => (n.trim(), Some(m)),
+        None => (token, None),
+    };
+    let mut def = if let Some(spec) = TextSpec::by_name(name) {
+        DatasetDef::Text { spec, noise: None }
+    } else if let Some(spec) = NerSpec::by_name(name) {
+        DatasetDef::Ner { spec }
+    } else {
+        let valid: Vec<&str> = TextSpec::NAMES
+            .iter()
+            .chain(NerSpec::NAMES.iter())
+            .copied()
+            .collect();
+        return Err(Error::unknown_name("dataset", name, valid));
+    };
+    if let Some(mods) = mods {
+        for part in mods.split('&') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part.split_once('=').ok_or_else(|| {
+                Error::spec(format!("dataset modifier `{part}` is not key=value"))
+            })?;
+            match (k.trim(), &mut def) {
+                ("noise", DatasetDef::Text { noise, .. }) => {
+                    let rate: f64 = v
+                        .parse()
+                        .map_err(|_| Error::spec(format!("noise rate `{v}` is not a number")))?;
+                    *noise = (rate > 0.0).then_some(rate);
+                }
+                ("priors", DatasetDef::Text { spec, .. }) => {
+                    let priors: Result<Vec<f64>, _> =
+                        v.split('/').map(|p| p.trim().parse::<f64>()).collect();
+                    let priors = priors.map_err(|_| {
+                        Error::spec(format!("priors `{v}` are not numbers separated by `/`"))
+                    })?;
+                    if priors.len() != spec.n_classes {
+                        return Err(Error::spec(format!(
+                            "dataset {} has {} classes but priors `{v}` list {}",
+                            spec.name,
+                            spec.n_classes,
+                            priors.len()
+                        )));
+                    }
+                    *spec = spec.clone().with_class_priors(priors);
+                }
+                (k, DatasetDef::Text { .. }) => {
+                    return Err(Error::unknown_name(
+                        "dataset modifier",
+                        k,
+                        ["noise", "priors"],
+                    ))
+                }
+                (k, DatasetDef::Ner { .. }) => {
+                    return Err(Error::spec(format!(
+                        "modifier `{k}` is not supported for NER datasets"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(def)
+}
+
+// ---------------------------------------------------------------------
+// Metric registry
+// ---------------------------------------------------------------------
+
+/// A resolved report metric: one table column evaluated per run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Final-point metric of the learning curve.
+    Final,
+    /// Area under the learning curve.
+    Alc,
+    /// Labels needed to first reach the target metric.
+    Target(f64),
+    /// Speed-up factor vs the named strategy in the same block: the mean
+    /// over the reference curve's checkpoints of
+    /// `labels_ref(m) / labels_self(m)` for every metric level `m` both
+    /// curves reach (Kath et al.'s curve-ratio evaluation). > 1 means
+    /// this strategy needs fewer labels than the reference.
+    Speedup(String),
+}
+
+impl Metric {
+    /// Column header for this metric.
+    pub fn header(&self) -> String {
+        match self {
+            Self::Final => "Final accuracy".into(),
+            Self::Alc => "ALC".into(),
+            Self::Target(t) => format!("acc ≥ {t}"),
+            Self::Speedup(r) => format!("speed-up vs {r}"),
+        }
+    }
+}
+
+/// Parse a metric token: `final`, `alc`, `target:T`, `speedup:REF`.
+pub fn parse_metric(token: &str) -> Result<Metric, Error> {
+    let token = token.trim();
+    let lower = token.to_ascii_lowercase();
+    match lower.as_str() {
+        "final" => return Ok(Metric::Final),
+        "alc" => return Ok(Metric::Alc),
+        _ => {}
+    }
+    if let Some(t) = lower.strip_prefix("target:") {
+        return t
+            .parse()
+            .map(Metric::Target)
+            .map_err(|_| Error::spec(format!("target `{t}` is not a number")));
+    }
+    if let Some(r) = token
+        .split_once(':')
+        .and_then(|(k, r)| k.eq_ignore_ascii_case("speedup").then_some(r))
+    {
+        return Ok(Metric::Speedup(r.trim().to_string()));
+    }
+    Err(Error::unknown_name(
+        "metric",
+        token,
+        ["final", "alc", "target:T", "speedup:REF"],
+    ))
+}
+
+/// Evaluate `metric` for `result` into a formatted table cell. `budget`
+/// is the cell's total label budget (for [`Metric::Target`]);
+/// `block` is the result's report block (label → averaged run), the
+/// lookup space for [`Metric::Speedup`] references.
+pub fn evaluate_metric(
+    metric: &Metric,
+    result: &RunResult,
+    budget: usize,
+    block: &[(String, &RunResult)],
+) -> String {
+    match metric {
+        Metric::Final => result
+            .final_metric()
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "n/a".into()),
+        Metric::Alc => format!("{:.4}", area_under_curve(result)),
+        Metric::Target(t) => format_cost(samples_to_target(result, *t), budget),
+        Metric::Speedup(name) => {
+            let Some((_, reference)) = block.iter().find(|(n, _)| n == name) else {
+                return "n/a".into();
+            };
+            let mut ratios = Vec::new();
+            for p in reference.curve.iter().skip(1) {
+                let (Some(n_self), Some(n_ref)) = (
+                    samples_to_target(result, p.metric),
+                    samples_to_target(reference, p.metric),
+                ) else {
+                    continue;
+                };
+                if n_self > 0 {
+                    ratios.push(n_ref as f64 / n_self as f64);
+                }
+            }
+            if ratios.is_empty() {
+                "n/a".into()
+            } else {
+                format!("{:.2}×", ratios.iter().sum::<f64>() / ratios.len() as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histal_core::error::ErrorKind;
+
+    #[test]
+    fn parse_bare_bases() {
+        assert_eq!(
+            parse_strategy("entropy").unwrap().strategy.name(),
+            "entropy"
+        );
+        assert_eq!(parse_strategy("LC").unwrap().strategy.name(), "LC");
+        assert_eq!(parse_strategy("random").unwrap().strategy.name(), "random");
+        assert_eq!(
+            parse_strategy("egl-word").unwrap().strategy.name(),
+            "EGL-word"
+        );
+    }
+
+    #[test]
+    fn parse_wrapped_strategies() {
+        assert_eq!(
+            parse_strategy("WSHS(entropy)").unwrap().strategy.name(),
+            "WSHS(entropy)"
+        );
+        assert_eq!(
+            parse_strategy("fhs(LC)").unwrap().strategy.name(),
+            "FHS(LC)"
+        );
+        assert_eq!(
+            parse_strategy("HUS(EGL)").unwrap().strategy.name(),
+            "HUS(EGL)"
+        );
+        assert_eq!(
+            parse_strategy(" wshs( mnlp ) ").unwrap().strategy.name(),
+            "WSHS(MNLP)"
+        );
+    }
+
+    #[test]
+    fn parse_wrapper_params() {
+        let s = parse_strategy("WSHS{l=6}(entropy)").unwrap().strategy;
+        assert_eq!(s.history, HistoryPolicy::Wshs { l: 6 });
+        let s = parse_strategy("FHS{l=3,wf=0.2}(entropy)").unwrap().strategy;
+        assert_eq!(
+            s.history,
+            HistoryPolicy::Fhs {
+                l: 3,
+                w_score: 1.0 - 0.2,
+                w_fluct: 0.2
+            }
+        );
+        // Defaults reproduce the hand-coded helpers.
+        assert_eq!(
+            parse_strategy("FHS(entropy)").unwrap().strategy.history,
+            HistoryPolicy::Fhs {
+                l: WINDOW,
+                w_score: FHS_WS,
+                w_fluct: FHS_WF
+            }
+        );
+        let s = parse_strategy("HKLD{k=3}(entropy)").unwrap().strategy;
+        assert_eq!(s.name(), "HKLD(k=3)");
+    }
+
+    #[test]
+    fn parse_lhs_plans() {
+        let r = parse_strategy("LHS(entropy)").unwrap();
+        assert_eq!(r.strategy.name(), "entropy"); // seeds pair with the base
+        assert_eq!(r.display_name(), "LHS(entropy)");
+        let plan = r.lhs.unwrap();
+        assert_eq!(plan.features.window, WINDOW);
+        assert!(plan.features.use_history);
+        let r = parse_strategy("LHS{fluctuation=false,predictor=ar:3,ranker=linear}(LC)").unwrap();
+        let plan = r.lhs.unwrap();
+        assert!(!plan.features.use_fluctuation);
+        assert!(matches!(plan.predictor, PredictorKind::Ar { order: 3 }));
+        assert!(matches!(plan.ranker, RankerKind::Linear(_)));
+    }
+
+    #[test]
+    fn parse_modifiers() {
+        let s = parse_strategy("WSHS(entropy)+density+mmr")
+            .unwrap()
+            .strategy;
+        assert!(s.density.is_some());
+        assert!(s.mmr.is_some());
+    }
+
+    #[test]
+    fn parse_errors_name_token_and_list_valid() {
+        let e = parse_strategy("frobnicate").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("frobnicate"), "{msg}");
+        assert!(
+            msg.contains("entropy") && msg.contains("WSHS(base)"),
+            "{msg}"
+        );
+        let e = parse_strategy("WSHS(entrpy)").unwrap_err();
+        assert!(e.to_string().contains("entrpy"));
+        let e = parse_strategy("XYZ(entropy)").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ErrorKind::UnknownName {
+                what: "strategy wrapper",
+                ..
+            }
+        ));
+        assert!(parse_strategy("WSHS{q=1}(entropy)").is_err());
+        assert!(parse_strategy("").is_err());
+    }
+
+    #[test]
+    fn parse_datasets_and_modifiers() {
+        assert!(matches!(
+            parse_dataset("mr").unwrap(),
+            DatasetDef::Text { noise: None, .. }
+        ));
+        assert_eq!(parse_dataset("conll2003-en").unwrap().kind(), TaskKind::Ner);
+        let DatasetDef::Text { spec, noise } = parse_dataset("mr?noise=0.1").unwrap() else {
+            panic!("text dataset expected");
+        };
+        assert_eq!(noise, Some(0.1));
+        assert!(spec.class_priors.is_none());
+        let DatasetDef::Text { spec, .. } = parse_dataset("mr?priors=0.8/0.2").unwrap() else {
+            panic!("text dataset expected");
+        };
+        assert_eq!(spec.class_priors, Some(vec![0.8, 0.2]));
+        let e = parse_dataset("imdb").unwrap_err();
+        assert!(e.to_string().contains("imdb") && e.to_string().contains("mr"));
+        assert!(parse_dataset("conll2003-en?noise=0.1").is_err());
+    }
+
+    #[test]
+    fn parse_metrics() {
+        assert_eq!(parse_metric("final").unwrap(), Metric::Final);
+        assert_eq!(parse_metric("alc").unwrap(), Metric::Alc);
+        assert_eq!(parse_metric("target:0.72").unwrap(), Metric::Target(0.72));
+        assert_eq!(
+            parse_metric("speedup:entropy").unwrap(),
+            Metric::Speedup("entropy".into())
+        );
+        assert!(parse_metric("auc").is_err());
+    }
+
+    #[test]
+    fn speedup_metric_is_relative_label_cost() {
+        use histal_core::driver::CurvePoint;
+        let curve = |pts: &[(usize, f64)]| RunResult {
+            strategy_name: "x".into(),
+            curve: pts
+                .iter()
+                .map(|&(n_labeled, metric)| CurvePoint { n_labeled, metric })
+                .collect(),
+            rounds: vec![],
+            history: vec![],
+        };
+        let slow = curve(&[(100, 0.5), (200, 0.6), (300, 0.7)]);
+        let fast = curve(&[(100, 0.6), (200, 0.7), (300, 0.8)]);
+        let block = vec![("base".to_string(), &slow)];
+        // fast reaches 0.6 at 100 vs 200, 0.7 at 200 vs 300 → mean 1.75×.
+        let cell = evaluate_metric(&Metric::Speedup("base".into()), &fast, 300, &block);
+        assert_eq!(cell, "1.75×");
+        // Missing reference degrades to n/a, not a panic.
+        assert_eq!(
+            evaluate_metric(&Metric::Speedup("nope".into()), &fast, 300, &block),
+            "n/a"
+        );
+    }
+}

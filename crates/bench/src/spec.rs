@@ -1,0 +1,541 @@
+//! Serde-round-trippable experiment specifications.
+//!
+//! An [`ExperimentSpec`] is the declarative description of one
+//! experiment grid: which datasets, which strategy groups, which seeds,
+//! how to report. The JSON files under `specs/` at the repo root are
+//! serialized `ExperimentSpec`s; the figure/table commands of
+//! `histal-experiments` load embedded copies of those files and hand
+//! them to the [`GridExecutor`](crate::executor::GridExecutor), and
+//! `run --spec FILE` does the same for arbitrary user-written grids.
+//!
+//! Round-tripping is part of the contract (property-tested):
+//! `spec → JSON → spec → JSON` is idempotent, so a spec file rewritten
+//! by tooling never drifts.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use histal_core::error::Error;
+
+use crate::registry;
+
+/// Declarative description of one experiment grid.
+///
+/// String-typed references (`datasets`, strategy tokens, `metrics`,
+/// `model`) are resolved through the registries in
+/// [`crate::registry`]; [`Self::validate`] resolves all of them eagerly
+/// so a typo fails before any cell runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Spec name; also the `results/<name>.json` output stem.
+    pub name: String,
+    /// Experiment id used in seed derivation and journal cell keys
+    /// (empty → `name`). Kept separate from `name` so renaming an
+    /// output file never invalidates old journals.
+    #[serde(default)]
+    pub experiment: String,
+    /// Train/test split seed for text datasets (NER corpora carry their
+    /// split sizes in the generator spec and ignore this).
+    #[serde(default)]
+    pub split_seed: u64,
+    /// Model reference: `"logreg"` (default) or `"nb"` for text,
+    /// `"crf"` (default) for NER.
+    #[serde(default)]
+    pub model: Option<String>,
+    /// Dataset references (see [`registry::parse_dataset`]); all must
+    /// resolve to the same task kind.
+    pub datasets: Vec<DatasetEntry>,
+    /// Strategy groups; each (dataset × group) pair is one report block.
+    pub groups: Vec<GroupSpec>,
+    /// Report title template; `{dataset}` and `{label}` are substituted
+    /// per block.
+    #[serde(default)]
+    pub title: String,
+    /// JSON grouping key template (same placeholders as `title`). When
+    /// set, `results/<name>.json` is a list of `(key, results)` groups,
+    /// one per block; when absent it is one flat result list.
+    #[serde(default)]
+    pub json_key: Option<String>,
+    /// Scale overrides; set fields win over the command-line scale.
+    #[serde(default)]
+    pub scale: Option<ScaleSpec>,
+    /// Pool-configuration overrides on top of the per-kind defaults.
+    #[serde(default)]
+    pub pool: Option<PoolSpec>,
+    /// Metric columns for [`ReportKind::Metrics`] (see
+    /// [`registry::parse_metric`]).
+    #[serde(default)]
+    pub metrics: Vec<String>,
+    /// Header of the dataset label column in metric tables (default
+    /// `"Dataset"`).
+    #[serde(default)]
+    pub dataset_column: Option<String>,
+    /// How to render the grid outcome.
+    #[serde(default)]
+    pub report: ReportKind,
+}
+
+/// One dataset reference, optionally display-renamed. Serialized as a
+/// bare string when there is no rename.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetEntry {
+    /// Dataset token (see [`registry::parse_dataset`]).
+    pub dataset: String,
+    /// Display-name override for titles and label columns. Seeds and
+    /// journal keys always use the generated corpus name, so renames
+    /// never invalidate journals.
+    pub rename: Option<String>,
+}
+
+impl DatasetEntry {
+    /// A plain, un-renamed reference.
+    pub fn new(dataset: impl Into<String>) -> Self {
+        Self {
+            dataset: dataset.into(),
+            rename: None,
+        }
+    }
+}
+
+/// One strategy cell within a group. Serialized as a bare string when
+/// only the token is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyEntry {
+    /// Strategy token (see [`registry::parse_strategy`]).
+    pub strategy: String,
+    /// Display-name override for reports (seeds and journal keys always
+    /// use the resolved strategy's canonical name).
+    pub rename: Option<String>,
+    /// Per-entry experiment-id override (seeds + journal keys), for
+    /// grids whose historical seed pairing splits one group across
+    /// experiment ids (e.g. fig3's `fig3` / `fig3-lhs`).
+    pub experiment: Option<String>,
+}
+
+impl StrategyEntry {
+    /// A plain entry with no overrides.
+    pub fn new(strategy: impl Into<String>) -> Self {
+        Self {
+            strategy: strategy.into(),
+            rename: None,
+            experiment: None,
+        }
+    }
+}
+
+/// A named group of strategies; each (dataset × group) is one printed
+/// block / JSON group.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// Group label for `{label}` template substitution.
+    #[serde(default)]
+    pub label: String,
+    /// The strategies of the group, in report order.
+    pub strategies: Vec<StrategyEntry>,
+}
+
+/// Scale overrides; unset fields inherit the command-line scale.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScaleSpec {
+    /// Pool/budget multiplier.
+    #[serde(default)]
+    pub factor: Option<f64>,
+    /// Independent repetitions to average.
+    #[serde(default)]
+    pub repeats: Option<usize>,
+}
+
+/// Pool-configuration overrides on top of the per-kind defaults
+/// (batch 25/100 for binary/multiclass text, 100 for NER; rounds scaled
+/// from the paper's 19).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Samples selected per round.
+    #[serde(default)]
+    pub batch_size: Option<usize>,
+    /// Selection rounds after the seed batch.
+    #[serde(default)]
+    pub rounds: Option<usize>,
+    /// Randomly labeled seed-set size.
+    #[serde(default)]
+    pub init_labeled: Option<usize>,
+    /// Record full per-sample history sequences (forced on for
+    /// [`ReportKind::TrendCensus`]).
+    #[serde(default)]
+    pub record_history: bool,
+    /// Attach sparse document features as representations (enables the
+    /// `+density` / `+mmr` / `+kcenter` strategy modifiers).
+    #[serde(default)]
+    pub representations: bool,
+}
+
+/// How a grid outcome is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportKind {
+    /// Learning-curve tables per block + curves JSON.
+    #[default]
+    Curves,
+    /// One row per cell with the spec's metric columns.
+    Metrics,
+    /// Mean WSHS / fluctuation scores of the selected samples.
+    SelectionStats,
+    /// Mean per-round phase timings (train / eval / fold / select).
+    Timing,
+    /// Mann–Kendall census of the recorded history sequences.
+    TrendCensus,
+    /// Metric at evenly spaced label-budget checkpoints.
+    Checkpoints,
+}
+
+impl ReportKind {
+    const NAMES: &'static [(&'static str, ReportKind)] = &[
+        ("curves", ReportKind::Curves),
+        ("metrics", ReportKind::Metrics),
+        ("selection-stats", ReportKind::SelectionStats),
+        ("timing", ReportKind::Timing),
+        ("trend-census", ReportKind::TrendCensus),
+        ("checkpoints", ReportKind::Checkpoints),
+    ];
+
+    fn as_str(self) -> &'static str {
+        Self::NAMES
+            .iter()
+            .find(|(_, k)| *k == self)
+            .map(|(n, _)| *n)
+            .expect("every ReportKind has a name")
+    }
+}
+
+impl Serialize for ReportKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ReportKind {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::custom("report kind must be a string"))?;
+        Self::NAMES
+            .iter()
+            .find(|(n, _)| *n == s)
+            .map(|(_, k)| *k)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Self::NAMES.iter().map(|(n, _)| *n).collect();
+                DeError::custom(format!(
+                    "unknown report kind `{s}` (valid: {})",
+                    names.join(", ")
+                ))
+            })
+    }
+}
+
+// String-or-map entries keep the spec files compact: `"entropy"` and
+// `{"strategy": "entropy"}` are the same entry, and serialization picks
+// the bare string whenever no override is set so round-trips are
+// idempotent.
+impl Serialize for StrategyEntry {
+    fn to_value(&self) -> Value {
+        if self.rename.is_none() && self.experiment.is_none() {
+            return Value::Str(self.strategy.clone());
+        }
+        let mut map = vec![("strategy".to_string(), Value::Str(self.strategy.clone()))];
+        if let Some(r) = &self.rename {
+            map.push(("rename".to_string(), Value::Str(r.clone())));
+        }
+        if let Some(e) = &self.experiment {
+            map.push(("experiment".to_string(), Value::Str(e.clone())));
+        }
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for StrategyEntry {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(StrategyEntry::new(s.clone())),
+            Value::Map(entries) => {
+                let mut out = StrategyEntry::new(String::new());
+                let mut saw_strategy = false;
+                for (k, val) in entries {
+                    let s = val
+                        .as_str()
+                        .ok_or_else(|| {
+                            DeError::custom(format!("strategy entry field `{k}` must be a string"))
+                        })?
+                        .to_string();
+                    match k.as_str() {
+                        "strategy" => {
+                            out.strategy = s;
+                            saw_strategy = true;
+                        }
+                        "rename" => out.rename = Some(s),
+                        "experiment" => out.experiment = Some(s),
+                        _ => {
+                            return Err(DeError::custom(format!(
+                                "unknown strategy entry field `{k}` (valid: strategy, rename, experiment)"
+                            )))
+                        }
+                    }
+                }
+                if !saw_strategy {
+                    return Err(DeError::custom("strategy entry is missing `strategy`"));
+                }
+                Ok(out)
+            }
+            _ => Err(DeError::custom(
+                "strategy entry must be a string or an object",
+            )),
+        }
+    }
+}
+
+impl Serialize for DatasetEntry {
+    fn to_value(&self) -> Value {
+        match &self.rename {
+            None => Value::Str(self.dataset.clone()),
+            Some(r) => Value::Map(vec![
+                ("dataset".to_string(), Value::Str(self.dataset.clone())),
+                ("rename".to_string(), Value::Str(r.clone())),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for DatasetEntry {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(DatasetEntry::new(s.clone())),
+            Value::Map(entries) => {
+                let mut out = DatasetEntry::new(String::new());
+                let mut saw_dataset = false;
+                for (k, val) in entries {
+                    let s = val
+                        .as_str()
+                        .ok_or_else(|| {
+                            DeError::custom(format!("dataset entry field `{k}` must be a string"))
+                        })?
+                        .to_string();
+                    match k.as_str() {
+                        "dataset" => {
+                            out.dataset = s;
+                            saw_dataset = true;
+                        }
+                        "rename" => out.rename = Some(s),
+                        _ => {
+                            return Err(DeError::custom(format!(
+                                "unknown dataset entry field `{k}` (valid: dataset, rename)"
+                            )))
+                        }
+                    }
+                }
+                if !saw_dataset {
+                    return Err(DeError::custom("dataset entry is missing `dataset`"));
+                }
+                Ok(out)
+            }
+            _ => Err(DeError::custom(
+                "dataset entry must be a string or an object",
+            )),
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// Parse a spec from its JSON text.
+    pub fn from_json(json: &str) -> Result<ExperimentSpec, Error> {
+        serde_json::from_str(json).map_err(|e| Error::spec(format!("cannot parse spec: {e}")))
+    }
+
+    /// Serialize to pretty JSON (the `specs/` file format).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization is infallible")
+    }
+
+    /// The experiment id used for seeds and journal keys.
+    pub fn experiment_id(&self) -> &str {
+        if self.experiment.is_empty() {
+            &self.name
+        } else {
+            &self.experiment
+        }
+    }
+
+    /// Resolve every registry reference eagerly, so a broken spec fails
+    /// with one actionable error before any cell runs.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.name.is_empty() {
+            return Err(Error::spec("spec `name` must not be empty"));
+        }
+        if self.datasets.is_empty() {
+            return Err(Error::spec("spec lists no datasets"));
+        }
+        if self.groups.iter().all(|g| g.strategies.is_empty()) {
+            return Err(Error::spec("spec lists no strategies"));
+        }
+        let mut kind = None;
+        for d in &self.datasets {
+            let def = registry::parse_dataset(&d.dataset)?;
+            match kind {
+                None => kind = Some(def.kind()),
+                Some(k) if k != def.kind() => {
+                    return Err(Error::spec(format!(
+                        "dataset `{}` mixes task kinds within one spec — split text and NER \
+                         datasets into separate specs",
+                        d.dataset
+                    )))
+                }
+                _ => {}
+            }
+        }
+        let kind = kind.expect("datasets checked non-empty");
+        for g in &self.groups {
+            for e in &g.strategies {
+                let resolved = registry::parse_strategy(&e.strategy)?;
+                if resolved.lhs.is_some() && kind == registry::TaskKind::Ner {
+                    return Err(Error::spec(format!(
+                        "strategy `{}`: LHS selectors are only supported on text datasets",
+                        e.strategy
+                    )));
+                }
+            }
+        }
+        for m in &self.metrics {
+            registry::parse_metric(m)?;
+        }
+        match (self.model.as_deref(), kind) {
+            (None, _)
+            | (Some("logreg"), registry::TaskKind::Text)
+            | (Some("nb"), registry::TaskKind::Text) => {}
+            (Some("crf"), registry::TaskKind::Ner) => {}
+            (Some(other), registry::TaskKind::Text) => {
+                return Err(Error::unknown_name("text model", other, ["logreg", "nb"]))
+            }
+            (Some(other), registry::TaskKind::Ner) => {
+                return Err(Error::unknown_name("NER model", other, ["crf"]))
+            }
+        }
+        if self.report == ReportKind::Metrics && self.metrics.is_empty() {
+            return Err(Error::spec("a `metrics` report needs at least one metric"));
+        }
+        Ok(())
+    }
+
+    /// The task kind of the (validated) spec's datasets.
+    pub fn task_kind(&self) -> Result<registry::TaskKind, Error> {
+        let first = self
+            .datasets
+            .first()
+            .ok_or_else(|| Error::spec("spec lists no datasets"))?;
+        Ok(registry::parse_dataset(&first.dataset)?.kind())
+    }
+}
+
+/// Substitute `{dataset}` / `{label}` placeholders in a title or
+/// json-key template.
+pub fn render_template(template: &str, dataset: &str, label: &str) -> String {
+    template
+        .replace("{dataset}", dataset)
+        .replace("{label}", label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "demo".into(),
+            experiment: "demo-x".into(),
+            split_seed: 7,
+            model: None,
+            datasets: vec![DatasetEntry::new("mr")],
+            groups: vec![GroupSpec {
+                label: "entropy".into(),
+                strategies: vec![
+                    StrategyEntry::new("entropy"),
+                    StrategyEntry {
+                        strategy: "WSHS{l=6}(entropy)".into(),
+                        rename: Some("WSHS l=6".into()),
+                        experiment: None,
+                    },
+                ],
+            }],
+            title: "Demo — {dataset} / {label}".into(),
+            json_key: Some("{dataset}".into()),
+            scale: Some(ScaleSpec {
+                factor: None,
+                repeats: Some(2),
+            }),
+            pool: None,
+            metrics: vec!["final".into(), "alc".into()],
+            dataset_column: None,
+            report: ReportKind::Curves,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_idempotent() {
+        let spec = sample();
+        let json = spec.to_json_pretty();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json_pretty(), json);
+    }
+
+    #[test]
+    fn bare_string_entries_stay_bare() {
+        let json = sample().to_json_pretty();
+        // The un-renamed entry serializes as a bare string.
+        assert!(json.contains("\"entropy\""));
+        assert!(json.contains("\"rename\": \"WSHS l=6\""));
+    }
+
+    #[test]
+    fn validate_catches_bad_references() {
+        let mut spec = sample();
+        spec.datasets = vec![DatasetEntry::new("imdb")];
+        assert!(spec.validate().unwrap_err().to_string().contains("imdb"));
+        let mut spec = sample();
+        spec.groups[0]
+            .strategies
+            .push(StrategyEntry::new("WSHS(entrpy)"));
+        assert!(spec.validate().unwrap_err().to_string().contains("entrpy"));
+        let mut spec = sample();
+        spec.metrics = vec!["auc".into()];
+        assert!(spec.validate().is_err());
+        let mut spec = sample();
+        spec.datasets.push(DatasetEntry::new("conll2003-en"));
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("task kinds"));
+        let mut spec = sample();
+        spec.model = Some("transformer".into());
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("transformer"));
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn experiment_id_defaults_to_name() {
+        let mut spec = sample();
+        assert_eq!(spec.experiment_id(), "demo-x");
+        spec.experiment.clear();
+        assert_eq!(spec.experiment_id(), "demo");
+    }
+
+    #[test]
+    fn report_kind_round_trips() {
+        for (name, kind) in ReportKind::NAMES {
+            let v = kind.to_value();
+            assert_eq!(v.as_str(), Some(*name));
+            assert_eq!(ReportKind::from_value(&v).unwrap(), *kind);
+        }
+        assert!(ReportKind::from_value(&Value::Str("plots".into())).is_err());
+    }
+}

@@ -1,12 +1,14 @@
 //! Featurized experiment tasks built from the synthetic corpora.
 
 use histal_core::driver::{ActiveLearner, PoolConfig, RunResult};
+use histal_core::error::Error;
 use histal_core::lhs::LhsSelector;
 use histal_core::session::RunJournal;
 use histal_core::strategy::Strategy;
 use histal_data::{train_test_split, NerDataset, NerSpec, TextDataset, TextSpec};
 use histal_models::{
-    CrfConfig, CrfTagger, Document, Sentence, TextClassifier, TextClassifierConfig,
+    CrfConfig, CrfTagger, Document, NaiveBayes, NaiveBayesConfig, Sentence, TextClassifier,
+    TextClassifierConfig,
 };
 use histal_text::FeatureHasher;
 
@@ -43,6 +45,18 @@ impl Scale {
     pub fn scaled(&self, n: usize, min: usize) -> usize {
         ((n as f64 * self.factor).round() as usize).max(min)
     }
+}
+
+/// Which classifier a text experiment cell trains (the spec engine's
+/// `model` field; the paper's TextCNN is proxied by the discriminative
+/// logistic model, naive bayes is the model-agnosticism extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TextModel {
+    /// Discriminative logistic classifier (TextCNN proxy).
+    #[default]
+    LogReg,
+    /// Multinomial Naive Bayes (generative, one-pass).
+    NaiveBayes,
 }
 
 /// Feature-space width used by all text-classification experiments.
@@ -119,22 +133,71 @@ impl TextTask {
         seed: u64,
         journal: Option<RunJournal>,
     ) -> RunResult {
-        let mut builder = ActiveLearner::builder(self.model(0))
-            .pool(self.pool_docs.clone(), self.pool_labels.clone())
-            .test(self.test_docs.clone(), self.test_labels.clone())
-            .strategy(strategy)
-            .config(config.clone())
-            .seed(seed);
-        if let Some(l) = lhs {
-            builder = builder.lhs(l);
-        }
-        if let Some(j) = journal {
-            builder = builder.journal(j);
-        }
-        builder
-            .build()
-            .run()
+        self.try_run_model(TextModel::LogReg, strategy, lhs, config, seed, journal)
             .expect("strategy capabilities satisfied")
+    }
+
+    /// Fallible [`Self::run_journaled`]: capability mismatches surface as
+    /// a structured [`Error`] instead of a panic.
+    pub fn try_run_journaled(
+        &self,
+        strategy: Strategy,
+        lhs: Option<LhsSelector>,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> Result<RunResult, Error> {
+        self.try_run_model(TextModel::LogReg, strategy, lhs, config, seed, journal)
+    }
+
+    /// Run one active-learning loop with the chosen classifier,
+    /// propagating strategy-capability failures as structured errors.
+    pub fn try_run_model(
+        &self,
+        model: TextModel,
+        strategy: Strategy,
+        lhs: Option<LhsSelector>,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> Result<RunResult, Error> {
+        match model {
+            TextModel::LogReg => {
+                let mut builder = ActiveLearner::builder(self.model(0))
+                    .pool(self.pool_docs.clone(), self.pool_labels.clone())
+                    .test(self.test_docs.clone(), self.test_labels.clone())
+                    .strategy(strategy)
+                    .config(config.clone())
+                    .seed(seed);
+                if let Some(l) = lhs {
+                    builder = builder.lhs(l);
+                }
+                if let Some(j) = journal {
+                    builder = builder.journal(j);
+                }
+                builder.build().run()
+            }
+            TextModel::NaiveBayes => {
+                let nb = NaiveBayes::new(NaiveBayesConfig {
+                    n_classes: self.n_classes,
+                    n_features: TEXT_FEATURES,
+                    ..Default::default()
+                });
+                let mut builder = ActiveLearner::builder(nb)
+                    .pool(self.pool_docs.clone(), self.pool_labels.clone())
+                    .test(self.test_docs.clone(), self.test_labels.clone())
+                    .strategy(strategy)
+                    .config(config.clone())
+                    .seed(seed);
+                if let Some(l) = lhs {
+                    builder = builder.lhs(l);
+                }
+                if let Some(j) = journal {
+                    builder = builder.journal(j);
+                }
+                builder.build().run()
+            }
+        }
     }
 
     /// Run one active-learning loop with the pool documents' sparse
@@ -158,6 +221,18 @@ impl TextTask {
         seed: u64,
         journal: Option<RunJournal>,
     ) -> RunResult {
+        self.try_run_with_representations_journaled(strategy, config, seed, journal)
+            .expect("strategy capabilities satisfied")
+    }
+
+    /// Fallible [`Self::run_with_representations_journaled`].
+    pub fn try_run_with_representations_journaled(
+        &self,
+        strategy: Strategy,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> Result<RunResult, Error> {
         let reps = self.pool_docs.iter().map(|d| d.features.clone()).collect();
         let mut builder = ActiveLearner::builder(self.model(0))
             .pool(self.pool_docs.clone(), self.pool_labels.clone())
@@ -169,10 +244,7 @@ impl TextTask {
         if let Some(j) = journal {
             builder = builder.journal(j);
         }
-        builder
-            .build()
-            .run()
-            .expect("strategy capabilities satisfied")
+        builder.build().run()
     }
 }
 
@@ -237,6 +309,18 @@ impl NerTask {
         seed: u64,
         journal: Option<RunJournal>,
     ) -> RunResult {
+        self.try_run_journaled(strategy, config, seed, journal)
+            .expect("strategy capabilities satisfied")
+    }
+
+    /// Fallible [`Self::run_journaled`].
+    pub fn try_run_journaled(
+        &self,
+        strategy: Strategy,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> Result<RunResult, Error> {
         let mut builder = ActiveLearner::builder(self.model())
             .pool(self.pool.clone(), self.pool_tags.clone())
             .test(self.test.clone(), self.test_tags.clone())
@@ -246,10 +330,7 @@ impl NerTask {
         if let Some(j) = journal {
             builder = builder.journal(j);
         }
-        builder
-            .build()
-            .run()
-            .expect("strategy capabilities satisfied")
+        builder.build().run()
     }
 }
 

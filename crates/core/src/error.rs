@@ -32,6 +32,39 @@ pub enum ErrorKind {
         /// Underlying I/O or serialization failure, rendered.
         message: String,
     },
+    /// A name lookup in a registry (strategy, dataset, metric, …)
+    /// failed. Carries the valid names so the rendered message tells the
+    /// user what would have worked.
+    UnknownName {
+        /// What kind of name was being resolved, e.g. `"strategy"`.
+        what: &'static str,
+        /// The token that failed to resolve.
+        token: String,
+        /// The names the registry would have accepted.
+        valid: Vec<String>,
+    },
+    /// An experiment spec was structurally invalid (bad parameter,
+    /// inconsistent dataset kinds, unsupported combination, …).
+    Spec {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A harness invariant did not hold (e.g. a merged metrics registry
+    /// missing a counter every run increments). Distinct from [`Self::Spec`]:
+    /// the input was fine, the runtime state was not.
+    Invariant {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
+    /// A grid cell failed: the underlying failure plus the cell key
+    /// (`{experiment}/{dataset}/{strategy}/r{repeat}`) so a failing grid
+    /// reports *which* spec cell died.
+    Cell {
+        /// The journal-style cell key.
+        cell: String,
+        /// The underlying failure.
+        source: Box<ErrorKind>,
+    },
 }
 
 impl fmt::Display for ErrorKind {
@@ -49,6 +82,16 @@ impl fmt::Display for ErrorKind {
                 )
             }
             Self::Journal { message } => write!(f, "run journal write failed: {message}"),
+            Self::UnknownName { what, token, valid } => {
+                write!(
+                    f,
+                    "unknown {what} `{token}` — valid {what}s: {}",
+                    valid.join(", ")
+                )
+            }
+            Self::Spec { message } => write!(f, "invalid experiment spec: {message}"),
+            Self::Invariant { message } => write!(f, "harness invariant violated: {message}"),
+            Self::Cell { cell, source } => write!(f, "cell {cell}: {source}"),
         }
     }
 }
@@ -83,6 +126,45 @@ impl Error {
         Error::new(ErrorKind::Journal {
             message: err.to_string(),
         })
+    }
+
+    /// Shorthand for an [`ErrorKind::UnknownName`] error.
+    pub fn unknown_name(
+        what: &'static str,
+        token: impl Into<String>,
+        valid: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Error {
+        Error::new(ErrorKind::UnknownName {
+            what,
+            token: token.into(),
+            valid: valid.into_iter().map(Into::into).collect(),
+        })
+    }
+
+    /// Shorthand for an [`ErrorKind::Spec`] error.
+    pub fn spec(message: impl fmt::Display) -> Error {
+        Error::new(ErrorKind::Spec {
+            message: message.to_string(),
+        })
+    }
+
+    /// Shorthand for an [`ErrorKind::Invariant`] error.
+    pub fn invariant(message: impl fmt::Display) -> Error {
+        Error::new(ErrorKind::Invariant {
+            message: message.to_string(),
+        })
+    }
+
+    /// Wrap this error with the grid-cell key it was raised in,
+    /// preserving the original span context.
+    pub fn in_cell(self, cell: impl Into<String>) -> Error {
+        Error {
+            kind: ErrorKind::Cell {
+                cell: cell.into(),
+                source: Box::new(self.kind),
+            },
+            span: self.span.or_else(histal_obs::trace::current_span_id),
+        }
     }
 }
 

@@ -125,6 +125,21 @@ impl NerSpec {
         }
     }
 
+    /// Registry lookup: the named builder above, or `None` for an
+    /// unrecognized name. Matched case-insensitively, with short
+    /// language aliases (`conll-en`, `conll-es`, `conll-nl`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "conll2003-en" | "conll-en" => Some(Self::conll2003_english()),
+            "conll2002-es" | "conll-es" => Some(Self::conll2002_spanish()),
+            "conll2002-nl" | "conll-nl" => Some(Self::conll2002_dutch()),
+            _ => None,
+        }
+    }
+
+    /// Canonical names [`Self::by_name`] accepts (for error messages).
+    pub const NAMES: &'static [&'static str] = &["conll2003-en", "conll2002-es", "conll2002-nl"];
+
     /// Scaled-down variant for tests/examples.
     pub fn tiny(n_train: usize, seed: u64) -> Self {
         Self {

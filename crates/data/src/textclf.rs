@@ -148,6 +148,22 @@ impl TextSpec {
         }
     }
 
+    /// Registry lookup: the named builder above, or `None` for an
+    /// unrecognized name. Names are matched case-insensitively and cover
+    /// the common aliases (`sst-2` for `sst2`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "mr" => Some(Self::mr()),
+            "sst2" | "sst-2" => Some(Self::sst2()),
+            "subj" => Some(Self::subj()),
+            "trec" => Some(Self::trec()),
+            _ => None,
+        }
+    }
+
+    /// Canonical names [`Self::by_name`] accepts (for error messages).
+    pub const NAMES: &'static [&'static str] = &["mr", "sst2", "subj", "trec"];
+
     /// Scaled-down variant for fast tests and examples: same process,
     /// `n` documents, small vocabulary.
     pub fn tiny(n_classes: usize, n: usize, seed: u64) -> Self {

@@ -1243,7 +1243,13 @@ mod tests {
         // LC grows with length (P(best path) shrinks multiplicatively)…
         assert!(long.least_confidence >= short.least_confidence - 1e-9);
         // …while MNLP is per-token and must stay the same order of magnitude.
-        let ratio = long.mnlp.unwrap() / short.mnlp.unwrap().max(1e-9);
+        let long_mnlp = long
+            .mnlp
+            .expect("eval_sample must set mnlp for the long sentence when EvalCaps requests it");
+        let short_mnlp = short
+            .mnlp
+            .expect("eval_sample must set mnlp for the short sentence when EvalCaps requests it");
+        let ratio = long_mnlp / short_mnlp.max(1e-9);
         assert!(ratio < 4.0, "MNLP still length-biased: ratio {ratio}");
     }
 

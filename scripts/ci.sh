@@ -27,10 +27,14 @@ echo "==> histal-experiments bench --check (harness smoke + obs/metrics gates)"
 cargo run -q --release -p histal-bench --bin histal-experiments -- \
     bench --check --scale 0.02 --repeats 1
 
+echo "==> spec-check: every checked-in specs/*.json parses and validates"
+cargo run -q --release -p histal-bench --bin histal-experiments -- spec-check
+
 echo "==> journal smoke: fig5 --journal, kill-free resume replays byte-identically"
 # Run from a scratch cwd so the smoke never touches the tracked results/.
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
+REPO_DIR="$(pwd)"
 BIN="$(pwd)/target/release/histal-experiments"
 cargo build -q --release -p histal-bench --bin histal-experiments
 (
@@ -43,6 +47,15 @@ cargo build -q --release -p histal-bench --bin histal-experiments
     "$BIN" resume fig5 --scale 0.05 --repeats 1 --journal fig5.jsonl \
         > second.out 2> /dev/null
     diff first.out second.out
+)
+
+echo "==> spec smoke: run --spec specs/fig5.json matches the fig5 golden"
+(
+    cd "$SMOKE_DIR"
+    "$BIN" run --spec "$REPO_DIR/specs/fig5.json" --scale 0.05 --repeats 1 \
+        > spec.out 2> /dev/null
+    diff spec.out "$REPO_DIR/crates/bench/tests/goldens/fig5_s005_r1.stdout"
+    diff results/fig5.json "$REPO_DIR/crates/bench/tests/goldens/fig5_s005_r1.json"
 )
 
 echo "CI green."
