@@ -101,18 +101,26 @@ pub fn cell_hash(
     config: &PoolConfig,
     scale: &Scale,
     lhs: bool,
+    ner_beam: Option<f64>,
 ) -> u64 {
-    fingerprint(&[
-        experiment,
-        dataset,
-        &format!("{strategy:?}"),
-        &format!(
-            "batch={} rounds={} init={}",
-            config.batch_size, config.rounds, config.init_labeled
-        ),
-        &format!("factor={} repeats={}", scale.factor, scale.repeats),
-        if lhs { "lhs" } else { "no-lhs" },
-    ])
+    // The beam width is part of the hash because pruned scoring changes
+    // cell bytes: a journal written exact must never replay into a
+    // beamed grid or vice versa. Exact cells omit the component so they
+    // hash identically to journals written before the beam existed.
+    let strategy_dbg = format!("{strategy:?}");
+    let pool = format!(
+        "batch={} rounds={} init={}",
+        config.batch_size, config.rounds, config.init_labeled
+    );
+    let scale_s = format!("factor={} repeats={}", scale.factor, scale.repeats);
+    let lhs_s = if lhs { "lhs" } else { "no-lhs" };
+    let mut parts: Vec<&str> = vec![experiment, dataset, &strategy_dbg, &pool, &scale_s, lhs_s];
+    let beam;
+    if let Some(b) = ner_beam {
+        beam = format!("beam={b}");
+        parts.push(&beam);
+    }
+    fingerprint(&parts)
 }
 
 /// Train the LHS selector on the Subj-analogue dataset per a spec-level
@@ -335,7 +343,8 @@ impl<'a> GridExecutor<'a> {
                     });
                 }
                 DatasetDef::Ner { spec: nspec } => {
-                    let task = NerTask::build(&nspec, &self.scale);
+                    let mut task = NerTask::build(&nspec, &self.scale);
+                    task.score_beam = spec.ner_beam;
                     let config = self.apply_pool(ner_pool_config(&self.scale));
                     instances.push(TaskInstance::Ner { task, config });
                 }
@@ -416,6 +425,10 @@ impl<'a> GridExecutor<'a> {
             let inst = &instances[cell.task];
             let start = Instant::now();
             let name = cell.strategy.name();
+            let beam = match inst {
+                TaskInstance::Ner { task, .. } => task.score_beam,
+                TaskInstance::Text { .. } => None,
+            };
             let hash = cell_hash(
                 &cell.experiment,
                 inst.name(),
@@ -423,6 +436,7 @@ impl<'a> GridExecutor<'a> {
                 inst.config(),
                 &self.scale,
                 cell.lhs.is_some(),
+                beam,
             );
             let runs: Vec<Result<RunResult, Error>> = rayon::run_indexed(self.scale.repeats, |r| {
                 let seed = seed_for(&cell.experiment, inst.name(), &name, r);

@@ -30,7 +30,7 @@ use histal_data::{NerDataset, NerSpec, TextDataset, TextSpec};
 
 use crate::executor::{
     mean_auc, render_spec, run_spec, seed_for, text_pool_config, train_lhs_plan, CellOutcome,
-    GridExecutor, Rendered,
+    GridExecutor, GridOutcome, Rendered,
 };
 use crate::journal::JournalCtx;
 use crate::registry::{self, ResolvedStrategy, FHS_WF, FHS_WS, WINDOW};
@@ -688,7 +688,7 @@ pub fn table7(scale: &Scale, variant: Table7Variant) -> Result<(), Error> {
 /// `score_ms`/`select_ms` sum the per-round phase timings the driver
 /// records (`score_ms` = history folding + density weighting,
 /// `select_ms` = batch selection).
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct BenchCell {
     pub experiment: String,
     pub dataset: String,
@@ -701,7 +701,7 @@ pub struct BenchCell {
 }
 
 /// Top-level payload of `BENCH_harness.json`.
-#[derive(serde::Serialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct BenchReport {
     pub git_rev: String,
     pub threads: usize,
@@ -806,11 +806,17 @@ fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
         },
     ];
     if !check {
+        // δ = 8 bounds the per-timestep log Z loss at
+        // −ln(1 − L·e^{−δ}) = −ln(1 − 17·e^{−8}) ≈ 5.7e-3 (DESIGN.md
+        // §5.7) while pruning most lattice sources once the CRF
+        // sharpens; the figure specs never set a beam, so their outputs
+        // stay exact.
         specs.push(ExperimentSpec {
             name: "bench-ner".into(),
             experiment: "bench-ner".into(),
             datasets: vec![DatasetEntry::new("conll2003-en")],
             groups: vec![group(&["LC", "WSHS(LC)"])],
+            ner_beam: Some(8.0),
             ..Default::default()
         });
     }
@@ -856,6 +862,8 @@ fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
         );
         obs_overhead_gate(scale, &cells);
         sharded_metrics_gate(scale)?;
+        kernel_equivalence_gate()?;
+        ner_perf_gate()?;
         println!("bench --check OK ({} cells)", cells.len());
         return Ok(());
     }
@@ -990,6 +998,165 @@ fn sharded_metrics_gate(scale: &Scale) -> Result<(), Error> {
     eprintln!(
         "  metrics gate: {} shards merged, al.rounds {expect_rounds}, al.selected {expect_selected}",
         shards.len()
+    );
+    Ok(())
+}
+
+/// Everything about a [`GridOutcome`] that must be invariant under a
+/// kernel-mode switch: curves, per-round selections and history
+/// diagnostics, and the recorded score sequences — floats compared as
+/// raw bits. Timings are deliberately excluded.
+fn outcome_fingerprint(outcome: &GridOutcome) -> String {
+    use std::fmt::Write;
+    let mut fp = String::new();
+    for block in &outcome.blocks {
+        for cell in &block.cells {
+            let _ = write!(fp, "\n{}/{}:", block.dataset, cell.name);
+            for run in &cell.runs {
+                for p in &run.curve {
+                    let _ = write!(fp, " {}@{:016x}", p.n_labeled, p.metric.to_bits());
+                }
+                for round in &run.rounds {
+                    let _ = write!(
+                        fp,
+                        " sel{:?} w{:016x} f{:016x}",
+                        round.selected,
+                        round.mean_wshs_of_selected.to_bits(),
+                        round.mean_fluct_of_selected.to_bits()
+                    );
+                }
+                for seq in &run.history {
+                    for v in seq {
+                        let _ = write!(fp, " h{:016x}", v.to_bits());
+                    }
+                }
+            }
+        }
+    }
+    fp
+}
+
+/// `bench --check` gate (DESIGN.md §5.7): the kernel layer must be a
+/// pure perf change. Runs the same tiny text + NER cells under the
+/// scalar reference kernels and the lane dispatch and requires every
+/// curve point, selection, and diagnostic to match to the bit — the
+/// NER cells with the δ = 8 scoring beam enabled, so the pruned path is
+/// covered by the mode-invariance contract too.
+fn kernel_equivalence_gate() -> Result<(), Error> {
+    use histal_models::kernels::{self, KernelMode};
+
+    let smoke = Scale {
+        factor: 0.02,
+        repeats: 1,
+    };
+    let specs = [
+        ExperimentSpec {
+            name: "kernel-smoke-text".into(),
+            experiment: "kernel-smoke-text".into(),
+            split_seed: 0xBE,
+            datasets: vec![DatasetEntry::new("mr")],
+            groups: vec![group(&["entropy", "WSHS(entropy)"])],
+            ..Default::default()
+        },
+        ExperimentSpec {
+            name: "kernel-smoke-ner".into(),
+            experiment: "kernel-smoke-ner".into(),
+            datasets: vec![DatasetEntry::new("conll2003-en")],
+            groups: vec![group(&["LC", "WSHS(LC)"])],
+            ner_beam: Some(8.0),
+            ..Default::default()
+        },
+    ];
+    let mut fingerprints = Vec::new();
+    for mode in [KernelMode::Scalar, KernelMode::Lanes] {
+        kernels::set_mode(mode);
+        let mut fp = String::new();
+        for spec in &specs {
+            let outcome = GridExecutor::new(spec, &smoke).serial().execute()?;
+            fp.push_str(&outcome_fingerprint(&outcome));
+        }
+        fingerprints.push(fp);
+    }
+    kernels::set_mode(KernelMode::Lanes);
+    assert!(
+        fingerprints[0] == fingerprints[1],
+        "kernel equivalence gate: scalar and lane kernels diverged\n\
+         --- scalar ---{}\n--- lanes ---{}",
+        fingerprints[0],
+        fingerprints[1]
+    );
+    eprintln!(
+        "  kernel gate: scalar == lanes across text+NER smoke cells \
+         ({} fingerprint bytes)",
+        fingerprints[0].len()
+    );
+    Ok(())
+}
+
+/// `bench --check` gate: kernel-layer perf must not regress. Re-times
+/// the bench-ner LC cell at the committed bench scale
+/// ([`Scale::quick`], the scale `bench` records) and fails if its wall
+/// clock exceeds the committed `BENCH_harness.json` number by more than
+/// 20%. Skipped with a note when no comparable reference exists (file
+/// missing, or recorded under a different thread count).
+fn ner_perf_gate() -> Result<(), Error> {
+    let raw = match std::fs::read_to_string("BENCH_harness.json") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("  ner perf gate: skipped (no BENCH_harness.json: {e})");
+            return Ok(());
+        }
+    };
+    let report: BenchReport = match serde_json::from_str(&raw) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("  ner perf gate: skipped (unreadable BENCH_harness.json: {e})");
+            return Ok(());
+        }
+    };
+    let threads = rayon::current_num_threads();
+    if report.threads != threads {
+        eprintln!(
+            "  ner perf gate: skipped (reference recorded with {} thread(s), running {threads})",
+            report.threads
+        );
+        return Ok(());
+    }
+    let Some(reference) = report
+        .cells
+        .iter()
+        .find(|c| c.experiment == "bench-ner" && c.strategy == "LC")
+    else {
+        eprintln!("  ner perf gate: skipped (no bench-ner/LC cell in reference)");
+        return Ok(());
+    };
+
+    let scale = Scale::quick();
+    let spec = ExperimentSpec {
+        name: "bench-ner".into(),
+        experiment: "bench-ner".into(),
+        datasets: vec![DatasetEntry::new("conll2003-en")],
+        groups: vec![group(&["LC"])],
+        ner_beam: Some(8.0),
+        ..Default::default()
+    };
+    let outcome = GridExecutor::new(&spec, &scale).serial().execute()?;
+    let wall: f64 = outcome
+        .blocks
+        .iter()
+        .flat_map(|b| &b.cells)
+        .map(|c| c.wall_ms)
+        .sum();
+    let limit = reference.wall_ms * 1.2;
+    assert!(
+        wall <= limit,
+        "ner perf gate: bench-ner/LC wall {wall:.1} ms exceeds {limit:.1} ms \
+         (committed {:.1} ms + 20%)",
+        reference.wall_ms
+    );
+    eprintln!(
+        "  ner perf gate: bench-ner/LC wall {wall:.1} ms vs committed {:.1} ms (limit {limit:.1})",
+        reference.wall_ms
     );
     Ok(())
 }

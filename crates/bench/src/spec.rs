@@ -61,6 +61,14 @@ pub struct ExperimentSpec {
     /// Pool-configuration overrides on top of the per-kind defaults.
     #[serde(default)]
     pub pool: Option<PoolSpec>,
+    /// CRF score-beam width `δ` for NER cells
+    /// ([`histal_models::CrfConfig::score_beam`]): scoring-only
+    /// forward–backward passes prune lattice source states more than
+    /// `δ` below each row's maximum. `None` (default, and the setting
+    /// of every figure spec) keeps scoring exact. Fit and Viterbi are
+    /// exact regardless. Text datasets ignore it.
+    #[serde(default)]
+    pub ner_beam: Option<f64>,
     /// Metric columns for [`ReportKind::Metrics`] (see
     /// [`registry::parse_metric`]).
     #[serde(default)]
@@ -418,6 +426,18 @@ impl ExperimentSpec {
         if self.report == ReportKind::Metrics && self.metrics.is_empty() {
             return Err(Error::spec("a `metrics` report needs at least one metric"));
         }
+        if let Some(beam) = self.ner_beam {
+            if !(beam.is_finite() && beam > 0.0) {
+                return Err(Error::spec(format!(
+                    "`ner_beam` must be a positive finite width, got {beam}"
+                )));
+            }
+            if kind != registry::TaskKind::Ner {
+                return Err(Error::spec(
+                    "`ner_beam` only applies to NER datasets — remove it from text specs",
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -471,6 +491,7 @@ mod tests {
             metrics: vec!["final".into(), "alc".into()],
             dataset_column: None,
             report: ReportKind::Curves,
+            ner_beam: None,
         }
     }
 

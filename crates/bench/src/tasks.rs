@@ -256,6 +256,9 @@ pub struct NerTask {
     pub pool_tags: Vec<Vec<u16>>,
     pub test: Vec<Sentence>,
     pub test_tags: Vec<Vec<u16>>,
+    /// Score-beam width `δ` forwarded to [`CrfConfig::score_beam`];
+    /// `None` keeps every lattice pass exact.
+    pub score_beam: Option<f64>,
 }
 
 impl NerTask {
@@ -283,6 +286,7 @@ impl NerTask {
             pool_tags,
             test,
             test_tags,
+            score_beam: None,
         }
     }
 
@@ -292,6 +296,7 @@ impl NerTask {
             n_features: NER_FEATURES,
             epochs: 5,
             mc_passes: 8,
+            score_beam: self.score_beam,
             ..Default::default()
         })
     }

@@ -117,8 +117,28 @@ fn spec() -> impl Strategy<Value = ExperimentSpec> {
                 metrics,
                 dataset_column,
                 report,
+                // Kept `None` here: `ner_beam` is only valid on NER
+                // specs and the generated datasets are arbitrary. Its
+                // round-trip is pinned by `ner_beam_round_trips`.
+                ner_beam: None,
             },
         )
+}
+
+/// `ner_beam` survives the JSON round trip on a spec where it is valid.
+#[test]
+fn ner_beam_round_trips() {
+    let spec = ExperimentSpec {
+        name: "bench-ner".into(),
+        experiment: "bench-ner".into(),
+        datasets: vec![DatasetEntry::new("conll2003-en")],
+        ner_beam: Some(8.0),
+        ..Default::default()
+    };
+    let json = spec.to_json_pretty();
+    let reparsed = ExperimentSpec::from_json(&json).expect("beam spec reparses");
+    assert_eq!(reparsed.ner_beam, Some(8.0));
+    assert_eq!(reparsed.to_json_pretty(), json);
 }
 
 proptest! {

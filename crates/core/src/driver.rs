@@ -279,7 +279,18 @@ impl<M: Model> ActiveLearner<M> {
 
         let mut curve = Vec::with_capacity(self.config.rounds + 1);
         let mut rounds = Vec::with_capacity(self.config.rounds);
-        let caps = self.strategy.base.caps();
+        // The base strategy declares its own needs; side-channel consumers
+        // (HKLD reads posteriors, LHS features read entropy and optionally
+        // posteriors) widen the request so the model computes exactly what
+        // this run's stages will observe — and nothing more.
+        let mut caps = self.strategy.base.caps();
+        if self.strategy.hkld.is_some() {
+            caps.probs = true;
+        }
+        if let Some(lhs) = &self.lhs {
+            caps.entropy = true;
+            caps.probs = caps.probs || lhs.needs_probs();
+        }
 
         let mut stop_reason = StopReason::RoundsExhausted;
         // When the pool empties we have already recorded the metric for

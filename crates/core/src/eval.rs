@@ -26,6 +26,16 @@ pub struct EvalCaps {
     /// Sequence-level top-2 margin (2-best Viterbi). Classification
     /// models derive margin from the posterior for free and ignore this.
     pub margin: bool,
+    /// Per-token marginal entropy (backward pass for sequence models).
+    /// Classification models compute entropy for free and ignore this;
+    /// the CRF skips the backward lattice when it is unset.
+    #[serde(default)]
+    pub entropy: bool,
+    /// Full posterior vector in [`SampleEval::probs`]. Set by consumers
+    /// that read posteriors directly (HKLD committee, LHS posterior
+    /// features) rather than through a base-strategy score.
+    #[serde(default)]
+    pub probs: bool,
 }
 
 impl EvalCaps {
@@ -38,6 +48,8 @@ impl EvalCaps {
             mnlp: self.mnlp || other.mnlp,
             qbc: self.qbc || other.qbc,
             margin: self.margin || other.margin,
+            entropy: self.entropy || other.entropy,
+            probs: self.probs || other.probs,
         }
     }
 }

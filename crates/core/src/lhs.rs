@@ -285,6 +285,12 @@ impl LhsSelector {
         &self.features
     }
 
+    /// Whether ranking features read the full posterior vector, so the
+    /// driver must request [`EvalCaps::probs`] from the model.
+    pub fn needs_probs(&self) -> bool {
+        self.features.use_probs
+    }
+
     /// Rank the candidate set and return up to `batch` positions into
     /// `unlabeled`, best first.
     pub fn select(
@@ -465,7 +471,11 @@ where
         "eval samples/labels misaligned"
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let caps = config.base.caps();
+    // Beyond the base strategy's own needs, Algorithm 1 builds its
+    // candidate set from entropy + LC and may featurize posteriors.
+    let mut caps = config.base.caps();
+    caps.entropy = true;
+    caps.probs = caps.probs || config.features.use_probs;
 
     // ---- Phase 1: collect history sequences, train the predictor. ----
     let mut sim = Simulation::new(

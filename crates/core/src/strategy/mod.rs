@@ -72,6 +72,7 @@ impl BaseStrategy {
             Self::Mnlp => caps.mnlp = true,
             Self::QbcKl => caps.qbc = true,
             Self::Margin => caps.margin = true,
+            Self::Entropy => caps.entropy = true,
             _ => {}
         }
         caps

@@ -34,6 +34,7 @@ use histal_obs::span;
 use histal_obs::trace::Level;
 use histal_text::{char_ngrams, FeatureHasher, SparseVec};
 
+use crate::kernels;
 use crate::math::logsumexp;
 
 /// A featurized sentence: one sparse emission-feature vector per token.
@@ -120,6 +121,16 @@ pub struct CrfConfig {
     pub committee_epochs: usize,
     /// Tag inventory (provides the span-F1 metric).
     pub scheme: TagScheme,
+    /// Log-domain beam width for **scoring-only** pruned
+    /// forward–backward (DESIGN.md §5.7). `None` (the default) keeps
+    /// every strategy-scoring pass exact. `Some(δ)` prunes source
+    /// states more than `δ` below each timestep's best forward score
+    /// when computing `logZ`/entropy inside [`Model::eval_sample`];
+    /// `|logZ_pruned − logZ| ≤ −(T−1)·ln(1 − L·e^{−δ})` for
+    /// `L·e^{−δ} < 1` (L = label count, T = sentence length). Training,
+    /// decoding and the span-F1 metric never use the beam.
+    #[serde(default)]
+    pub score_beam: Option<f64>,
 }
 
 impl Default for CrfConfig {
@@ -136,6 +147,7 @@ impl Default for CrfConfig {
             committee: 0,
             committee_epochs: 3,
             scheme: TagScheme::conll(),
+            score_beam: None,
         }
     }
 }
@@ -171,6 +183,20 @@ struct LatticeScratch {
     probs: Vec<f64>,
     /// BALD vote counts `votes[t*l + tag]`.
     votes: Vec<u32>,
+    /// Prepared (bounds-filtered, f64-widened) features for the current
+    /// sentence: indices, values, and per-token offsets (`poff[t]..
+    /// poff[t+1]` is token `t`'s window). Every lattice pass over one
+    /// sentence — exact fill, the BALD dropout fills, repeat Viterbi
+    /// decodes — shares this one preparation.
+    pidx: Vec<u32>,
+    pval: Vec<f64>,
+    poff: Vec<usize>,
+    /// Transposed transitions `trans_t[y*l + p] = trans[p*l + y]`, so
+    /// forward/Viterbi row fills read contiguous lanes.
+    trans_t: Vec<f64>,
+    /// Beam-active label sets per timestep (flattened + offsets).
+    act: Vec<u16>,
+    act_off: Vec<usize>,
 }
 
 thread_local! {
@@ -188,7 +214,14 @@ fn with_lattice<R>(f: impl FnOnce(&mut LatticeScratch) -> R) -> R {
 pub struct CrfTagger {
     config: CrfConfig,
     n_labels: usize,
-    /// Row-major `n_labels × n_features` emission weights.
+    /// Feature-major `n_features × n_labels` emission weights:
+    /// `emit[idx*l + y]`. Feature-major puts all labels of one hashed
+    /// feature in one contiguous (lane-friendly, cache-friendly) row,
+    /// which is the layout every hot loop walks: emission fills and the
+    /// sparse SGD updates both iterate features outer, labels inner.
+    /// For any fixed `(t, y)` cell the accumulation still runs in
+    /// feature order, so scores are bit-identical to the historical
+    /// label-major layout.
     emit: Vec<f64>,
     /// `trans[prev * n_labels + cur]`.
     trans: Vec<f64>,
@@ -238,15 +271,28 @@ impl CrfTagger {
         self.n_labels
     }
 
-    /// Emission score matrix `E[t][y]` for a sentence.
+    /// The contiguous per-feature weight row `emit[idx*l ..][..l]`.
+    #[inline]
+    fn emit_row(&self, idx: usize) -> &[f64] {
+        &self.emit[idx * self.n_labels..(idx + 1) * self.n_labels]
+    }
+
+    /// Emission score matrix `E[t][y]` for a sentence — the nested
+    /// reference implementation (tests, `marginals`, `nll`).
     fn emissions(&self, s: &Sentence) -> Vec<Vec<f64>> {
         let nf = self.config.n_features as usize;
+        let l = self.n_labels;
         s.token_feats
             .iter()
             .map(|x| {
-                (0..self.n_labels)
-                    .map(|y| x.dot_dense(&self.emit[y * nf..(y + 1) * nf]))
-                    .collect()
+                let mut row = vec![0.0; l];
+                for (idx, val) in x.iter() {
+                    // Out-of-range hashed indices contribute zero.
+                    if (idx as usize) < nf {
+                        kernels::scalar::axpy(&mut row, self.emit_row(idx as usize), val as f64);
+                    }
+                }
+                row
             })
             .collect()
     }
@@ -254,42 +300,114 @@ impl CrfTagger {
     /// Flat emission matrix `e[t*l + y]` into a reusable buffer.
     fn emissions_into(&self, s: &Sentence, e: &mut Vec<f64>) {
         let nf = self.config.n_features as usize;
-        e.clear();
-        e.reserve(s.len() * self.n_labels);
-        for x in &s.token_feats {
-            for y in 0..self.n_labels {
-                e.push(x.dot_dense(&self.emit[y * nf..(y + 1) * nf]));
-            }
-        }
-    }
-
-    /// Flat emission scores under a random dropout mask, into a reusable
-    /// buffer. Consumes `rng` draws in the same order as the original
-    /// per-row implementation (one draw per in-range feature index).
-    fn emissions_dropout_into(&self, s: &Sentence, rng: &mut ChaCha8Rng, e: &mut Vec<f64>) {
-        let nf = self.config.n_features as usize;
         let l = self.n_labels;
-        let keep = 1.0 - self.config.dropout;
-        let scale = 1.0 / keep;
         e.clear();
         e.resize(s.len() * l, 0.0);
         for (t, x) in s.token_feats.iter().enumerate() {
             let row = &mut e[t * l..(t + 1) * l];
             for (idx, val) in x.iter() {
-                // Out-of-range hashed indices are ignored, matching dot_dense.
-                if (idx as usize) < nf && rng.gen::<f64>() < keep {
-                    let v = val as f64 * scale;
-                    for (y, r) in row.iter_mut().enumerate() {
-                        *r += self.emit[y * nf + idx as usize] * v;
-                    }
+                if (idx as usize) < nf {
+                    kernels::axpy(row, self.emit_row(idx as usize), val as f64);
                 }
             }
         }
     }
 
+    /// Bounds-filter and f64-widen a sentence's features once, into
+    /// flat per-token windows. All lattice passes over the sentence
+    /// (exact fill + every BALD dropout fill) then share this single
+    /// preparation instead of re-walking the `SparseVec`s.
+    fn prepare_feats(
+        &self,
+        s: &Sentence,
+        pidx: &mut Vec<u32>,
+        pval: &mut Vec<f64>,
+        poff: &mut Vec<usize>,
+    ) {
+        let nf = self.config.n_features as usize;
+        pidx.clear();
+        pval.clear();
+        poff.clear();
+        poff.push(0);
+        for x in &s.token_feats {
+            for (idx, val) in x.iter() {
+                if (idx as usize) < nf {
+                    pidx.push(idx);
+                    pval.push(val as f64);
+                }
+            }
+            poff.push(pidx.len());
+        }
+    }
+
+    /// Flat emission fill from prepared features.
+    fn fill_emissions(&self, pidx: &[u32], pval: &[f64], poff: &[usize], e: &mut Vec<f64>) {
+        let l = self.n_labels;
+        let t_len = poff.len() - 1;
+        e.clear();
+        e.resize(t_len * l, 0.0);
+        for t in 0..t_len {
+            let row = &mut e[t * l..(t + 1) * l];
+            for k in poff[t]..poff[t + 1] {
+                kernels::axpy(row, self.emit_row(pidx[k] as usize), pval[k]);
+            }
+        }
+    }
+
+    /// Flat emission fill under a random dropout mask, from prepared
+    /// features. Consumes `rng` draws in the same order as the original
+    /// implementation (one draw per in-range feature index).
+    fn fill_emissions_dropout(
+        &self,
+        pidx: &[u32],
+        pval: &[f64],
+        poff: &[usize],
+        rng: &mut ChaCha8Rng,
+        e: &mut Vec<f64>,
+    ) {
+        let l = self.n_labels;
+        let keep = 1.0 - self.config.dropout;
+        let scale = 1.0 / keep;
+        let t_len = poff.len() - 1;
+        e.clear();
+        e.resize(t_len * l, 0.0);
+        for t in 0..t_len {
+            let row = &mut e[t * l..(t + 1) * l];
+            for k in poff[t]..poff[t + 1] {
+                if rng.gen::<f64>() < keep {
+                    kernels::axpy(row, self.emit_row(pidx[k] as usize), pval[k] * scale);
+                }
+            }
+        }
+    }
+
+    /// Transposed transitions `trans_t[y*l + p] = trans[p*l + y]` for
+    /// contiguous forward/Viterbi row fills. O(L²) copies — negligible
+    /// next to one lattice pass.
+    fn fill_trans_t(&self, trans_t: &mut Vec<f64>) {
+        let l = self.n_labels;
+        trans_t.clear();
+        trans_t.resize(l * l, 0.0);
+        for p in 0..l {
+            for y in 0..l {
+                trans_t[y * l + p] = self.trans[p * l + y];
+            }
+        }
+    }
+
     /// Forward pass on a flat emission matrix; fills `alpha` and returns
-    /// `logZ`. Same operations in the same order as [`Self::forward`].
-    fn forward_flat(&self, e: &[f64], alpha: &mut Vec<f64>, row: &mut Vec<f64>) -> f64 {
+    /// `logZ`. Same operations in the same order as [`Self::forward`]:
+    /// the vectorized row fill `α[t−1][p] + trans[p][y]` produces the
+    /// exact operands the scalar loop fed `logsumexp`, and the
+    /// (order-sensitive) sum of exponentials stays scalar inside
+    /// `logsumexp` itself.
+    fn forward_flat(
+        &self,
+        e: &[f64],
+        trans_t: &[f64],
+        alpha: &mut Vec<f64>,
+        row: &mut Vec<f64>,
+    ) -> f64 {
         let l = self.n_labels;
         let t_len = e.len() / l;
         alpha.clear();
@@ -300,11 +418,11 @@ impl CrfTagger {
             alpha[y] = self.start[y] + e[y];
         }
         for t in 1..t_len {
+            let (prev, cur) = alpha.split_at_mut(t * l);
+            let aprev = &prev[(t - 1) * l..];
             for y in 0..l {
-                for (p, s) in row.iter_mut().enumerate() {
-                    *s = alpha[(t - 1) * l + p] + self.trans[p * l + y];
-                }
-                alpha[t * l + y] = logsumexp(row) + e[t * l + y];
+                kernels::add2(row, aprev, &trans_t[y * l..(y + 1) * l]);
+                cur[y] = logsumexp(row) + e[t * l + y];
             }
         }
         for y in 0..l {
@@ -313,7 +431,8 @@ impl CrfTagger {
         logsumexp(row)
     }
 
-    /// Backward pass on a flat emission matrix; fills `beta`.
+    /// Backward pass on a flat emission matrix; fills `beta`. The row
+    /// fill keeps the reference association `(trans + e) + β`.
     fn backward_flat(&self, e: &[f64], beta: &mut Vec<f64>, row: &mut Vec<f64>) {
         let l = self.n_labels;
         let t_len = e.len() / l;
@@ -323,23 +442,29 @@ impl CrfTagger {
         row.resize(l, 0.0);
         beta[(t_len - 1) * l..].copy_from_slice(&self.end);
         for t in (0..t_len - 1).rev() {
+            let (cur, next) = beta.split_at_mut((t + 1) * l);
+            let bnext = &next[..l];
+            let enext = &e[(t + 1) * l..(t + 2) * l];
             for y in 0..l {
-                for (n, s) in row.iter_mut().enumerate() {
-                    *s = self.trans[y * l + n] + e[(t + 1) * l + n] + beta[(t + 1) * l + n];
-                }
-                beta[t * l + y] = logsumexp(row);
+                kernels::add3(row, &self.trans[y * l..(y + 1) * l], enext, bnext);
+                cur[t * l + y] = logsumexp(row);
             }
         }
     }
 
     /// Viterbi on a flat emission matrix with reusable lattices; fills
     /// `tags` with the best path and returns its unnormalized score.
+    /// The max-sum recursion vectorizes exactly: f64 max is associative
+    /// and commutative for non-NaN scores, and the lane argmax keeps the
+    /// scalar earliest-index tie-break.
     fn viterbi_flat(
         &self,
         e: &[f64],
+        trans_t: &[f64],
         delta: &mut Vec<f64>,
         back: &mut Vec<u16>,
         tags: &mut Vec<u16>,
+        row: &mut Vec<f64>,
     ) -> f64 {
         let l = self.n_labels;
         let t_len = e.len() / l;
@@ -347,32 +472,23 @@ impl CrfTagger {
         delta.resize(t_len * l, 0.0);
         back.clear();
         back.resize(t_len * l, 0);
+        row.clear();
+        row.resize(l, 0.0);
         for y in 0..l {
             delta[y] = self.start[y] + e[y];
         }
         for t in 1..t_len {
+            let (prev, cur) = delta.split_at_mut(t * l);
+            let dprev = &prev[(t - 1) * l..];
             for y in 0..l {
-                let mut best = f64::NEG_INFINITY;
-                let mut arg = 0u16;
-                for p in 0..l {
-                    let v = delta[(t - 1) * l + p] + self.trans[p * l + y];
-                    if v > best {
-                        best = v;
-                        arg = p as u16;
-                    }
-                }
-                delta[t * l + y] = best + e[t * l + y];
-                back[t * l + y] = arg;
+                kernels::add2(row, dprev, &trans_t[y * l..(y + 1) * l]);
+                let (best, arg) = kernels::max_index(row);
+                cur[y] = best + e[t * l + y];
+                back[t * l + y] = arg as u16;
             }
         }
-        let (mut cur, mut best) = (0usize, f64::NEG_INFINITY);
-        for y in 0..l {
-            let v = delta[(t_len - 1) * l + y] + self.end[y];
-            if v > best {
-                best = v;
-                cur = y;
-            }
-        }
+        kernels::add2(row, &delta[(t_len - 1) * l..], &self.end);
+        let (best, mut cur) = kernels::max_index(row);
         tags.clear();
         tags.resize(t_len, 0);
         tags[t_len - 1] = cur as u16;
@@ -429,6 +545,113 @@ impl CrfTagger {
             }
         }
         (b1, b2)
+    }
+
+    /// Append the labels of `row` within `delta` of its maximum to
+    /// `act`. With `delta = ∞` every (non-NaN) label stays active.
+    fn prune_row(row: &[f64], delta: f64, act: &mut Vec<u16>) {
+        let (m, _) = kernels::max_index(row);
+        let thr = m - delta;
+        for (y, &v) in row.iter().enumerate() {
+            if v >= thr {
+                act.push(y as u16);
+            }
+        }
+    }
+
+    /// Beam-pruned forward pass (scoring only — see
+    /// [`CrfConfig::score_beam`]). Every `α[t][y]` cell is still
+    /// computed, but the transition sum at step `t` runs over only the
+    /// *source* labels within `delta` of step `t−1`'s best forward
+    /// score; the per-step active sets are recorded in `act`/`act_off`
+    /// for the matching backward pass. Dropping a source can only
+    /// remove probability mass, so the returned `logZ` underestimates
+    /// the exact one by at most `−(T−1)·ln(1 − L·e^{−δ})` nats (each
+    /// step discards at most `L·e^{−δ}` of its relative mass). With
+    /// `delta = ∞` nothing is pruned and every output is bit-identical
+    /// to [`Self::forward_flat`].
+    #[allow(clippy::too_many_arguments)]
+    fn forward_beam(
+        &self,
+        e: &[f64],
+        trans_t: &[f64],
+        delta: f64,
+        alpha: &mut Vec<f64>,
+        row: &mut Vec<f64>,
+        act: &mut Vec<u16>,
+        act_off: &mut Vec<usize>,
+    ) -> f64 {
+        let l = self.n_labels;
+        let t_len = e.len() / l;
+        alpha.clear();
+        alpha.resize(t_len * l, 0.0);
+        act.clear();
+        act_off.clear();
+        act_off.push(0);
+        row.clear();
+        row.resize(l, 0.0);
+        for y in 0..l {
+            alpha[y] = self.start[y] + e[y];
+        }
+        Self::prune_row(&alpha[..l], delta, act);
+        act_off.push(act.len());
+        for t in 1..t_len {
+            let (prev, cur) = alpha.split_at_mut(t * l);
+            let aprev = &prev[(t - 1) * l..];
+            let srcs = &act[act_off[t - 1]..act_off[t]];
+            for y in 0..l {
+                let ty = &trans_t[y * l..(y + 1) * l];
+                row.clear();
+                // Sources in index order: with a full active set this
+                // reproduces the exact row, value for value.
+                for &p in srcs {
+                    row.push(aprev[p as usize] + ty[p as usize]);
+                }
+                cur[y] = logsumexp(row) + e[t * l + y];
+            }
+            let full = &alpha[t * l..(t + 1) * l];
+            Self::prune_row(full, delta, act);
+            act_off.push(act.len());
+        }
+        row.clear();
+        row.resize(l, 0.0);
+        for y in 0..l {
+            row[y] = alpha[(t_len - 1) * l + y] + self.end[y];
+        }
+        logsumexp(row)
+    }
+
+    /// Backward pass restricted to the forward beam's per-step active
+    /// sets. With full active sets it is bit-identical to
+    /// [`Self::backward_flat`].
+    fn backward_beam(
+        &self,
+        e: &[f64],
+        beta: &mut Vec<f64>,
+        row: &mut Vec<f64>,
+        act: &[u16],
+        act_off: &[usize],
+    ) {
+        let l = self.n_labels;
+        let t_len = e.len() / l;
+        beta.clear();
+        beta.resize(t_len * l, 0.0);
+        beta[(t_len - 1) * l..].copy_from_slice(&self.end);
+        for t in (0..t_len - 1).rev() {
+            let (cur, next) = beta.split_at_mut((t + 1) * l);
+            let bnext = &next[..l];
+            let enext = &e[(t + 1) * l..(t + 2) * l];
+            let nexts = &act[act_off[t + 1]..act_off[t + 2]];
+            for y in 0..l {
+                let tr = &self.trans[y * l..(y + 1) * l];
+                row.clear();
+                for &n in nexts {
+                    let n = n as usize;
+                    row.push((tr[n] + enext[n]) + bnext[n]);
+                }
+                cur[t * l + y] = logsumexp(row);
+            }
+        }
     }
 
     /// Log-space forward pass; returns `(alpha, logZ)`.
@@ -502,10 +725,13 @@ impl CrfTagger {
                 delta,
                 back,
                 tags,
+                row,
+                trans_t,
                 ..
             } = ws;
             self.emissions_into(s, e);
-            let score = self.viterbi_flat(e, delta, back, tags);
+            self.fill_trans_t(trans_t);
+            let score = self.viterbi_flat(e, trans_t, delta, back, tags, row);
             (tags.clone(), score)
         })
     }
@@ -541,10 +767,12 @@ impl CrfTagger {
                 row,
                 best2,
                 next2,
+                trans_t,
                 ..
             } = ws;
             self.emissions_into(s, e);
-            let log_z = self.forward_flat(e, alpha, row);
+            self.fill_trans_t(trans_t);
+            let log_z = self.forward_flat(e, trans_t, alpha, row);
             let (best, second) = self.viterbi2_flat(e, best2, next2);
             let p1 = (best - log_z).exp();
             let p2 = if second.is_finite() {
@@ -553,6 +781,34 @@ impl CrfTagger {
                 0.0
             };
             1.0 - (p1 - p2)
+        })
+    }
+
+    /// Log partition function `ln Z(x)`, honoring
+    /// [`CrfConfig::score_beam`]: exact when the beam is unset,
+    /// beam-pruned (underestimating by at most the documented bound)
+    /// when set. Exposed so the beam's error-bound and rank-stability
+    /// properties can be tested against the exact oracle directly.
+    pub fn log_partition(&self, s: &Sentence) -> f64 {
+        if s.is_empty() {
+            return 0.0;
+        }
+        with_lattice(|ws| {
+            let LatticeScratch {
+                e,
+                alpha,
+                row,
+                trans_t,
+                act,
+                act_off,
+                ..
+            } = ws;
+            self.emissions_into(s, e);
+            self.fill_trans_t(trans_t);
+            match self.config.score_beam {
+                Some(delta) => self.forward_beam(e, trans_t, delta, alpha, row, act, act_off),
+                None => self.forward_flat(e, trans_t, alpha, row),
+            }
         })
     }
 
@@ -617,7 +873,7 @@ impl CrfTagger {
                     .map(|y| {
                         feats
                             .iter()
-                            .map(|&(idx, v)| self.emit[y * nf + idx as usize] * v)
+                            .map(|&(idx, v)| self.emit[idx as usize * l + y] * v)
                             .sum()
                     })
                     .collect()
@@ -633,9 +889,8 @@ impl CrfTagger {
                 if g.abs() < 1e-12 {
                     continue;
                 }
-                let row = &mut self.emit[y * nf..(y + 1) * nf];
                 for &(idx, v) in feats {
-                    let w = &mut row[idx as usize];
+                    let w = &mut self.emit[idx as usize * l + y];
                     *w -= lr * (g * v + l2 * *w);
                 }
             }
@@ -705,9 +960,29 @@ impl CrfTagger {
     pub fn bald(&self, s: &Sentence, rng: &mut ChaCha8Rng) -> f64 {
         with_lattice(|ws| self.bald_with(s, rng, ws))
     }
+}
+
+/// Per-sentence gradient payload returned by the minibatch kernel:
+/// flattened dropout-masked features (token `t`'s window is
+/// `moff[t]..moff[t+1]` of `midx`/`mval`) plus the flat gradient
+/// factors `g[t*l + y] = γ_t(y) − δ`.
+#[derive(Default)]
+struct SentGrad {
+    midx: Vec<u32>,
+    mval: Vec<f64>,
+    moff: Vec<usize>,
+    g: Vec<f64>,
+}
+
+impl CrfTagger {
+    /// Gradient factors below this skip the emission-row update (and
+    /// its L2 decay) — the historical sparse-update cutoff.
+    const GRAD_EPS: f64 = 1e-12;
 
     /// BALD inner loop on caller-provided scratch: `mc_passes` dropout
-    /// lattices and Viterbi decodes with zero per-pass allocation.
+    /// lattices and Viterbi decodes with zero per-pass allocation. All
+    /// passes share one feature preparation and one transition
+    /// transpose; only the masked emission fill differs per pass.
     fn bald_with(&self, s: &Sentence, rng: &mut ChaCha8Rng, ws: &mut LatticeScratch) -> f64 {
         if s.is_empty() {
             return 0.0;
@@ -719,14 +994,21 @@ impl CrfTagger {
             delta,
             back,
             tags,
+            row,
             votes,
+            pidx,
+            pval,
+            poff,
+            trans_t,
             ..
         } = ws;
+        self.prepare_feats(s, pidx, pval, poff);
+        self.fill_trans_t(trans_t);
         votes.clear();
         votes.resize(s.len() * l, 0);
         for _ in 0..passes {
-            self.emissions_dropout_into(s, rng, e);
-            self.viterbi_flat(e, delta, back, tags);
+            self.fill_emissions_dropout(pidx, pval, poff, rng, e);
+            self.viterbi_flat(e, trans_t, delta, back, tags, row);
             for (t, &tag) in tags.iter().enumerate() {
                 votes[t * l + tag as usize] += 1;
             }
@@ -798,82 +1080,96 @@ impl Model for CrfTagger {
                         let i = batch[j];
                         let (s, tags) = (samples[i], labels[i]);
                         if s.is_empty() {
-                            return (Vec::new(), Vec::new());
+                            return SentGrad::default();
                         }
                         let mut srng = ChaCha8Rng::seed_from_u64(crate::parallel::derive_seed(
                             epoch_seed,
                             (base + j) as u64,
                         ));
                         // One mask per token, reused for the forward
-                        // pass and the gradient.
-                        let masked: Vec<Vec<(u32, f64)>> = feats[i]
-                            .iter()
-                            .map(|toks| {
-                                toks.iter()
-                                    .filter_map(|&(idx, v)| {
-                                        if train_dropout == 0.0 || srng.gen::<f64>() < keep {
-                                            Some((idx, v / keep))
-                                        } else {
-                                            None
-                                        }
-                                    })
-                                    .collect()
-                            })
-                            .collect();
-                        let e: Vec<Vec<f64>> = masked
-                            .iter()
-                            .map(|feats_t| {
-                                (0..l)
-                                    .map(|y| {
-                                        feats_t
-                                            .iter()
-                                            .map(|&(idx, v)| model.emit[y * nf + idx as usize] * v)
-                                            .sum()
-                                    })
-                                    .collect()
-                            })
-                            .collect();
-                        let (alpha, log_z) = model.forward(&e);
-                        let beta = model.backward(&e);
-                        // Emission gradient factors γ_t(y) − δ; row 0 and
-                        // the last row double as the start/end gradients.
-                        let g: Vec<Vec<f64>> = (0..s.len())
-                            .map(|t| {
-                                (0..l)
-                                    .map(|y| {
-                                        (alpha[t][y] + beta[t][y] - log_z).exp()
-                                            - if tags[t] as usize == y { 1.0 } else { 0.0 }
-                                    })
-                                    .collect()
-                            })
-                            .collect();
-                        // Transition gradient ξ_t(p,y) − observed, with
-                        // the L2 term at the batch-start weights so it
-                        // folds into the order-fixed accumulator.
-                        for t in 0..s.len() - 1 {
-                            for p in 0..l {
-                                for y in 0..l {
-                                    let xi = (alpha[t][p]
-                                        + model.trans[p * l + y]
-                                        + e[t + 1][y]
-                                        + beta[t + 1][y]
-                                        - log_z)
-                                        .exp();
-                                    let obs = if tags[t] as usize == p && tags[t + 1] as usize == y
-                                    {
-                                        1.0
-                                    } else {
-                                        0.0
-                                    };
-                                    acc[p * l + y] += (xi - obs) + l2 * model.trans[p * l + y];
+                        // pass and the gradient. The mask draws run in
+                        // feature order, matching the historical
+                        // per-token filter.
+                        let mut sg = SentGrad::default();
+                        sg.moff.push(0);
+                        for toks in &feats[i] {
+                            for &(idx, v) in toks {
+                                if train_dropout == 0.0 || srng.gen::<f64>() < keep {
+                                    sg.midx.push(idx);
+                                    sg.mval.push(v / keep);
                                 }
                             }
+                            sg.moff.push(sg.midx.len());
                         }
-                        for y in 0..l {
-                            acc[l * l + y] += g[0][y];
-                            acc[l * l + l + y] += g[s.len() - 1][y];
-                        }
-                        (masked, g)
+                        let t_len = s.len();
+                        // Flat thread-local lattices replace the
+                        // per-sentence nested allocations; the flat
+                        // passes are bit-identical to the nested
+                        // references (`flat_eval_matches_nested_reference`).
+                        with_lattice(|ws| {
+                            let LatticeScratch {
+                                e,
+                                alpha,
+                                beta,
+                                row,
+                                trans_t,
+                                ..
+                            } = ws;
+                            model.fill_emissions(&sg.midx, &sg.mval, &sg.moff, e);
+                            model.fill_trans_t(trans_t);
+                            let log_z = model.forward_flat(e, trans_t, alpha, row);
+                            model.backward_flat(e, beta, row);
+                            // Emission gradient factors γ_t(y) − δ; row 0
+                            // and the last row double as the start/end
+                            // gradients.
+                            sg.g.resize(t_len * l, 0.0);
+                            for t in 0..t_len {
+                                let grow = &mut sg.g[t * l..(t + 1) * l];
+                                kernels::add2(
+                                    grow,
+                                    &alpha[t * l..(t + 1) * l],
+                                    &beta[t * l..(t + 1) * l],
+                                );
+                                for (y, gy) in grow.iter_mut().enumerate() {
+                                    *gy = (*gy - log_z).exp()
+                                        - if tags[t] as usize == y { 1.0 } else { 0.0 };
+                                }
+                            }
+                            // Transition gradient ξ_t(p,y) − observed,
+                            // with the L2 term at the batch-start weights
+                            // so it folds into the order-fixed
+                            // accumulator.
+                            for t in 0..t_len - 1 {
+                                let enext = &e[(t + 1) * l..(t + 2) * l];
+                                let bnext = &beta[(t + 1) * l..(t + 2) * l];
+                                for p in 0..l {
+                                    let tr = &model.trans[p * l..(p + 1) * l];
+                                    kernels::shift_add3_sub(
+                                        row,
+                                        alpha[t * l + p],
+                                        tr,
+                                        enext,
+                                        bnext,
+                                        log_z,
+                                    );
+                                    let accr = &mut acc[p * l..(p + 1) * l];
+                                    for y in 0..l {
+                                        let obs =
+                                            if tags[t] as usize == p && tags[t + 1] as usize == y {
+                                                1.0
+                                            } else {
+                                                0.0
+                                            };
+                                        accr[y] += (row[y].exp() - obs) + l2 * tr[y];
+                                    }
+                                }
+                            }
+                            for y in 0..l {
+                                acc[l * l + y] += sg.g[y];
+                                acc[l * l + l + y] += sg.g[(t_len - 1) * l + y];
+                            }
+                        });
+                        sg
                     },
                 );
                 for (w, d) in self.trans.iter_mut().zip(&dense[..l * l]) {
@@ -887,18 +1183,25 @@ impl Model for CrfTagger {
                 }
                 // Sparse emission updates in sentence order (serial, so
                 // the L2 term sees deterministically-evolving weights).
-                for (masked, g) in &per_item {
-                    for (t, feats_t) in masked.iter().enumerate() {
-                        for y in 0..l {
-                            let gv = g[t][y];
-                            if gv.abs() < 1e-12 {
-                                continue;
-                            }
-                            let row = &mut self.emit[y * nf..(y + 1) * nf];
-                            for &(idx, v) in feats_t {
-                                let w = &mut row[idx as usize];
-                                *w -= lr * (gv * v + l2 * *w);
-                            }
+                // Feature-major rows make each token's update walk
+                // contiguous `l`-wide blocks; within one token every
+                // `(feature, label)` cell is touched at most once, so
+                // swapping the feature/label loop order leaves the final
+                // weights bit-identical.
+                for sg in &per_item {
+                    let t_len = sg.moff.len().saturating_sub(1);
+                    for t in 0..t_len {
+                        let grow = &sg.g[t * l..(t + 1) * l];
+                        for k in sg.moff[t]..sg.moff[t + 1] {
+                            let idx = sg.midx[k] as usize;
+                            kernels::sgd_row_update(
+                                &mut self.emit[idx * l..(idx + 1) * l],
+                                grow,
+                                sg.mval[k],
+                                lr,
+                                l2,
+                                Self::GRAD_EPS,
+                            );
                         }
                     }
                 }
@@ -951,23 +1254,48 @@ impl Model for CrfTagger {
                     best2,
                     next2,
                     probs,
+                    pidx,
+                    pval,
+                    poff,
+                    trans_t,
+                    act,
+                    act_off,
                     ..
                 } = &mut *ws;
-                self.emissions_into(sample, e);
-                let log_z = self.forward_flat(e, alpha, row);
-                self.backward_flat(e, beta, row);
-                let best_score = self.viterbi_flat(e, delta, back, tags);
+                // One feature preparation + one emission fill shared by
+                // every lattice pass below (forward, backward, Viterbi,
+                // 2-best), and reused by the BALD dropout passes.
+                self.prepare_feats(sample, pidx, pval, poff);
+                self.fill_emissions(pidx, pval, poff, e);
+                self.fill_trans_t(trans_t);
+                let beam = self.config.score_beam;
+                let log_z = match beam {
+                    Some(d) => self.forward_beam(e, trans_t, d, alpha, row, act, act_off),
+                    None => self.forward_flat(e, trans_t, alpha, row),
+                };
+                let best_score = self.viterbi_flat(e, trans_t, delta, back, tags, row);
                 let best_logprob = best_score - log_z;
 
-                // Mean per-token marginal entropy.
-                let mut entropy = 0.0;
-                for t in 0..sample.len() {
-                    probs.clear();
-                    probs
-                        .extend((0..l).map(|y| (alpha[t * l + y] + beta[t * l + y] - log_z).exp()));
-                    entropy += histal_core::eval::entropy_of(probs);
-                }
-                entropy /= sample.len() as f64;
+                // Mean per-token marginal entropy. Needs the backward
+                // lattice, so both are gated on the entropy cap — LC
+                // and MNLP strategies never pay for them.
+                let entropy = if caps.entropy {
+                    match beam {
+                        Some(_) => self.backward_beam(e, beta, row, act, act_off),
+                        None => self.backward_flat(e, beta, row),
+                    }
+                    let mut entropy = 0.0;
+                    for t in 0..sample.len() {
+                        probs.clear();
+                        probs.extend(
+                            (0..l).map(|y| (alpha[t * l + y] + beta[t * l + y] - log_z).exp()),
+                        );
+                        entropy += histal_core::eval::entropy_of(probs);
+                    }
+                    entropy / sample.len() as f64
+                } else {
+                    0.0
+                };
 
                 let mut eval = SampleEval {
                     probs: Vec::new(),
@@ -1386,7 +1714,9 @@ mod tests {
                 assert_eq!(v.to_bits(), e[t * l + y].to_bits());
             }
         }
-        let log_z = m.forward_flat(&e, &mut alpha, &mut row);
+        let mut trans_t = Vec::new();
+        m.fill_trans_t(&mut trans_t);
+        let log_z = m.forward_flat(&e, &trans_t, &mut alpha, &mut row);
         assert_eq!(log_z.to_bits(), log_z_n.to_bits());
         m.backward_flat(&e, &mut beta, &mut row);
         for t in 0..s.len() {
@@ -1406,6 +1736,7 @@ mod tests {
                 margin: true,
                 mnlp: true,
                 bald: true,
+                entropy: true,
                 ..Default::default()
             },
             9,
@@ -1416,6 +1747,7 @@ mod tests {
                 margin: true,
                 mnlp: true,
                 bald: true,
+                entropy: true,
                 ..Default::default()
             },
             9,

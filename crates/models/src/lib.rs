@@ -19,6 +19,7 @@
 
 pub mod crf;
 pub mod document;
+pub mod kernels;
 pub mod logreg;
 pub mod math;
 pub mod nb;

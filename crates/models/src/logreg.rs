@@ -103,7 +103,13 @@ thread_local! {
 struct Linear {
     n_classes: usize,
     n_features: u32,
-    /// Row-major `n_classes × n_features`.
+    /// Feature-major `n_features × n_classes`: `w[idx*k + c]` keeps one
+    /// hashed feature's class block contiguous, so the sparse hot loops
+    /// (logits, dropout posteriors, SGD updates) each touch one cache
+    /// line per feature and hand the class block to the lane kernels.
+    /// Per output cell the accumulation still runs over features in
+    /// index order, so results are bit-identical to the class-major
+    /// layout this replaces.
     w: Vec<f64>,
     b: Vec<f64>,
 }
@@ -120,9 +126,14 @@ impl Linear {
 
     fn logits(&self, x: &SparseVec) -> Vec<f64> {
         let mut out = self.b.clone();
-        let nf = self.n_features as usize;
-        for (c, o) in out.iter_mut().enumerate() {
-            *o += x.dot_dense(&self.w[c * nf..(c + 1) * nf]);
+        let (nf, k) = (self.n_features as usize, self.n_classes);
+        for (idx, val) in x.iter() {
+            // Out-of-range hashed indices are ignored, matching the old
+            // dot_dense-based path.
+            if (idx as usize) < nf {
+                let row = &self.w[idx as usize * k..(idx as usize + 1) * k];
+                crate::kernels::axpy(&mut out, row, val as f64);
+            }
         }
         out
     }
@@ -146,16 +157,14 @@ impl Linear {
     ) {
         let keep = 1.0 - dropout;
         let scale = 1.0 / keep;
-        let nf = self.n_features as usize;
+        let (nf, k) = (self.n_features as usize, self.n_classes);
         out.clear();
         out.extend_from_slice(&self.b);
         for (idx, val) in x.iter() {
-            // Out-of-range hashed indices are ignored, matching dot_dense.
+            // Out-of-range hashed indices are ignored, matching logits.
             if (idx as usize) < nf && rng.gen::<f64>() < keep {
-                let v = val as f64 * scale;
-                for (c, l) in out.iter_mut().enumerate() {
-                    *l += self.w[c * nf + idx as usize] * v;
-                }
+                let row = &self.w[idx as usize * k..(idx as usize + 1) * k];
+                crate::kernels::axpy(out, row, val as f64 * scale);
             }
         }
         softmax_inplace(out);
@@ -240,9 +249,8 @@ impl Linear {
                             .collect();
                         let mut logits = b.clone();
                         for &(idx, v) in &masked {
-                            for (c, l) in logits.iter_mut().enumerate() {
-                                *l += w[c * nf + idx as usize] * v;
-                            }
+                            let row = &w[idx as usize * k..(idx as usize + 1) * k];
+                            crate::kernels::axpy(&mut logits, row, v);
                         }
                         softmax_inplace(&mut logits);
                         let y = *labels[i];
@@ -257,15 +265,15 @@ impl Linear {
                     *bc -= lr * g;
                 }
                 // Sparse weight updates in sample order (serial, so the
-                // L2 term sees deterministically-evolving weights).
+                // L2 term sees deterministically-evolving weights). One
+                // sample's features are unique, so within a sample each
+                // weight cell is touched once and the feature-outer
+                // order is bit-identical to the old class-outer order.
+                // eps = 0.0: logreg applies every update (no skip).
                 for (masked, g) in &per_item {
-                    for c in 0..k {
-                        let gc = g[c];
-                        let row = &mut self.w[c * nf..(c + 1) * nf];
-                        for &(idx, v) in masked {
-                            let wi = &mut row[idx as usize];
-                            *wi -= lr * (gc * v + l2 * *wi);
-                        }
+                    for &(idx, v) in masked {
+                        let row = &mut self.w[idx as usize * k..(idx as usize + 1) * k];
+                        crate::kernels::sgd_row_update(row, g, v, lr, l2, 0.0);
                     }
                 }
             }

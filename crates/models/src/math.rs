@@ -1,11 +1,17 @@
 //! Shared numerical kernels.
+//!
+//! The max pass of both reductions runs through the lane kernels
+//! ([`crate::kernels::max_index`]); f64 max is associative and
+//! commutative on non-NaN inputs, so the lane-parallel reduction is
+//! bit-identical to the sequential fold it replaces. The sum of exps is
+//! *not* reassociable and stays a strict left-to-right scalar loop.
 
 /// Numerically stable softmax of `logits`, in place.
 pub fn softmax_inplace(logits: &mut [f64]) {
     if logits.is_empty() {
         return;
     }
-    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let (max, _) = crate::kernels::max_index(logits);
     let mut sum = 0.0;
     for v in logits.iter_mut() {
         *v = (*v - max).exp();
@@ -18,7 +24,7 @@ pub fn softmax_inplace(logits: &mut [f64]) {
 
 /// Numerically stable `ln Σ exp(xs)`.
 pub fn logsumexp(xs: &[f64]) -> f64 {
-    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let (max, _) = crate::kernels::max_index(xs);
     if max == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }

@@ -12,7 +12,10 @@ use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
 /// Current on-disk schema version. Bump on breaking model-layout changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: weight matrices went feature-major (`w[idx*k + c]`, CRF
+/// `emit[idx*l + y]`) for the lane kernels; v1 class-major payloads
+/// would deserialize into transposed weights, so they must be rejected.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Envelope written to disk: version tag + payload.
 #[derive(Serialize, Deserialize)]

@@ -20,10 +20,15 @@ cargo build --workspace --examples
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> model tests under HISTAL_KERNELS=scalar (reference-kernel dispatch tier)"
+HISTAL_KERNELS=scalar cargo test -p histal-models -q
+
 echo "==> cargo bench --no-run (criterion benches compile)"
 cargo bench -p histal-bench --no-run
 
-echo "==> histal-experiments bench --check (harness smoke + obs/metrics gates)"
+echo "==> histal-experiments bench --check"
+echo "    (harness smoke + obs/metrics gates + scalar-vs-lanes kernel"
+echo "     equivalence + bench-ner perf-regression guard)"
 cargo run -q --release -p histal-bench --bin histal-experiments -- \
     bench --check --scale 0.02 --repeats 1
 
