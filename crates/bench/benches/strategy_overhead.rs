@@ -235,6 +235,7 @@ fn bench_batch_selectors(c: &mut Criterion) {
                 &scores,
                 &unlabeled,
                 &geom,
+                None,
                 25,
                 &MmrConfig::default(),
                 &mut scratch,
@@ -254,7 +255,16 @@ fn bench_batch_selectors(c: &mut Criterion) {
     });
     c.bench_function("kcenter_select_1000x25", |b| {
         let mut scratch = SimScratch::default();
-        b.iter(|| black_box(kcenter_select(&scores, &unlabeled, &geom, 25, &mut scratch)))
+        b.iter(|| {
+            black_box(kcenter_select(
+                &scores,
+                &unlabeled,
+                &geom,
+                None,
+                25,
+                &mut scratch,
+            ))
+        })
     });
     let density_cfg = DensityConfig::default();
     c.bench_function("density_1000x256", |b| {
@@ -266,6 +276,7 @@ fn bench_batch_selectors(c: &mut Criterion) {
                 &mut s,
                 &unlabeled,
                 &geom,
+                None,
                 &density_cfg,
                 &mut drng,
                 &mut scratch,

@@ -53,6 +53,7 @@ use std::sync::Arc;
 use histal_bench::executor::run_spec;
 use histal_bench::experiments::{self, Table7Variant};
 use histal_bench::journal::JournalCtx;
+use histal_bench::scaling::{is_pool_scaling_json, PoolScalingSpec};
 use histal_bench::spec::ExperimentSpec;
 use histal_bench::tasks::Scale;
 use histal_core::error::Error;
@@ -309,12 +310,21 @@ fn spec_check(dir: &str) {
     let mut failures = 0usize;
     for path in &paths {
         let shown = path.display();
-        match std::fs::read_to_string(path)
+        // Files carrying `"kind": "pool-scaling"` use the scaling-grid
+        // schema, not the experiment-grid one.
+        let parsed = std::fs::read_to_string(path)
             .map_err(|e| Error::spec(format!("cannot read: {e}")))
-            .and_then(|body| ExperimentSpec::from_json(&body))
-            .and_then(|spec| spec.validate().map(|()| spec))
-        {
-            Ok(spec) => println!("ok  {shown} ({})", spec.name),
+            .and_then(|body| {
+                if is_pool_scaling_json(&body) {
+                    PoolScalingSpec::from_json(&body)
+                        .and_then(|spec| spec.validate().map(|()| spec.name))
+                } else {
+                    ExperimentSpec::from_json(&body)
+                        .and_then(|spec| spec.validate().map(|()| spec.name))
+                }
+            });
+        match parsed {
+            Ok(name) => println!("ok  {shown} ({name})"),
             Err(e) => {
                 println!("ERR {shown}: {e}");
                 failures += 1;

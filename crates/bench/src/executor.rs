@@ -51,6 +51,7 @@ pub fn text_pool_config(trec_like: bool, scale: &Scale) -> PoolConfig {
         init_labeled: batch,
         history_max_len: None,
         record_history: false,
+        ann: None,
     }
 }
 
@@ -62,6 +63,7 @@ pub fn ner_pool_config(scale: &Scale) -> PoolConfig {
         init_labeled: 100,
         history_max_len: None,
         record_history: false,
+        ann: None,
     }
 }
 
@@ -119,6 +121,15 @@ pub fn cell_hash(
     if let Some(b) = ner_beam {
         beam = format!("beam={b}");
         parts.push(&beam);
+    }
+    // Same rule for ANN: approximate neighbor sets change cell bytes, so
+    // the component joins the hash only when set — exact (`ann=off`)
+    // cells keep hashing identically to journals written before the
+    // index existed, which is what lets them resume unchanged.
+    let ann;
+    if let Some(a) = &config.ann {
+        ann = format!("ann=t{}b{}p{}", a.tables, a.bits, a.probes);
+        parts.push(&ann);
     }
     fingerprint(&parts)
 }
@@ -298,6 +309,9 @@ impl<'a> GridExecutor<'a> {
             if p.record_history {
                 config.record_history = true;
             }
+        }
+        if let Some(a) = &self.spec.ann {
+            config.ann = Some(a.to_config());
         }
         if self.spec.report == ReportKind::TrendCensus {
             config.record_history = true;

@@ -831,6 +831,17 @@ fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
         }
     }
 
+    if !check {
+        // The pool-scaling grid (selection-only wall clocks at 10k/100k/1M
+        // rows, exact vs LSH, resident vs mmap) rides along in the same
+        // artifact; its own spec format is documented in `scaling`.
+        eprintln!("# BENCH: pool-scaling grid (specs/bench-pool-scaling.json)");
+        let scaling_spec = crate::scaling::PoolScalingSpec::from_json(include_str!(
+            "../../../specs/bench-pool-scaling.json"
+        ))?;
+        cells.extend(crate::scaling::run_pool_scaling(&scaling_spec, None)?);
+    }
+
     if check {
         assert!(!cells.is_empty(), "bench --check produced no cells");
         for c in &cells {
@@ -864,6 +875,8 @@ fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
         sharded_metrics_gate(scale)?;
         kernel_equivalence_gate()?;
         ner_perf_gate()?;
+        div_perf_gate()?;
+        pool_scaling_gate()?;
         println!("bench --check OK ({} cells)", cells.len());
         return Ok(());
     }
@@ -1093,54 +1106,59 @@ fn kernel_equivalence_gate() -> Result<(), Error> {
     Ok(())
 }
 
-/// `bench --check` gate: kernel-layer perf must not regress. Re-times
-/// the bench-ner LC cell at the committed bench scale
-/// ([`Scale::quick`], the scale `bench` records) and fails if its wall
-/// clock exceeds the committed `BENCH_harness.json` number by more than
-/// 20%. Skipped with a note when no comparable reference exists (file
-/// missing, or recorded under a different thread count).
-fn ner_perf_gate() -> Result<(), Error> {
+/// Look up one committed `BENCH_harness.json` cell for a regression
+/// gate. Returns `None` (after a note) when no comparable reference
+/// exists — file missing, unreadable, recorded under a different thread
+/// count, or the cell absent.
+fn committed_reference(gate: &str, experiment: &str, strategy: &str) -> Option<BenchCell> {
     let raw = match std::fs::read_to_string("BENCH_harness.json") {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("  ner perf gate: skipped (no BENCH_harness.json: {e})");
-            return Ok(());
+            eprintln!("  {gate}: skipped (no BENCH_harness.json: {e})");
+            return None;
         }
     };
     let report: BenchReport = match serde_json::from_str(&raw) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("  ner perf gate: skipped (unreadable BENCH_harness.json: {e})");
-            return Ok(());
+            eprintln!("  {gate}: skipped (unreadable BENCH_harness.json: {e})");
+            return None;
         }
     };
     let threads = rayon::current_num_threads();
     if report.threads != threads {
         eprintln!(
-            "  ner perf gate: skipped (reference recorded with {} thread(s), running {threads})",
+            "  {gate}: skipped (reference recorded with {} thread(s), running {threads})",
             report.threads
         );
-        return Ok(());
+        return None;
     }
-    let Some(reference) = report
+    let cell = report
         .cells
-        .iter()
-        .find(|c| c.experiment == "bench-ner" && c.strategy == "LC")
-    else {
-        eprintln!("  ner perf gate: skipped (no bench-ner/LC cell in reference)");
+        .into_iter()
+        .find(|c| c.experiment == experiment && c.strategy == strategy);
+    if cell.is_none() {
+        eprintln!("  {gate}: skipped (no {experiment}/{strategy} cell in reference)");
+    }
+    cell
+}
+
+/// Re-time one grid spec serially at the committed bench scale
+/// ([`Scale::quick`], the scale `bench` records) and fail if its wall
+/// clock exceeds the committed `experiment`/`strategy` cell by more than
+/// 20%.
+fn committed_cell_gate(
+    gate: &str,
+    experiment: &str,
+    strategy: &str,
+    spec: ExperimentSpec,
+) -> Result<(), Error> {
+    let Some(reference) = committed_reference(gate, experiment, strategy) else {
         return Ok(());
     };
-
-    let scale = Scale::quick();
-    let spec = ExperimentSpec {
-        name: "bench-ner".into(),
-        experiment: "bench-ner".into(),
-        datasets: vec![DatasetEntry::new("conll2003-en")],
-        groups: vec![group(&["LC"])],
-        ner_beam: Some(8.0),
-        ..Default::default()
-    };
-    let outcome = GridExecutor::new(&spec, &scale).serial().execute()?;
+    let outcome = GridExecutor::new(&spec, &Scale::quick())
+        .serial()
+        .execute()?;
     let wall: f64 = outcome
         .blocks
         .iter()
@@ -1150,14 +1168,96 @@ fn ner_perf_gate() -> Result<(), Error> {
     let limit = reference.wall_ms * 1.2;
     assert!(
         wall <= limit,
-        "ner perf gate: bench-ner/LC wall {wall:.1} ms exceeds {limit:.1} ms \
+        "{gate}: {experiment}/{strategy} wall {wall:.1} ms exceeds {limit:.1} ms \
          (committed {:.1} ms + 20%)",
         reference.wall_ms
     );
     eprintln!(
-        "  ner perf gate: bench-ner/LC wall {wall:.1} ms vs committed {:.1} ms (limit {limit:.1})",
+        "  {gate}: {experiment}/{strategy} wall {wall:.1} ms vs committed {:.1} ms (limit {limit:.1})",
         reference.wall_ms
     );
+    Ok(())
+}
+
+/// `bench --check` gate: kernel-layer perf must not regress. Re-times
+/// the bench-ner LC cell against the committed `BENCH_harness.json`
+/// number (+20%).
+fn ner_perf_gate() -> Result<(), Error> {
+    committed_cell_gate(
+        "ner perf gate",
+        "bench-ner",
+        "LC",
+        ExperimentSpec {
+            name: "bench-ner".into(),
+            experiment: "bench-ner".into(),
+            datasets: vec![DatasetEntry::new("conll2003-en")],
+            groups: vec![group(&["LC"])],
+            ner_beam: Some(8.0),
+            ..Default::default()
+        },
+    )
+}
+
+/// `bench --check` gate: the diversity combinators (density weighting +
+/// MMR batch selection, the cosine-heavy path the ANN layer optimizes)
+/// must not regress either. Same +20% contract against the committed
+/// bench-div cell.
+fn div_perf_gate() -> Result<(), Error> {
+    // The cell records the strategy's display name; the diversity
+    // suffixes (`+density+mmr`) are not part of it.
+    committed_cell_gate(
+        "div perf gate",
+        "bench-div",
+        "WSHS(entropy)",
+        ExperimentSpec {
+            name: "bench-div".into(),
+            experiment: "bench-div".into(),
+            split_seed: 0xBE,
+            datasets: vec![DatasetEntry::new("mr")],
+            groups: vec![group(&["WSHS(entropy)+density+mmr"])],
+            pool: Some(PoolSpec {
+                representations: true,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    )
+}
+
+/// `bench --check` gate: pool-scaling smoke. Runs the committed scaling
+/// grid at its smallest size only (10k rows — seconds, not minutes) and
+/// requires the LSH-indexed path to beat the exact path outright for
+/// every combinator that ran both ways. A same-order ANN path means the
+/// index is not pruning candidates and the scaling story is broken.
+fn pool_scaling_gate() -> Result<(), Error> {
+    let spec = crate::scaling::PoolScalingSpec::from_json(include_str!(
+        "../../../specs/bench-pool-scaling.json"
+    ))?;
+    let cap = spec.sizes.first().copied();
+    let cells = crate::scaling::run_pool_scaling(&spec, cap)?;
+    let wall = |strategy: &str, mode: &str| {
+        cells
+            .iter()
+            .find(|c| c.strategy == format!("{strategy}/{mode}"))
+            .map(|c| c.wall_ms)
+    };
+    let mut compared = 0;
+    for strategy in &spec.strategies {
+        if let (Some(exact), Some(ann)) = (wall(strategy, "exact"), wall(strategy, "ann")) {
+            assert!(
+                ann < exact,
+                "pool scaling gate: {strategy} ann {ann:.1} ms not faster than exact {exact:.1} ms \
+                 at {} rows",
+                cap.unwrap_or(0)
+            );
+            compared += 1;
+        }
+    }
+    assert!(
+        compared > 0,
+        "pool scaling gate compared no exact/ann pairs"
+    );
+    eprintln!("  pool scaling gate: ann beat exact on {compared} combinator(s)");
     Ok(())
 }
 

@@ -11,6 +11,7 @@ pub mod journal;
 pub mod plot;
 pub mod registry;
 pub mod report;
+pub mod scaling;
 pub mod spec;
 pub mod tasks;
 

@@ -69,6 +69,14 @@ pub struct ExperimentSpec {
     /// exact regardless. Text datasets ignore it.
     #[serde(default)]
     pub ner_beam: Option<f64>,
+    /// Approximate-neighbor settings for the similarity combinators
+    /// ([`histal_text::LshIndex`]). `None` (default, and the setting of
+    /// every figure spec) keeps the exact exhaustive sweeps and the
+    /// pre-ANN journal hashes; `Some` routes density/MMR/k-center
+    /// neighbor queries through a seeded LSH index and joins the cell
+    /// hash, mirroring `ner_beam`. Requires `pool.representations`.
+    #[serde(default)]
+    pub ann: Option<AnnSpec>,
     /// Metric columns for [`ReportKind::Metrics`] (see
     /// [`registry::parse_metric`]).
     #[serde(default)]
@@ -174,6 +182,34 @@ pub struct PoolSpec {
     /// `+density` / `+mmr` / `+kcenter` strategy modifiers).
     #[serde(default)]
     pub representations: bool,
+}
+
+/// Approximate-neighbor overrides; unset fields inherit the
+/// [`histal_text::AnnConfig`] defaults (8 tables, auto bits, 2 probes).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnnSpec {
+    /// Independent LSH hash tables (1..=64).
+    #[serde(default)]
+    pub tables: Option<usize>,
+    /// Signature width in bits; 0 or unset = auto from pool size
+    /// (explicit widths are capped at 20).
+    #[serde(default)]
+    pub bits: Option<usize>,
+    /// One-bit-flip probes per table per query.
+    #[serde(default)]
+    pub probes: Option<usize>,
+}
+
+impl AnnSpec {
+    /// Lower the spec overrides onto the crate defaults.
+    pub fn to_config(&self) -> histal_text::AnnConfig {
+        let d = histal_text::AnnConfig::default();
+        histal_text::AnnConfig {
+            tables: self.tables.unwrap_or(d.tables),
+            bits: self.bits.unwrap_or(d.bits),
+            probes: self.probes.unwrap_or(d.probes),
+        }
+    }
 }
 
 /// How a grid outcome is rendered.
@@ -438,6 +474,40 @@ impl ExperimentSpec {
                 ));
             }
         }
+        if let Some(ann) = &self.ann {
+            if kind != registry::TaskKind::Text {
+                return Err(Error::spec(
+                    "`ann` only applies to text datasets — NER cells have no pool geometry",
+                ));
+            }
+            if !self.pool.as_ref().is_some_and(|p| p.representations) {
+                return Err(Error::spec(
+                    "`ann` requires `pool.representations`: without representations \
+                     no geometry is built and the index would never be consulted",
+                ));
+            }
+            if let Some(t) = ann.tables {
+                if !(1..=64).contains(&t) {
+                    return Err(Error::spec(format!(
+                        "`ann.tables` must be in 1..=64, got {t}"
+                    )));
+                }
+            }
+            if let Some(b) = ann.bits {
+                if b > 20 {
+                    return Err(Error::spec(format!(
+                        "`ann.bits` must be 0 (auto) or at most 20, got {b}"
+                    )));
+                }
+            }
+            if let Some(q) = ann.probes {
+                if q > 20 {
+                    return Err(Error::spec(format!(
+                        "`ann.probes` must be at most 20, got {q}"
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -492,6 +562,7 @@ mod tests {
             dataset_column: None,
             report: ReportKind::Curves,
             ner_beam: None,
+            ann: None,
         }
     }
 

@@ -23,6 +23,7 @@ fn config() -> PoolConfig {
         init_labeled: 25,
         history_max_len: None,
         record_history: false,
+        ann: None,
     }
 }
 

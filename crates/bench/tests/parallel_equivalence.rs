@@ -22,6 +22,7 @@ fn run_cell() -> Vec<RunResult> {
         init_labeled: 10,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let strategies = [
         Strategy::new(BaseStrategy::Entropy),
@@ -52,6 +53,7 @@ fn run_diversity_cell() -> Vec<RunResult> {
         init_labeled: 10,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let strategy = Strategy::new(BaseStrategy::Entropy)
         .with_history(HistoryPolicy::Wshs { l: 3 })

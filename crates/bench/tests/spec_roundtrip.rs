@@ -10,7 +10,8 @@ use proptest::prelude::*;
 use proptest::strategy::Just;
 
 use histal_bench::spec::{
-    DatasetEntry, ExperimentSpec, GroupSpec, PoolSpec, ReportKind, ScaleSpec, StrategyEntry,
+    AnnSpec, DatasetEntry, ExperimentSpec, GroupSpec, PoolSpec, ReportKind, ScaleSpec,
+    StrategyEntry,
 };
 
 /// Short identifier-ish strings, possibly empty, including characters
@@ -121,8 +122,40 @@ fn spec() -> impl Strategy<Value = ExperimentSpec> {
                 // specs and the generated datasets are arbitrary. Its
                 // round-trip is pinned by `ner_beam_round_trips`.
                 ner_beam: None,
+                // Same story: `ann` requires representations-bearing
+                // text specs; pinned by `ann_round_trips`.
+                ann: None,
             },
         )
+}
+
+/// `ann` survives the JSON round trip, partial fields included.
+#[test]
+fn ann_round_trips() {
+    let spec = ExperimentSpec {
+        name: "bench-div".into(),
+        experiment: "bench-div".into(),
+        datasets: vec![DatasetEntry::new("mr")],
+        groups: vec![GroupSpec {
+            label: "div".into(),
+            strategies: vec![StrategyEntry::new("WSHS(entropy)+mmr")],
+        }],
+        pool: Some(PoolSpec {
+            representations: true,
+            ..Default::default()
+        }),
+        ann: Some(AnnSpec {
+            tables: Some(4),
+            bits: None,
+            probes: Some(1),
+        }),
+        ..Default::default()
+    };
+    let json = spec.to_json_pretty();
+    let reparsed = ExperimentSpec::from_json(&json).expect("ann spec reparses");
+    assert_eq!(reparsed.ann, spec.ann);
+    assert_eq!(reparsed.to_json_pretty(), json);
+    spec.validate().expect("ann spec validates");
 }
 
 /// `ner_beam` survives the JSON round trip on a spec where it is valid.
@@ -161,9 +194,12 @@ proptest! {
 }
 
 /// Every checked-in spec file must parse, validate, and round-trip
-/// byte-idempotently.
+/// byte-idempotently. Files declaring `"kind": "pool-scaling"` follow
+/// the scaling-grid schema; everything else is an [`ExperimentSpec`].
 #[test]
 fn checked_in_specs_parse_validate_and_round_trip() {
+    use histal_bench::scaling::{is_pool_scaling_json, PoolScalingSpec};
+
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
     let mut paths: Vec<_> = std::fs::read_dir(dir)
         .expect("specs/ directory exists at the repo root")
@@ -171,13 +207,27 @@ fn checked_in_specs_parse_validate_and_round_trip() {
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
         .collect();
     paths.sort();
-    assert!(
-        paths.len() >= 7,
-        "expected the seven checked-in specs, found {}",
-        paths.len()
-    );
+    let mut experiment_specs = 0usize;
+    let mut scaling_specs = 0usize;
     for path in paths {
         let body = std::fs::read_to_string(&path).unwrap();
+        if is_pool_scaling_json(&body) {
+            scaling_specs += 1;
+            let spec = PoolScalingSpec::from_json(&body)
+                .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: validate failed: {e}", path.display()));
+            let json1 = spec.to_json_pretty();
+            let spec2 = PoolScalingSpec::from_json(&json1).unwrap();
+            assert_eq!(
+                spec,
+                spec2,
+                "{}: round trip changed the spec",
+                path.display()
+            );
+            continue;
+        }
+        experiment_specs += 1;
         let spec = ExperimentSpec::from_json(&body)
             .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
         spec.validate()
@@ -197,4 +247,12 @@ fn checked_in_specs_parse_validate_and_round_trip() {
             path.display()
         );
     }
+    assert!(
+        experiment_specs >= 7,
+        "expected the seven checked-in experiment specs, found {experiment_specs}"
+    );
+    assert!(
+        scaling_specs >= 1,
+        "expected the checked-in pool-scaling spec, found {scaling_specs}"
+    );
 }

@@ -12,7 +12,7 @@ use rand::prelude::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use histal_text::{PoolGeometry, SparseVec};
+use histal_text::{AnnConfig, LshIndex, NeighborIndex, PoolGeometry, SparseVec};
 use histal_tseries::{exp_weighted_sum, window_variance};
 
 use histal_obs::trace::Level;
@@ -46,6 +46,13 @@ pub struct PoolConfig {
     /// Return the full per-sample history matrix in
     /// [`RunResult::history`] (off by default — it is `O(rounds · N)`).
     pub record_history: bool,
+    /// Approximate-neighbor settings for the similarity combinators.
+    /// `None` (the default) keeps the exhaustive exact sweeps —
+    /// byte-identical results to every pre-ANN release; `Some` builds one
+    /// seeded [`LshIndex`] per run and routes density/MMR/k-center
+    /// neighbor queries through it.
+    #[serde(default)]
+    pub ann: Option<AnnConfig>,
 }
 
 impl Default for PoolConfig {
@@ -56,6 +63,7 @@ impl Default for PoolConfig {
             init_labeled: 25,
             history_max_len: None,
             record_history: false,
+            ann: None,
         }
     }
 }
@@ -247,6 +255,17 @@ impl<M: Model> ActiveLearner<M> {
                 || self.strategy.kcenter;
             needed.then(|| PoolGeometry::build(reps))
         });
+        // ANN index over the same rows, built once per run from its own
+        // seed stream. `ann: None` skips this entirely and every
+        // combinator below runs its exact path.
+        let ann_index: Option<LshIndex> = match (&self.config.ann, &geometry) {
+            (Some(cfg), Some(geom)) => {
+                Some(LshIndex::build(geom, cfg, mix_seed(self.seed, 0xA11, 0)))
+            }
+            _ => None,
+        };
+        let neighbor_index: Option<&dyn NeighborIndex> =
+            ann_index.as_ref().map(|i| i as &dyn NeighborIndex);
         let mut ctx = RoundCtx::new();
 
         // Assemble the per-run stages. Fit/eval/annotate live on the
@@ -352,6 +371,7 @@ impl<M: Model> ActiveLearner<M> {
                     &mut ctx.final_scores,
                     pool.unlabeled(),
                     geom,
+                    neighbor_index,
                     cfg,
                     &mut self.rng,
                     &mut ctx.sim,
@@ -369,6 +389,7 @@ impl<M: Model> ActiveLearner<M> {
                 evals: &ctx.evals,
                 history: &history,
                 geometry: geometry.as_ref(),
+                index: neighbor_index,
                 batch,
                 scratch: &mut ctx.sim,
                 seq_buf: &mut ctx.seq_buf,
@@ -509,18 +530,99 @@ impl<M: Model> ActiveLearner<M> {
 /// test in `tests/driver_props.rs`): **equal scores resolve toward the
 /// lower index**, so a batch drawn from a pool of tied candidates is the
 /// first `k` of them in pool order, independent of `k` and of any other
-/// scores present. `NaN` scores compare equal to everything under this
-/// comparator: an all-`NaN` (or otherwise constant) score vector
-/// degrades to pool-order selection, and mixed `NaN`s still sort
-/// deterministically for a given input rather than panicking or varying
-/// by platform.
+/// scores present. `NaN` scores sort after every real score (and among
+/// themselves in pool order), keeping the comparator a total order: an
+/// all-`NaN` (or otherwise constant) score vector degrades to
+/// pool-order selection, and mixed `NaN`s sort deterministically rather
+/// than panicking or varying by platform.
 pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    select_k(scores, k)
+}
+
+/// Bounded-heap partial selection: identical output to [`top_k`]
+/// (`k` largest, best first, equal scores toward the lower index) in
+/// `O(n log k)` instead of a full `O(n log n)` sort.
+///
+/// The heap holds the best `k` seen so far, keyed so its root is the
+/// *worst* member; a candidate replaces the root only when it is
+/// strictly better under the full (score desc, index asc) order, which
+/// reproduces the sort's tie-breaks exactly. `NaN` scores need the
+/// sort's explicit NaN-last total order, so any `NaN` input (and the
+/// trivial `k ≥ n` case) falls back to the full sort — provable
+/// equivalence beats a heap on inputs that are degenerate anyway. The
+/// equivalence over all inputs, `NaN`s included, is pinned by a
+/// property test in `tests/driver_props.rs`.
+pub fn select_k(scores: &[f64], k: usize) -> Vec<usize> {
+    if k == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    if k >= scores.len() || scores.iter().any(|s| s.is_nan()) {
+        return top_k_full_sort(scores, k);
+    }
+
+    /// Heap key ordered worst-first: lower score is greater, then higher
+    /// index is greater — the reverse of the selection order, so the
+    /// binary max-heap's root is the eviction candidate.
+    #[derive(PartialEq)]
+    struct WorstFirst {
+        score: f64,
+        idx: usize,
+    }
+    impl Eq for WorstFirst {}
+    impl Ord for WorstFirst {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Scores are NaN-free here (guarded above), so partial_cmp
+            // is a total order.
+            other
+                .score
+                .partial_cmp(&self.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(self.idx.cmp(&other.idx))
+        }
+    }
+    impl PartialOrd for WorstFirst {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::with_capacity(k);
+    for (idx, &score) in scores.iter().enumerate() {
+        let cand = WorstFirst { score, idx };
+        if heap.len() < k {
+            heap.push(cand);
+        } else if let Some(mut worst) = heap.peek_mut() {
+            // `cand < worst` ⇔ cand ranks better; on a score tie the
+            // later index is "greater" (worse), so ties keep the
+            // incumbent lower index — the top_k contract.
+            if cand < *worst {
+                *worst = cand;
+            }
+        }
+    }
+    // Ascending by worst-first order = best first.
+    heap.into_sorted_vec().into_iter().map(|e| e.idx).collect()
+}
+
+/// The pre-heap implementation of [`top_k`]: full stable-order sort.
+/// Kept as the fallback that defines the contract on degenerate inputs.
+///
+/// `NaN` is ordered explicitly (after every real score, pool order
+/// among `NaN`s) because `partial_cmp → Equal` is not transitive on
+/// mixed-`NaN` input and the standard sort is allowed to panic on a
+/// non-total comparator.
+fn top_k_full_sort(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        let (sa, sb) = (scores[a], scores[b]);
+        match (sa.is_nan(), sb.is_nan()) {
+            (true, true) | (false, false) => sb
+                .partial_cmp(&sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b)),
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+        }
     });
     idx.truncate(k);
     idx

@@ -38,7 +38,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-use histal_text::PoolGeometry;
+use histal_text::{NeighborIndex, PoolGeometry};
 
 use crate::driver::{hkld_score_members, mix_seed, top_k};
 use crate::error::Error;
@@ -372,6 +372,10 @@ pub struct SelectCtx<'a> {
     pub history: &'a HistoryStore,
     /// Cached pool geometry, when representations were attached.
     pub geometry: Option<&'a PoolGeometry>,
+    /// Approximate-neighbor index over the geometry rows, when the run
+    /// was configured with [`PoolConfig::ann`](crate::driver::PoolConfig);
+    /// `None` keeps the exact sweeps.
+    pub index: Option<&'a dyn NeighborIndex>,
     /// Batch size, already clamped to the pool.
     pub batch: usize,
     /// Shared similarity scratch.
@@ -409,6 +413,7 @@ impl Select for MmrSelect {
             ctx.scores,
             ctx.unlabeled,
             geom,
+            ctx.index,
             ctx.batch,
             &self.0,
             ctx.scratch,
@@ -424,7 +429,14 @@ impl Select for KCenterSelect {
         let geom = ctx
             .geometry
             .expect("k-center selection requires pool geometry");
-        kcenter_select(ctx.scores, ctx.unlabeled, geom, ctx.batch, ctx.scratch)
+        kcenter_select(
+            ctx.scores,
+            ctx.unlabeled,
+            geom,
+            ctx.index,
+            ctx.batch,
+            ctx.scratch,
+        )
     }
 }
 

@@ -19,6 +19,17 @@
 //! max-similarity arrays incrementally (one update sweep per pick, no
 //! rescan of the selected set), and all per-round working memory lives in
 //! a caller-owned [`SimScratch`] so repeated rounds allocate nothing.
+//!
+//! Every combinator takes an optional [`NeighborIndex`]. `None` (the
+//! `ann=off` default) runs the exhaustive sweep — the code paths below
+//! are byte-for-byte the pre-ANN loops, so results are bit-identical to
+//! every earlier release. `Some(index)` restricts each similarity sweep
+//! to the index's candidate neighbor set: with
+//! [`histal_text::ExactNeighbors`] that set is the whole pool and the
+//! results stay bit-identical (pinned by `tests/ann_props.rs`); with
+//! [`histal_text::LshIndex`] non-neighbors are treated as
+//! zero-similarity (density) or never-closer (k-center / MMR), the
+//! documented approximation that makes million-sample pools tractable.
 
 use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
@@ -27,7 +38,9 @@ use serde::{Deserialize, Serialize};
 use histal_obs::span;
 use histal_obs::trace::Level;
 
-use histal_text::PoolGeometry;
+use histal_text::{AnnScratch, Geometry, NeighborIndex};
+
+use crate::driver::select_k;
 
 /// Configuration for density (representativeness) weighting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,9 +95,18 @@ pub struct SimScratch {
     /// so far.
     sim: Vec<f64>,
     /// Dense scatter buffer for one-vs-many cosine sweeps
-    /// ([`PoolGeometry::scatter`]); sized to the pool's feature dimension
+    /// ([`Geometry::scatter`]); sized to the pool's feature dimension
     /// on first use.
     dense: Vec<f64>,
+    /// Candidate-neighbor id buffer for ANN-indexed sweeps.
+    neigh: Vec<usize>,
+    /// Pool-id → position-in-`unlabeled` map (`usize::MAX` = not in `U`);
+    /// filled per call, un-marked afterwards in O(|U|).
+    pos_of: Vec<usize>,
+    /// Per-pick MMR objective values, fed to [`select_k`].
+    vals: Vec<f64>,
+    /// Query-time scratch for the neighbor index.
+    ann: AnnScratch,
 }
 
 impl SimScratch {
@@ -94,17 +116,41 @@ impl SimScratch {
         self.sim.clear();
         self.sim.resize(n, fill);
     }
+
+    /// Point `pos_of[id]` at `id`'s position in `unlabeled`; rows outside
+    /// `U` keep the `usize::MAX` sentinel. Pair with [`Self::clear_pos_of`].
+    fn fill_pos_of(&mut self, n_rows: usize, unlabeled: &[usize]) {
+        if self.pos_of.len() < n_rows {
+            self.pos_of.resize(n_rows, usize::MAX);
+        }
+        for (pos, &id) in unlabeled.iter().enumerate() {
+            self.pos_of[id] = pos;
+        }
+    }
+
+    /// Un-mark the entries set by [`Self::fill_pos_of`]: O(|U|), not O(n).
+    fn clear_pos_of(&mut self, unlabeled: &[usize]) {
+        for &id in unlabeled {
+            self.pos_of[id] = usize::MAX;
+        }
+    }
 }
 
 /// Multiply each unlabeled sample's score by its estimated mean cosine
 /// similarity to the unlabeled pool (Eq. 7), in place.
 ///
 /// `geom` row `id` is the representation of pool sample `id`; `unlabeled`
-/// lists the ids currently in `U`, parallel to `scores`.
-pub fn apply_density(
+/// lists the ids currently in `U`, parallel to `scores`. With an ANN
+/// `index`, each reference row only accumulates similarity over its
+/// candidate neighbors — non-neighbors count as zero similarity while the
+/// denominator stays the full reference size, so approximate densities
+/// are biased low for outliers (exactly the samples density weighting
+/// discounts anyway).
+pub fn apply_density<G: Geometry + ?Sized>(
     scores: &mut [f64],
     unlabeled: &[usize],
-    geom: &PoolGeometry,
+    geom: &G,
+    index: Option<&dyn NeighborIndex>,
     config: &DensityConfig,
     rng: &mut ChaCha8Rng,
     scratch: &mut SimScratch,
@@ -131,17 +177,43 @@ pub fn apply_density(
     // Reference-outer sweep: scatter each reference row once, then
     // gather-dot every candidate against it. Each candidate's similarity
     // sum accumulates in reference order — the identical addition
-    // sequence the candidate-outer merge loop produced.
+    // sequence the candidate-outer merge loop produced. (The ANN branch
+    // also accumulates in reference order per candidate, so routing an
+    // exhaustive index through it reproduces these bits.)
     scratch.sim.clear();
     scratch.sim.resize(unlabeled.len(), 0.0);
-    for &other in &scratch.reference {
-        geom.scatter(other, &mut scratch.dense);
-        for (sum, &id) in scratch.sim.iter_mut().zip(unlabeled) {
-            if other != id {
-                *sum += geom.cosine_scattered(&scratch.dense, other, id);
+    if let Some(idx) = index {
+        scratch.fill_pos_of(geom.len(), unlabeled);
+        let SimScratch {
+            reference,
+            sim,
+            dense,
+            neigh,
+            pos_of,
+            ann,
+            ..
+        } = scratch;
+        for &other in reference.iter() {
+            geom.scatter(other, dense);
+            idx.neighbors_into(other, ann, neigh);
+            for &id in neigh.iter() {
+                let pos = pos_of[id];
+                if pos != usize::MAX && other != id {
+                    sim[pos] += geom.cosine_scattered(dense, other, id);
+                }
             }
+            geom.unscatter(other, dense);
         }
-        geom.unscatter(other, &mut scratch.dense);
+    } else {
+        for &other in &scratch.reference {
+            geom.scatter(other, &mut scratch.dense);
+            for (sum, &id) in scratch.sim.iter_mut().zip(unlabeled) {
+                if other != id {
+                    *sum += geom.cosine_scattered(&scratch.dense, other, id);
+                }
+            }
+            geom.unscatter(other, &mut scratch.dense);
+        }
     }
     for ((score, &id), &sim_sum) in scores.iter_mut().zip(unlabeled).zip(&scratch.sim) {
         let denom = scratch
@@ -159,6 +231,9 @@ pub fn apply_density(
     for &id in &scratch.reference {
         scratch.in_reference[id] = false;
     }
+    if index.is_some() {
+        scratch.clear_pos_of(unlabeled);
+    }
 }
 
 /// Greedy k-center (core-set) batch selection (Sener & Savarese 2018):
@@ -168,10 +243,16 @@ pub fn apply_density(
 ///
 /// Returns up to `batch_size` positions into `unlabeled`, in selection
 /// order.
-pub fn kcenter_select(
+///
+/// With an ANN `index`, min-distance updates only touch each pick's
+/// candidate neighbors; non-neighbors keep their distance (initialized to
+/// the orthogonal distance 1.0), i.e. they are treated as never closer
+/// than orthogonal to the batch.
+pub fn kcenter_select<G: Geometry + ?Sized>(
     scores: &[f64],
     unlabeled: &[usize],
-    geom: &PoolGeometry,
+    geom: &G,
+    index: Option<&dyn NeighborIndex>,
     batch_size: usize,
     scratch: &mut SimScratch,
 ) -> Vec<usize> {
@@ -189,6 +270,64 @@ pub fn kcenter_select(
         .map(|(i, _)| i)
         .unwrap_or(0);
     let mut selected = vec![first];
+    if let Some(idx) = index {
+        scratch.reset_masks(n, 1.0);
+        scratch.fill_pos_of(geom.len(), unlabeled);
+        {
+            let SimScratch {
+                taken,
+                sim: min_dist,
+                dense,
+                neigh,
+                pos_of,
+                ann,
+                ..
+            } = scratch;
+            taken[first] = true;
+            let first_id = unlabeled[first];
+            geom.scatter(first_id, dense);
+            idx.neighbors_into(first_id, ann, neigh);
+            for &id in neigh.iter() {
+                let pos = pos_of[id];
+                if pos != usize::MAX {
+                    min_dist[pos] = 1.0 - geom.cosine_scattered(dense, first_id, id);
+                }
+            }
+            geom.unscatter(first_id, dense);
+            while selected.len() < k {
+                let mut best: Option<(usize, f64)> = None;
+                for pos in 0..n {
+                    if taken[pos] {
+                        continue;
+                    }
+                    if best.map_or(true, |(_, d)| min_dist[pos] > d) {
+                        best = Some((pos, min_dist[pos]));
+                    }
+                }
+                let (pos, _) = match best {
+                    Some(b) => b,
+                    None => break,
+                };
+                taken[pos] = true;
+                selected.push(pos);
+                let new_id = unlabeled[pos];
+                geom.scatter(new_id, dense);
+                idx.neighbors_into(new_id, ann, neigh);
+                for &id in neigh.iter() {
+                    let p = pos_of[id];
+                    if p != usize::MAX && !taken[p] {
+                        let d = 1.0 - geom.cosine_scattered(dense, new_id, id);
+                        if d < min_dist[p] {
+                            min_dist[p] = d;
+                        }
+                    }
+                }
+                geom.unscatter(new_id, dense);
+            }
+        }
+        scratch.clear_pos_of(unlabeled);
+        return selected;
+    }
     scratch.reset_masks(n, 0.0);
     let SimScratch {
         taken,
@@ -242,10 +381,14 @@ pub fn kcenter_select(
 /// Returns up to `batch_size` *positions into `unlabeled`* in selection
 /// order. The similarity penalty is taken against the batch selected so
 /// far (standard batch-mode MMR; the first pick is pure argmax).
-pub fn mmr_select(
+/// With an ANN `index`, similarity penalties only propagate to each
+/// pick's candidate neighbors — non-neighbors keep their current penalty
+/// (initially zero), i.e. they are treated as dissimilar to the batch.
+pub fn mmr_select<G: Geometry + ?Sized>(
     scores: &[f64],
     unlabeled: &[usize],
-    geom: &PoolGeometry,
+    geom: &G,
+    index: Option<&dyn NeighborIndex>,
     batch_size: usize,
     config: &MmrConfig,
     scratch: &mut SimScratch,
@@ -256,44 +399,78 @@ pub fn mmr_select(
     let _span = span!(Level::Trace, "combinator.mmr", n = n, k = k);
     let mut selected: Vec<usize> = Vec::with_capacity(k);
     scratch.reset_masks(n, 0.0);
-    let SimScratch {
-        taken,
-        sim: max_sim,
-        dense,
-        ..
-    } = scratch;
-    // Max similarity of each candidate to the selected batch so far,
-    // maintained incrementally.
-    for _ in 0..k {
-        let mut best: Option<(usize, f64)> = None;
-        for pos in 0..n {
-            if taken[pos] {
-                continue;
+    if index.is_some() {
+        scratch.fill_pos_of(geom.len(), unlabeled);
+    }
+    {
+        let SimScratch {
+            taken,
+            sim: max_sim,
+            dense,
+            neigh,
+            pos_of,
+            vals,
+            ann,
+            ..
+        } = scratch;
+        vals.clear();
+        vals.resize(n, 0.0);
+        // Max similarity of each candidate to the selected batch so far,
+        // maintained incrementally.
+        for _ in 0..k {
+            // Materialize this round's MMR objective and take its argmax
+            // with the bounded-heap `select_k` (k = 1): same strict-`>`
+            // lower-index-wins winner the linear scan produced, in one
+            // branch-free pass.
+            for pos in 0..n {
+                vals[pos] = if taken[pos] {
+                    f64::NEG_INFINITY
+                } else {
+                    config.lambda * scores[pos] - (1.0 - config.lambda) * max_sim[pos]
+                };
             }
-            let value = config.lambda * scores[pos] - (1.0 - config.lambda) * max_sim[pos];
-            if best.map_or(true, |(_, b)| value > b) {
-                best = Some((pos, value));
-            }
-        }
-        let (pos, _) = match best {
-            Some(b) => b,
-            None => break,
-        };
-        taken[pos] = true;
-        selected.push(pos);
-        // Update similarity penalties against the newly selected sample:
-        // scatter its row once, gather-dot the rest.
-        let new_id = unlabeled[pos];
-        geom.scatter(new_id, dense);
-        for other in 0..n {
-            if !taken[other] {
-                let s = geom.cosine_scattered(dense, new_id, unlabeled[other]);
-                if s > max_sim[other] {
-                    max_sim[other] = s;
+            let pos = match select_k(vals, 1).first().copied() {
+                // A taken position can only win when every live candidate
+                // is also −∞; fall back to the first live one.
+                Some(p) if taken[p] => match (0..n).find(|&q| !taken[q]) {
+                    Some(q) => q,
+                    None => break,
+                },
+                Some(p) => p,
+                None => break,
+            };
+            taken[pos] = true;
+            selected.push(pos);
+            // Update similarity penalties against the newly selected
+            // sample: scatter its row once, gather-dot the rest.
+            let new_id = unlabeled[pos];
+            geom.scatter(new_id, dense);
+            if let Some(idx) = index {
+                idx.neighbors_into(new_id, ann, neigh);
+                for &id in neigh.iter() {
+                    let p = pos_of[id];
+                    if p != usize::MAX && !taken[p] {
+                        let s = geom.cosine_scattered(dense, new_id, id);
+                        if s > max_sim[p] {
+                            max_sim[p] = s;
+                        }
+                    }
+                }
+            } else {
+                for other in 0..n {
+                    if !taken[other] {
+                        let s = geom.cosine_scattered(dense, new_id, unlabeled[other]);
+                        if s > max_sim[other] {
+                            max_sim[other] = s;
+                        }
+                    }
                 }
             }
+            geom.unscatter(new_id, dense);
         }
-        geom.unscatter(new_id, dense);
+    }
+    if index.is_some() {
+        scratch.clear_pos_of(unlabeled);
     }
     selected
 }
@@ -301,7 +478,7 @@ pub fn mmr_select(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use histal_text::SparseVec;
+    use histal_text::{PoolGeometry, SparseVec};
     use rand::SeedableRng;
 
     fn rng() -> ChaCha8Rng {
@@ -331,6 +508,7 @@ mod tests {
             &mut scores,
             &unlabeled,
             &geom(&reps),
+            None,
             &DensityConfig {
                 sample_size: 0,
                 beta: 1.0,
@@ -352,6 +530,7 @@ mod tests {
             &mut scores,
             &[],
             &geom(&[]),
+            None,
             &DensityConfig::default(),
             &mut rng(),
             &mut SimScratch::default(),
@@ -376,11 +555,20 @@ mod tests {
         for _ in 0..3 {
             let mut reused = vec![1.0; 3];
             let mut fresh = vec![1.0; 3];
-            apply_density(&mut reused, &[0, 1, 2], &g, &cfg, &mut rng(), &mut shared);
+            apply_density(
+                &mut reused,
+                &[0, 1, 2],
+                &g,
+                None,
+                &cfg,
+                &mut rng(),
+                &mut shared,
+            );
             apply_density(
                 &mut fresh,
                 &[0, 1, 2],
                 &g,
+                None,
                 &cfg,
                 &mut rng(),
                 &mut SimScratch::default(),
@@ -398,6 +586,7 @@ mod tests {
             &scores,
             &unlabeled,
             &geom(&reps),
+            None,
             2,
             &MmrConfig { lambda: 1.0 },
             &mut SimScratch::default(),
@@ -416,6 +605,7 @@ mod tests {
             &scores,
             &unlabeled,
             &geom(&reps),
+            None,
             2,
             &MmrConfig { lambda: 0.3 },
             &mut SimScratch::default(),
@@ -431,6 +621,7 @@ mod tests {
             &[0.5, 0.4],
             &[0, 1],
             &geom(&reps),
+            None,
             10,
             &MmrConfig::default(),
             &mut SimScratch::default(),
@@ -444,6 +635,7 @@ mod tests {
             &[],
             &[],
             &geom(&[]),
+            None,
             5,
             &MmrConfig::default(),
             &mut SimScratch::default(),
@@ -460,6 +652,7 @@ mod tests {
             &mut scores,
             &unlabeled,
             &geom(&reps),
+            None,
             &DensityConfig {
                 sample_size: 0,
                 beta: 0.0,
@@ -479,6 +672,7 @@ mod tests {
             &[0.9, 0.8, 0.1],
             &[0, 1, 2],
             &geom(&reps),
+            None,
             2,
             &mut SimScratch::default(),
         );
@@ -490,9 +684,9 @@ mod tests {
         let reps = vec![rep(&[(0, 1.0)])];
         let mut scratch = SimScratch::default();
         assert_eq!(
-            kcenter_select(&[0.5], &[0], &geom(&reps), 5, &mut scratch),
+            kcenter_select(&[0.5], &[0], &geom(&reps), None, 5, &mut scratch),
             vec![0]
         );
-        assert!(kcenter_select(&[], &[], &geom(&[]), 3, &mut scratch).is_empty());
+        assert!(kcenter_select(&[], &[], &geom(&[]), None, 3, &mut scratch).is_empty());
     }
 }

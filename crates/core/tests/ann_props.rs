@@ -1,0 +1,165 @@
+//! Property tests of the ANN-indexed combinator paths.
+//!
+//! The contract (DESIGN.md §5.8) has two layers:
+//!
+//! 1. **`ann = off` ⇒ byte-identical**: with `index = None` the
+//!    combinators run their pre-ANN loops verbatim. Routing an
+//!    *exhaustive* index ([`ExactNeighbors`], which returns every row)
+//!    through the ANN branch must then reproduce those bits exactly —
+//!    same float accumulation order, same tie-breaks, same picks. This
+//!    is what makes the ANN code path testable without trusting it.
+//! 2. **LSH is a documented approximation**: with a real [`LshIndex`]
+//!    the outputs may differ, but must stay well-formed (finite scores,
+//!    right batch shape, no duplicate picks).
+//!
+//! Both layers are exercised over random sparse pools, scores, and
+//! batch sizes.
+
+use proptest::prelude::*;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use histal_core::strategy::combinators::{
+    apply_density, kcenter_select, mmr_select, DensityConfig, MmrConfig, SimScratch,
+};
+use histal_text::{AnnConfig, ExactNeighbors, LshIndex, NeighborIndex, PoolGeometry, SparseVec};
+
+/// A random sparse pool: `n` rows, each with 1..6 entries over a small
+/// feature space so rows genuinely collide and overlap.
+fn pools() -> impl Strategy<Value = Vec<SparseVec>> {
+    prop::collection::vec(prop::collection::vec((0u32..24, 1u32..16), 1..6), 1..24).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|pairs| {
+                    SparseVec::from_pairs(
+                        pairs
+                            .into_iter()
+                            .map(|(i, v)| (i, v as f32 / 4.0))
+                            .collect(),
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+fn scores_for(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let mut h = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            ((h >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+proptest! {
+    /// Density weighting through an exhaustive index is bit-identical
+    /// to the un-indexed loop, including the subsampled reference path.
+    #[test]
+    fn density_exact_index_is_bit_identical(
+        reps in pools(),
+        seed in 0u64..64,
+        sample_size in 0usize..12,
+    ) {
+        let geom = PoolGeometry::build(&reps);
+        let unlabeled: Vec<usize> = (0..reps.len()).collect();
+        let config = DensityConfig { sample_size, beta: 1.0 };
+        let base = scores_for(reps.len(), seed);
+
+        let mut plain = base.clone();
+        apply_density(
+            &mut plain, &unlabeled, &geom, None, &config,
+            &mut ChaCha8Rng::seed_from_u64(seed), &mut SimScratch::default(),
+        );
+        let exact = ExactNeighbors::new(geom.len());
+        let mut indexed = base;
+        apply_density(
+            &mut indexed, &unlabeled, &geom, Some(&exact), &config,
+            &mut ChaCha8Rng::seed_from_u64(seed), &mut SimScratch::default(),
+        );
+        for (i, (p, x)) in plain.iter().zip(&indexed).enumerate() {
+            prop_assert_eq!(p.to_bits(), x.to_bits(), "score {} diverged", i);
+        }
+    }
+
+    /// Greedy k-center through an exhaustive index picks the identical
+    /// batch in the identical order.
+    #[test]
+    fn kcenter_exact_index_is_identical(
+        reps in pools(),
+        seed in 0u64..64,
+        batch in 1usize..8,
+    ) {
+        let geom = PoolGeometry::build(&reps);
+        let unlabeled: Vec<usize> = (0..reps.len()).collect();
+        let scores = scores_for(reps.len(), seed);
+        let plain = kcenter_select(
+            &scores, &unlabeled, &geom, None, batch, &mut SimScratch::default(),
+        );
+        let exact = ExactNeighbors::new(geom.len());
+        let indexed = kcenter_select(
+            &scores, &unlabeled, &geom, Some(&exact), batch, &mut SimScratch::default(),
+        );
+        prop_assert_eq!(plain, indexed);
+    }
+
+    /// MMR through an exhaustive index picks the identical batch in the
+    /// identical order.
+    #[test]
+    fn mmr_exact_index_is_identical(
+        reps in pools(),
+        seed in 0u64..64,
+        batch in 1usize..8,
+    ) {
+        let geom = PoolGeometry::build(&reps);
+        let unlabeled: Vec<usize> = (0..reps.len()).collect();
+        let scores = scores_for(reps.len(), seed);
+        let config = MmrConfig::default();
+        let plain = mmr_select(
+            &scores, &unlabeled, &geom, None, batch, &config, &mut SimScratch::default(),
+        );
+        let exact = ExactNeighbors::new(geom.len());
+        let indexed = mmr_select(
+            &scores, &unlabeled, &geom, Some(&exact), batch, &config, &mut SimScratch::default(),
+        );
+        prop_assert_eq!(plain, indexed);
+    }
+
+    /// With a real LSH index the combinators stay well-formed: finite
+    /// density weights, full-size batches, no duplicate picks.
+    #[test]
+    fn lsh_indexed_combinators_are_well_formed(
+        reps in pools(),
+        seed in 0u64..64,
+        batch in 1usize..8,
+    ) {
+        let geom = PoolGeometry::build(&reps);
+        let lsh = LshIndex::build(&geom, &AnnConfig::default(), seed);
+        let index: &dyn NeighborIndex = &lsh;
+        let unlabeled: Vec<usize> = (0..reps.len()).collect();
+        let mut scores = scores_for(reps.len(), seed);
+        let mut scratch = SimScratch::default();
+
+        apply_density(
+            &mut scores, &unlabeled, &geom, Some(index), &DensityConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(seed), &mut scratch,
+        );
+        prop_assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+
+        for picks in [
+            kcenter_select(&scores, &unlabeled, &geom, Some(index), batch, &mut scratch),
+            mmr_select(
+                &scores, &unlabeled, &geom, Some(index), batch,
+                &MmrConfig::default(), &mut scratch,
+            ),
+        ] {
+            prop_assert_eq!(picks.len(), batch.min(unlabeled.len()));
+            let mut seen = picks.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), picks.len(), "duplicate picks");
+        }
+    }
+}

@@ -177,6 +177,7 @@ proptest! {
                 init_labeled: batch,
                 history_max_len: None,
                 record_history: false,
+                ann: None,
             })
             .seed(seed)
             .build();

@@ -21,6 +21,7 @@ pub mod conll;
 pub mod ltrgen;
 pub mod ner;
 pub mod noise;
+pub mod oocpool;
 pub mod splits;
 pub mod textclf;
 pub mod zipf;
@@ -29,6 +30,7 @@ pub use conll::{parse_conll, read_conll, write_conll, ConllError};
 pub use ltrgen::{LtrDataset, LtrQuery, LtrSpec};
 pub use ner::{NerDataset, NerSpec};
 pub use noise::{corrupt_labels, drop_entity_tags};
+pub use oocpool::{synth_pool, synth_row, write_synth_pool, MappedPool, PoolWriter};
 pub use splits::{cv_folds, stratified_split, train_test_split};
 pub use textclf::{TextDataset, TextSpec};
 pub use zipf::Zipf;

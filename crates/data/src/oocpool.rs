@@ -1,0 +1,466 @@
+//! Out-of-core pool representations: stream a million-sample sparse pool
+//! to disk once, then memory-map it and serve rows zero-copy.
+//!
+//! The resident [`PoolGeometry`](histal_text::PoolGeometry) holds the
+//! whole CSR arena in RAM — fine at the paper's ≤10k pools, hostile at
+//! 1M+ rows × hundreds of nnz. [`PoolWriter`] streams rows to a flat
+//! file in one pass (offsets and norms are backfilled on
+//! [`PoolWriter::finish`], so nothing is buffered beyond one row), and
+//! [`MappedPool`] maps the file read-only and implements
+//! [`Geometry`], so the similarity combinators and the LSH index run
+//! unchanged over disk-backed rows with the OS paging in only the
+//! buckets actually touched.
+//!
+//! # File layout (`HPOOL1`, little-endian)
+//!
+//! ```text
+//! [ 0..8 )   magic  b"HPOOL1\0\0"
+//! [ 8..16)   n      u64   row count
+//! [16..24)   dim    u64   one past the largest stored index
+//! [24..32)   nnz    u64   total stored entries
+//! [32..32 + 8(n+1))        row entry-offsets, u64 each (offsets[0] = 0)
+//! [.. + 8n)                row norms, f64 each
+//! [.. + 8·nnz)             row payloads, per row: [u32 indices][f32 values]
+//! ```
+//!
+//! Each row's payload is `8 · count` bytes (`count` u32 indices then
+//! `count` f32 values), so every section — and every row start — stays
+//! 4-byte aligned without padding bytes, which is what lets the mapped
+//! slices be reinterpreted in place.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use histal_text::{Geometry, SparseVec};
+
+const MAGIC: [u8; 8] = *b"HPOOL1\0\0";
+const HEADER_LEN: u64 = 32;
+
+/// Streaming writer for the `HPOOL1` format.
+///
+/// Rows are appended with [`Self::push`] (or [`Self::push_pairs`]) and
+/// written straight through a buffered file handle; the offset and norm
+/// tables accumulate in memory (16 bytes per row — the only resident
+/// state) and are backfilled by [`Self::finish`].
+pub struct PoolWriter {
+    file: BufWriter<File>,
+    offsets: Vec<u64>,
+    norms: Vec<f64>,
+    dim: u64,
+    nnz: u64,
+    expected_rows: usize,
+}
+
+impl PoolWriter {
+    /// Create `path`, reserving header space for `expected_rows` rows.
+    pub fn create(path: &Path, expected_rows: usize) -> io::Result<Self> {
+        let mut file = BufWriter::new(File::create(path)?);
+        // Seek past the header + offset/norm tables; payload streams
+        // from here and the tables are backfilled in `finish`.
+        let payload_start = HEADER_LEN + 8 * (expected_rows as u64 + 1) + 8 * expected_rows as u64;
+        file.seek(SeekFrom::Start(payload_start))?;
+        let mut offsets = Vec::with_capacity(expected_rows + 1);
+        offsets.push(0);
+        Ok(Self {
+            file,
+            offsets,
+            norms: Vec::with_capacity(expected_rows),
+            dim: 0,
+            nnz: 0,
+            expected_rows,
+        })
+    }
+
+    /// Append one row. `indices` must be strictly ascending; `norm` is
+    /// the row's Euclidean norm exactly as [`SparseVec::norm`] computes
+    /// it (the bit-identity contract rides on the caller not improvising
+    /// here — use [`Self::push_pairs`] to get it right automatically).
+    pub fn push(&mut self, indices: &[u32], values: &[f32], norm: f64) -> io::Result<()> {
+        assert_eq!(indices.len(), values.len(), "row slices misaligned");
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "unsorted row");
+        for &i in indices {
+            self.file.write_all(&i.to_le_bytes())?;
+            self.dim = self.dim.max(i as u64 + 1);
+        }
+        for &v in values {
+            self.file.write_all(&v.to_le_bytes())?;
+        }
+        self.nnz += indices.len() as u64;
+        self.offsets.push(self.nnz);
+        self.norms.push(norm);
+        Ok(())
+    }
+
+    /// Append one row from a [`SparseVec`], taking the cached norm.
+    pub fn push_vec(&mut self, rep: &SparseVec) -> io::Result<()> {
+        self.push(rep.indices(), rep.values(), rep.norm())
+    }
+
+    /// Backfill the header and tables and flush. Returns the row count.
+    pub fn finish(mut self) -> io::Result<usize> {
+        let n = self.norms.len();
+        assert_eq!(
+            n, self.expected_rows,
+            "PoolWriter::create reserved space for {} rows, got {n}",
+            self.expected_rows
+        );
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&MAGIC)?;
+        self.file.write_all(&(n as u64).to_le_bytes())?;
+        self.file.write_all(&self.dim.to_le_bytes())?;
+        self.file.write_all(&self.nnz.to_le_bytes())?;
+        for &o in &self.offsets {
+            self.file.write_all(&o.to_le_bytes())?;
+        }
+        for &m in &self.norms {
+            self.file.write_all(&m.to_le_bytes())?;
+        }
+        self.file.flush()?;
+        Ok(n)
+    }
+}
+
+/// Read-only pool backed by a mapped (or, on non-unix hosts, heap-read)
+/// `HPOOL1` file. Implements [`Geometry`], so everything downstream of
+/// the trait — combinators, LSH build, scatter sweeps — is oblivious to
+/// the rows living on disk.
+pub struct MappedPool {
+    map: Mapping,
+    n: usize,
+    dim: usize,
+    nnz: usize,
+}
+
+enum Mapping {
+    #[cfg(unix)]
+    Mmap {
+        ptr: *const u8,
+        len: usize,
+    },
+    Heap(Vec<u8>),
+}
+
+// The mapping is read-only for its whole lifetime.
+unsafe impl Send for MappedPool {}
+unsafe impl Sync for MappedPool {}
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal raw `mmap` binding — the workspace vendors no libc crate,
+    //! and these two calls are all the out-of-core pool needs.
+    use std::os::unix::io::RawFd;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: RawFd,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+}
+
+impl Drop for MappedPool {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Mapping::Mmap { ptr, len } = self.map {
+            // Mapped by us in `open`, never handed out by-value.
+            unsafe {
+                sys::munmap(ptr as *mut core::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl MappedPool {
+    /// Map `path` read-only. Falls back to reading the file onto the
+    /// heap when `mmap` is unavailable or fails, so callers never branch.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let map = match Self::map_file(&file, len) {
+            Some(m) => m,
+            None => {
+                let mut buf = Vec::with_capacity(len);
+                file.read_to_end(&mut buf)?;
+                Mapping::Heap(buf)
+            }
+        };
+        let pool = Self {
+            map,
+            n: 0,
+            dim: 0,
+            nnz: 0,
+        };
+        pool.validate(len)
+    }
+
+    #[cfg(unix)]
+    fn map_file(file: &File, len: usize) -> Option<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return None;
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            None
+        } else {
+            Some(Mapping::Mmap {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn map_file(_file: &File, _len: usize) -> Option<Mapping> {
+        None
+    }
+
+    fn validate(mut self, file_len: usize) -> io::Result<Self> {
+        let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let bytes = self.bytes();
+        if bytes.len() != file_len || file_len < HEADER_LEN as usize {
+            return Err(err("pool file truncated"));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(err("not an HPOOL1 file"));
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap()) as usize;
+        let (n, dim, nnz) = (u64_at(8), u64_at(16), u64_at(24));
+        let expected = HEADER_LEN as usize + 8 * (n + 1) + 8 * n + 8 * nnz;
+        if file_len != expected {
+            return Err(err("pool file length disagrees with its header"));
+        }
+        self.n = n;
+        self.dim = dim;
+        self.nnz = nnz;
+        // Offsets must be monotone and end at nnz, or row slicing would
+        // read out of bounds.
+        let offs = self.offsets();
+        if offs[0] != 0 || offs[n] as usize != nnz || offs.windows(2).any(|w| w[0] > w[1]) {
+            return Err(err("pool file offset table is corrupt"));
+        }
+        Ok(self)
+    }
+
+    fn bytes(&self) -> &[u8] {
+        match &self.map {
+            #[cfg(unix)]
+            Mapping::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Mapping::Heap(v) => v.as_slice(),
+        }
+    }
+
+    fn offsets(&self) -> &[u64] {
+        let start = HEADER_LEN as usize;
+        let bytes = &self.bytes()[start..start + 8 * (self.n + 1)];
+        // Section start is 8-aligned by construction; u64 requires 8.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u64, self.n + 1) }
+    }
+
+    fn norms_slice(&self) -> &[f64] {
+        let start = HEADER_LEN as usize + 8 * (self.n + 1);
+        let bytes = &self.bytes()[start..start + 8 * self.n];
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f64, self.n) }
+    }
+
+    fn payload_start(&self) -> usize {
+        HEADER_LEN as usize + 8 * (self.n + 1) + 8 * self.n
+    }
+
+    /// Total stored entries.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+}
+
+impl Geometry for MappedPool {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn norm(&self, i: usize) -> f64 {
+        self.norms_slice()[i]
+    }
+
+    fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let offs = self.offsets();
+        let (lo, hi) = (offs[i] as usize, offs[i + 1] as usize);
+        let count = hi - lo;
+        // Row payload: `count` u32 indices then `count` f32 values,
+        // starting 8·lo bytes into the payload section (4-aligned).
+        let base = self.payload_start() + 8 * lo;
+        let bytes = self.bytes();
+        let idx = &bytes[base..base + 4 * count];
+        let val = &bytes[base + 4 * count..base + 8 * count];
+        unsafe {
+            (
+                std::slice::from_raw_parts(idx.as_ptr() as *const u32, count),
+                std::slice::from_raw_parts(val.as_ptr() as *const f32, count),
+            )
+        }
+    }
+}
+
+/// Deterministic clustered sparse row for synthetic scaling pools: row
+/// `i` of a `clusters`-cluster pool with ~`nnz_per_row` entries drawn
+/// from its cluster's feature band plus a few global features.
+///
+/// Row generation is independent per row (its own
+/// [`mix_seed`](histal_core::driver::mix_seed)-style stream), so the
+/// resident and streamed builders below produce identical rows without
+/// sharing RNG state — and a 1M-row pool can be written without holding
+/// any of it in memory.
+pub fn synth_row(seed: u64, i: usize, clusters: usize, nnz_per_row: usize) -> SparseVec {
+    let mut h = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    let mut rng = ChaCha8Rng::seed_from_u64(h);
+    let cluster = i % clusters.max(1);
+    // Each cluster owns a 4096-feature band; 1/4 of the row mass comes
+    // from a shared global band so clusters overlap a little.
+    let band = 4096u32;
+    let cluster_base = 1 + cluster as u32 * band;
+    let global_base = 1 + clusters as u32 * band;
+    let mut pairs: Vec<(u32, f32)> = Vec::with_capacity(nnz_per_row);
+    for k in 0..nnz_per_row {
+        let (base, width) = if k % 4 == 3 {
+            (global_base, band)
+        } else {
+            (cluster_base, band)
+        };
+        let feat = base + rng.gen_range(0..width);
+        let weight = 0.25 + rng.gen::<f32>();
+        pairs.push((feat, weight));
+    }
+    SparseVec::from_pairs(pairs)
+}
+
+/// Build a resident synthetic pool: `n` rows of [`synth_row`].
+pub fn synth_pool(seed: u64, n: usize, clusters: usize, nnz_per_row: usize) -> Vec<SparseVec> {
+    (0..n)
+        .map(|i| synth_row(seed, i, clusters, nnz_per_row))
+        .collect()
+}
+
+/// Stream the same synthetic pool to `path` in `HPOOL1` format without
+/// materializing it; [`MappedPool::open`] then serves rows identical to
+/// the resident [`synth_pool`] build.
+pub fn write_synth_pool(
+    path: &Path,
+    seed: u64,
+    n: usize,
+    clusters: usize,
+    nnz_per_row: usize,
+) -> io::Result<usize> {
+    let mut w = PoolWriter::create(path, n)?;
+    for i in 0..n {
+        w.push_vec(&synth_row(seed, i, clusters, nnz_per_row))?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histal_text::PoolGeometry;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("histal-oocpool-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn mapped_pool_round_trips_rows_and_norms() {
+        let path = tmp("roundtrip");
+        let reps = synth_pool(7, 200, 4, 24);
+        let mut w = PoolWriter::create(&path, reps.len()).unwrap();
+        for r in &reps {
+            w.push_vec(r).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), reps.len());
+        let pool = MappedPool::open(&path).unwrap();
+        let geom = PoolGeometry::build(&reps);
+        assert_eq!(Geometry::len(&pool), geom.len());
+        assert_eq!(Geometry::dim(&pool), geom.dim());
+        for i in 0..geom.len() {
+            assert_eq!(pool.row(i), geom.row(i), "row {i}");
+            assert_eq!(
+                Geometry::norm(&pool, i).to_bits(),
+                geom.norm(i).to_bits(),
+                "norm {i}"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_cosines_match_resident_bitwise() {
+        let path = tmp("cosine");
+        let reps = synth_pool(3, 64, 2, 16);
+        write_synth_pool(&path, 3, 64, 2, 16).unwrap();
+        let pool = MappedPool::open(&path).unwrap();
+        let geom = PoolGeometry::build(&reps);
+        let mut dense = Vec::new();
+        for a in 0..8 {
+            Geometry::scatter(&pool, a, &mut dense);
+            for b in 0..geom.len() {
+                assert_eq!(
+                    Geometry::cosine(&pool, a, b).to_bits(),
+                    geom.cosine(a, b).to_bits(),
+                    "cosine {a},{b}"
+                );
+                assert_eq!(
+                    Geometry::cosine_scattered(&pool, &dense, a, b).to_bits(),
+                    geom.cosine_scattered(&dense, a, b).to_bits(),
+                    "scattered {a},{b}"
+                );
+            }
+            Geometry::unscatter(&pool, a, &mut dense);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_corrupt_files() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"definitely not a pool file").unwrap();
+        assert!(MappedPool::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn writer_asserts_row_count() {
+        let path = tmp("count");
+        let w = PoolWriter::create(&path, 3).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w.finish()));
+        assert!(result.is_err(), "finish with 0 of 3 rows must panic");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -19,6 +19,114 @@
 
 use crate::sparse::SparseVec;
 
+/// Row-store abstraction over a pool's sparse representations.
+///
+/// [`PoolGeometry`] (resident CSR) is the canonical implementation; the
+/// out-of-core memory-mapped pool in `histal-data` is the second. All
+/// similarity math lives in the provided methods so every backing store
+/// shares one accumulation order — the bit-identity contract of the
+/// combinators holds regardless of where the rows live.
+pub trait Geometry {
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// One past the largest stored index (0 for an all-empty pool) — the
+    /// length a dense scatter buffer needs.
+    fn dim(&self) -> usize;
+
+    /// The cached Euclidean norm of row `i`.
+    fn norm(&self, i: usize) -> f64;
+
+    /// Row `i` as parallel `(indices, values)` slices.
+    fn row(&self, i: usize) -> (&[u32], &[f32]);
+
+    /// True when the store holds no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sparse dot product of rows `a` and `b` — the same single-pass merge
+    /// and `f64` accumulation as [`SparseVec::dot`].
+    fn dot(&self, a: usize, b: usize) -> f64 {
+        let (ai, av) = self.row(a);
+        let (bi, bv) = self.row(b);
+        let (mut x, mut y) = (0, 0);
+        let mut acc = 0.0;
+        while x < ai.len() && y < bi.len() {
+            match ai[x].cmp(&bi[y]) {
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += av[x] as f64 * bv[y] as f64;
+                    x += 1;
+                    y += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity of rows `a` and `b` via the cached norms; zero
+    /// when either row is all-zero. Bit-identical to
+    /// [`SparseVec::cosine`] on the same vectors.
+    fn cosine(&self, a: usize, b: usize) -> f64 {
+        let denom = self.norm(a) * self.norm(b);
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(a, b) / denom
+        }
+    }
+
+    /// Scatter row `a`'s widened values into `dense` (grown to
+    /// [`Self::dim`] on first use) for repeated one-vs-many dots. Pair
+    /// with [`Self::unscatter`] to zero the entries again in O(nnz).
+    fn scatter(&self, a: usize, dense: &mut Vec<f64>) {
+        if dense.len() < self.dim() {
+            dense.resize(self.dim(), 0.0);
+        }
+        let (ai, av) = self.row(a);
+        for (&i, &v) in ai.iter().zip(av) {
+            dense[i as usize] = v as f64;
+        }
+    }
+
+    /// Zero row `a`'s entries in a buffer filled by [`Self::scatter`].
+    fn unscatter(&self, a: usize, dense: &mut [f64]) {
+        let (ai, _) = self.row(a);
+        for &i in ai {
+            dense[i as usize] = 0.0;
+        }
+    }
+
+    /// Dot of row `b` against a row scattered into `dense` — a linear
+    /// gather instead of the branchy two-pointer merge, and still
+    /// bit-identical to [`Self::dot`]: shared indices contribute the same
+    /// products in the same ascending order, and non-shared indices
+    /// contribute `±0.0`, which cannot change the accumulator (it is
+    /// never `-0.0`: it starts at `+0.0`, and round-to-nearest addition
+    /// yields `-0.0` only from `-0.0 + -0.0`).
+    fn dot_scattered(&self, dense: &[f64], b: usize) -> f64 {
+        let (bi, bv) = self.row(b);
+        let mut acc = 0.0;
+        for (&i, &v) in bi.iter().zip(bv) {
+            acc += dense[i as usize] * v as f64;
+        }
+        acc
+    }
+
+    /// Cosine of rows `a` (already scattered into `dense`) and `b`;
+    /// bit-identical to [`Self::cosine`] of the same rows.
+    fn cosine_scattered(&self, dense: &[f64], a: usize, b: usize) -> f64 {
+        let denom = self.norm(a) * self.norm(b);
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot_scattered(dense, b) / denom
+        }
+    }
+}
+
 /// Immutable CSR snapshot of a pool's sparse representations with cached
 /// per-row norms.
 #[derive(Debug, Clone, Default)]
@@ -37,20 +145,48 @@ pub struct PoolGeometry {
 
 impl PoolGeometry {
     /// Snapshot `reps` into contiguous storage. `reps[i]` becomes row `i`.
+    ///
+    /// Everything is pre-sized from one counting pass (`dim` folds into
+    /// the fill loop) and the final capacities are asserted, so a
+    /// million-row build performs exactly four arena allocations instead
+    /// of thrashing the allocator with amortised regrowth.
     pub fn build(reps: &[SparseVec]) -> Self {
         let nnz: usize = reps.iter().map(|r| r.nnz()).sum();
         let mut offsets = Vec::with_capacity(reps.len() + 1);
         let mut indices = Vec::with_capacity(nnz);
         let mut values = Vec::with_capacity(nnz);
         let mut norms = Vec::with_capacity(reps.len());
+        let (indices_cap, values_cap, offsets_cap) =
+            (indices.capacity(), values.capacity(), offsets.capacity());
+        let mut dim = 0usize;
         offsets.push(0);
         for rep in reps {
             indices.extend_from_slice(rep.indices());
             values.extend_from_slice(rep.values());
             offsets.push(indices.len());
             norms.push(rep.norm());
+            // Indices are sorted ascending within a row, so the last one
+            // is the row's maximum.
+            if let Some(&last) = rep.indices().last() {
+                dim = dim.max(last as usize + 1);
+            }
         }
-        let dim = indices.iter().max().map_or(0, |&m| m as usize + 1);
+        assert_eq!(indices.len(), nnz, "counting pass disagrees with fill");
+        assert_eq!(
+            indices.capacity(),
+            indices_cap,
+            "CSR index arena reallocated during fill"
+        );
+        assert_eq!(
+            values.capacity(),
+            values_cap,
+            "CSR value arena reallocated during fill"
+        );
+        assert_eq!(
+            offsets.capacity(),
+            offsets_cap,
+            "offset table reallocated during fill"
+        );
         Self {
             offsets,
             indices,
@@ -89,82 +225,57 @@ impl PoolGeometry {
     /// Sparse dot product of rows `a` and `b` — the same single-pass merge
     /// and `f64` accumulation as [`SparseVec::dot`].
     pub fn dot(&self, a: usize, b: usize) -> f64 {
-        let (ai, av) = self.row(a);
-        let (bi, bv) = self.row(b);
-        let (mut x, mut y) = (0, 0);
-        let mut acc = 0.0;
-        while x < ai.len() && y < bi.len() {
-            match ai[x].cmp(&bi[y]) {
-                std::cmp::Ordering::Less => x += 1,
-                std::cmp::Ordering::Greater => y += 1,
-                std::cmp::Ordering::Equal => {
-                    acc += av[x] as f64 * bv[y] as f64;
-                    x += 1;
-                    y += 1;
-                }
-            }
-        }
-        acc
+        Geometry::dot(self, a, b)
     }
 
     /// Cosine similarity of rows `a` and `b` via the cached norms; zero
     /// when either row is all-zero. Bit-identical to
     /// [`SparseVec::cosine`] on the same vectors.
     pub fn cosine(&self, a: usize, b: usize) -> f64 {
-        let denom = self.norms[a] * self.norms[b];
-        if denom == 0.0 {
-            0.0
-        } else {
-            self.dot(a, b) / denom
-        }
+        Geometry::cosine(self, a, b)
     }
 
     /// Scatter row `a`'s widened values into `dense` (grown to
     /// [`Self::dim`] on first use) for repeated one-vs-many dots. Pair
     /// with [`Self::unscatter`] to zero the entries again in O(nnz).
     pub fn scatter(&self, a: usize, dense: &mut Vec<f64>) {
-        if dense.len() < self.dim {
-            dense.resize(self.dim, 0.0);
-        }
-        let (ai, av) = self.row(a);
-        for (&i, &v) in ai.iter().zip(av) {
-            dense[i as usize] = v as f64;
-        }
+        Geometry::scatter(self, a, dense)
     }
 
     /// Zero row `a`'s entries in a buffer filled by [`Self::scatter`].
     pub fn unscatter(&self, a: usize, dense: &mut [f64]) {
-        let (ai, _) = self.row(a);
-        for &i in ai {
-            dense[i as usize] = 0.0;
-        }
+        Geometry::unscatter(self, a, dense)
     }
 
-    /// Dot of row `b` against a row scattered into `dense` — a linear
-    /// gather instead of the branchy two-pointer merge, and still
-    /// bit-identical to [`Self::dot`]: shared indices contribute the same
-    /// products in the same ascending order, and non-shared indices
-    /// contribute `±0.0`, which cannot change the accumulator (it is
-    /// never `-0.0`: it starts at `+0.0`, and round-to-nearest addition
-    /// yields `-0.0` only from `-0.0 + -0.0`).
+    /// Dot of row `b` against a row scattered into `dense`; bit-identical
+    /// to [`Self::dot`] (see [`Geometry::dot_scattered`]).
     pub fn dot_scattered(&self, dense: &[f64], b: usize) -> f64 {
-        let (bi, bv) = self.row(b);
-        let mut acc = 0.0;
-        for (&i, &v) in bi.iter().zip(bv) {
-            acc += dense[i as usize] * v as f64;
-        }
-        acc
+        Geometry::dot_scattered(self, dense, b)
     }
 
     /// Cosine of rows `a` (already scattered into `dense`) and `b`;
     /// bit-identical to [`Self::cosine`] of the same rows.
     pub fn cosine_scattered(&self, dense: &[f64], a: usize, b: usize) -> f64 {
-        let denom = self.norms[a] * self.norms[b];
-        if denom == 0.0 {
-            0.0
-        } else {
-            self.dot_scattered(dense, b) / denom
-        }
+        Geometry::cosine_scattered(self, dense, a, b)
+    }
+}
+
+impl Geometry for PoolGeometry {
+    fn len(&self) -> usize {
+        self.norms.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn norm(&self, i: usize) -> f64 {
+        self.norms[i]
+    }
+
+    fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
     }
 }
 

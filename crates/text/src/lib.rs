@@ -13,6 +13,7 @@
 //!   kernels (dot, cosine, axpy) the models need,
 //! * [`ngrams()`] — n-gram expansion for bag-of-n-grams features.
 
+pub mod ann;
 pub mod geometry;
 pub mod hashing;
 pub mod ngrams;
@@ -22,7 +23,8 @@ pub mod tokenizer;
 pub mod vectorizer;
 pub mod vocab;
 
-pub use geometry::PoolGeometry;
+pub use ann::{AnnConfig, AnnScratch, ExactNeighbors, LshIndex, NeighborIndex};
+pub use geometry::{Geometry, PoolGeometry};
 pub use hashing::FeatureHasher;
 pub use ngrams::{char_ngrams, ngrams};
 pub use sparse::SparseVec;

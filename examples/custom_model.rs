@@ -130,6 +130,7 @@ fn main() {
         init_labeled: 10,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
 
     for strategy in [

@@ -37,6 +37,7 @@ fn main() {
         init_labeled: 25,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let strategies: Vec<(&str, Strategy)> = vec![
         ("entropy", Strategy::new(BaseStrategy::Entropy)),

@@ -91,6 +91,7 @@ fn main() {
         init_labeled: 25,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
 
     let mut baseline = ActiveLearner::builder(model())

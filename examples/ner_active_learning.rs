@@ -43,6 +43,7 @@ fn main() {
         init_labeled: 50,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let strategies = vec![
         Strategy::new(BaseStrategy::Random),

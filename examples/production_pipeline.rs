@@ -91,6 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             init_labeled: 25,
             history_max_len: Some(5),
             record_history: false,
+            ann: None,
         })
         .seed(11)
         .lhs(restored.into_selector())
@@ -121,6 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             init_labeled: 25,
             history_max_len: Some(5),
             record_history: false,
+            ann: None,
         })
         .seed(11)
         .build();

@@ -33,6 +33,7 @@ fn main() {
         init_labeled: 25,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let mut results = Vec::new();
     for strategy in [

@@ -37,6 +37,7 @@ fn main() {
         init_labeled: 20,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     for strategy in [
         Strategy::new(BaseStrategy::Random),

@@ -42,6 +42,7 @@ fn main() {
         init_labeled: 25,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let strategies = vec![
         Strategy::new(BaseStrategy::Entropy),

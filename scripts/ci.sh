@@ -28,11 +28,13 @@ cargo bench -p histal-bench --no-run
 
 echo "==> histal-experiments bench --check"
 echo "    (harness smoke + obs/metrics gates + scalar-vs-lanes kernel"
-echo "     equivalence + bench-ner perf-regression guard)"
+echo "     equivalence + bench-ner and bench-div perf-regression guards"
+echo "     + 10k pool-scaling smoke: ANN must beat exact per combinator)"
 cargo run -q --release -p histal-bench --bin histal-experiments -- \
     bench --check --scale 0.02 --repeats 1
 
 echo "==> spec-check: every checked-in specs/*.json parses and validates"
+echo "    (incl. the pool-scaling grid's ann table/bit/probe bounds)"
 cargo run -q --release -p histal-bench --bin histal-experiments -- spec-check
 
 echo "==> journal smoke: fig5 --journal, kill-free resume replays byte-identically"

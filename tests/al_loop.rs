@@ -13,6 +13,7 @@ fn quick_config() -> PoolConfig {
         init_labeled: 20,
         history_max_len: None,
         record_history: false,
+        ann: None,
     }
 }
 
@@ -112,6 +113,7 @@ fn all_basic_strategies_run_to_completion() {
         init_labeled: 15,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     for base in [
         BaseStrategy::Random,
@@ -153,6 +155,7 @@ fn qbc_requires_committee_model() {
             init_labeled: 10,
             history_max_len: None,
             record_history: false,
+            ann: None,
         })
         .seed(3)
         .build();
@@ -181,6 +184,7 @@ fn qbc_with_committee_succeeds() {
             init_labeled: 10,
             history_max_len: None,
             record_history: false,
+            ann: None,
         })
         .seed(3)
         .build();
@@ -232,6 +236,7 @@ fn wshs_l1_selects_like_base() {
         init_labeled: 10,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let base = run_text(&task, Strategy::new(BaseStrategy::Entropy), cfg.clone(), 21);
     let wshs1 = run_text(
@@ -281,6 +286,7 @@ fn record_history_exposes_score_matrix() {
         init_labeled: 10,
         history_max_len: None,
         record_history: true,
+        ann: None,
     };
     let r = run_text(&task, Strategy::new(BaseStrategy::Entropy), cfg.clone(), 8);
     let n_pool = task.pool_docs.len();
@@ -352,6 +358,7 @@ fn pool_exhaustion_stops_cleanly() {
         init_labeled: 10,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let r = run_text(&task, Strategy::new(BaseStrategy::Entropy), cfg, 2);
     // 60 * 0.7 = 42 pool samples; init 10 + 25 + 7 → exhausted in 2 rounds.

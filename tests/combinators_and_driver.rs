@@ -52,6 +52,7 @@ fn run_fixed(n: usize, strategy: Strategy, batch: usize, rounds: usize) -> hista
             init_labeled: batch,
             history_max_len: None,
             record_history: false,
+            ann: None,
         })
         .seed(9)
         .build();
@@ -101,6 +102,7 @@ fn density_changes_selection_with_representations() {
         init_labeled: 15,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let mk_learner = |strategy: Strategy| {
         ActiveLearner::builder(TextClassifier::new(TextClassifierConfig {
@@ -149,6 +151,7 @@ fn mmr_diversifies_batches() {
         init_labeled: 20,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let run = |mmr: Option<MmrConfig>| {
         let mut strategy = Strategy::new(BaseStrategy::Entropy);
@@ -204,6 +207,7 @@ fn kcenter_batches_are_more_diverse_than_topk() {
         init_labeled: 20,
         history_max_len: None,
         record_history: false,
+        ann: None,
     };
     let run = |kcenter: bool| {
         let mut strategy = Strategy::new(BaseStrategy::Entropy);
@@ -263,6 +267,7 @@ fn run_until_stops_on_budget_and_target() {
                 init_labeled: 10,
                 history_max_len: None,
                 record_history: false,
+                ann: None,
             })
             .seed(4)
             .build()
@@ -304,6 +309,7 @@ fn run_until_plateau_fires_on_flat_metric() {
             init_labeled: 10,
             history_max_len: None,
             record_history: false,
+            ann: None,
         })
         .seed(4)
         .build();

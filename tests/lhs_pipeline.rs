@@ -66,6 +66,7 @@ fn train_lhs_and_select_on_fresh_dataset() {
             init_labeled: 15,
             history_max_len: None,
             record_history: false,
+            ann: None,
         })
         .seed(3)
         .lhs(selector)
@@ -133,6 +134,7 @@ fn lhs_training_is_deterministic() {
                 init_labeled: 10,
                 history_max_len: None,
                 record_history: false,
+                ann: None,
             })
             .seed(5)
             .lhs(selector)
@@ -179,6 +181,7 @@ fn artifacts_round_trip_through_json() {
                 init_labeled: 10,
                 history_max_len: None,
                 record_history: false,
+                ann: None,
             })
             .seed(5)
             .lhs(selector)

@@ -53,6 +53,7 @@ fn run_ner(task: &NerTask, strategy: Strategy, rounds: usize, seed: u64) -> hist
             init_labeled: 20,
             history_max_len: None,
             record_history: false,
+            ann: None,
         })
         .seed(seed)
         .build();
@@ -99,6 +100,7 @@ fn egl_fails_cleanly_on_crf() {
             init_labeled: 10,
             history_max_len: None,
             record_history: false,
+            ann: None,
         })
         .seed(3)
         .build();
@@ -152,6 +154,7 @@ fn qbc_committee_runs_on_ner() {
             init_labeled: 15,
             history_max_len: None,
             record_history: false,
+            ann: None,
         })
         .seed(6)
         .build();

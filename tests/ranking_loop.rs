@@ -42,6 +42,7 @@ fn run(t: &RankTask, strategy: Strategy, seed: u64) -> histal_core::RunResult {
             init_labeled: 15,
             history_max_len: None,
             record_history: false,
+            ann: None,
         })
         .seed(seed)
         .build();
