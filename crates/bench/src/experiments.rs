@@ -877,6 +877,7 @@ fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
         ner_perf_gate()?;
         div_perf_gate()?;
         pool_scaling_gate()?;
+        sessions_throughput_gate()?;
         println!("bench --check OK ({} cells)", cells.len());
         return Ok(());
     }
@@ -1258,6 +1259,74 @@ fn pool_scaling_gate() -> Result<(), Error> {
         "pool scaling gate compared no exact/ann pairs"
     );
     eprintln!("  pool scaling gate: ann beat exact on {compared} combinator(s)");
+    Ok(())
+}
+
+/// `bench --check` gate: the interactive [`Session`] form of the
+/// pipeline (the one `histal-serve` hosts) must sustain a floor of
+/// simulated-oracle sessions per second. Runs a fleet of tiny MR
+/// sessions through `build_session()` + `run_hidden()` across the rayon
+/// pool and gates on throughput. The floor is deliberately conservative
+/// (release builds clear it by well over an order of magnitude); what
+/// it catches is accidental super-linear work sneaking into the
+/// step/submit path. Equal-seeded fleet members must also produce
+/// byte-identical curves — session concurrency may never leak into
+/// results.
+///
+/// [`Session`]: histal_core::live::Session
+fn sessions_throughput_gate() -> Result<(), Error> {
+    use histal_core::driver::{ActiveLearner, PoolConfig};
+
+    const FLEET: usize = 32;
+    const DISTINCT_SEEDS: usize = 4;
+    const FLOOR_PER_SEC: f64 = 5.0;
+
+    let scale = Scale {
+        factor: 0.05,
+        repeats: 1,
+    };
+    let task = TextTask::build(&TextSpec::mr(), &scale, 0xBE);
+    let config = PoolConfig {
+        batch_size: 5,
+        rounds: 2,
+        init_labeled: 10,
+        ..PoolConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let results: Vec<Result<RunResult, Error>> = rayon::run_indexed(FLEET, |i| {
+        let mut session = ActiveLearner::builder(task.model(0))
+            .pool(task.pool_docs.clone(), task.pool_labels.clone())
+            .test(task.test_docs.clone(), task.test_labels.clone())
+            .strategy(Strategy::new(BaseStrategy::Entropy))
+            .config(config.clone())
+            .seed((i % DISTINCT_SEEDS) as u64)
+            .build_session();
+        session.run_hidden()
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let results: Vec<RunResult> = results.into_iter().collect::<Result<_, _>>()?;
+
+    let curve_json = |r: &RunResult| serde_json::to_string(&r.curve).expect("curve serializes");
+    for (i, result) in results.iter().enumerate() {
+        assert_eq!(
+            curve_json(result),
+            curve_json(&results[i % DISTINCT_SEEDS]),
+            "sessions gate: fleet member {i} diverged from its seed twin"
+        );
+    }
+    assert_ne!(
+        curve_json(&results[0]),
+        curve_json(&results[1]),
+        "sessions gate: distinct seeds produced identical curves"
+    );
+
+    let per_sec = FLEET as f64 / elapsed;
+    assert!(
+        per_sec >= FLOOR_PER_SEC,
+        "sessions gate: {per_sec:.1} sessions/s below the {FLOOR_PER_SEC:.0}/s floor \
+         ({FLEET} sessions in {elapsed:.2} s)"
+    );
+    eprintln!("  sessions gate: {per_sec:.0} sessions/s ({FLEET} sessions in {elapsed:.2} s)");
     Ok(())
 }
 

@@ -15,8 +15,8 @@ use serde::{Deserialize, Serialize};
 use histal_text::{AnnConfig, LshIndex, NeighborIndex, PoolGeometry, SparseVec};
 use histal_tseries::{exp_weighted_sum, window_variance};
 
+use histal_obs::session_span;
 use histal_obs::trace::Level;
-use histal_obs::{session_event, session_span};
 
 use crate::error::Error;
 use crate::history::HistoryStore;
@@ -452,34 +452,11 @@ impl<M: Model> ActiveLearner<M> {
         }
     }
 
-    /// Publish a completed round to the session's observability handles:
-    /// a debug event, the phase-timing histograms (microsecond units so
-    /// the log-bucket resolution is useful at sub-millisecond phases),
-    /// and the crash-safe journal checkpoint.
+    /// Publish a completed round to the session's observability handles
+    /// (shared with the inverted-control [`crate::live::Session`], so
+    /// both drivers emit identical events/metrics/journal lines).
     fn observe_round(&self, record: &RoundRecord) -> Result<(), Error> {
-        session_event!(
-            self.obs.subscriber(),
-            Level::Debug,
-            "al.round.complete",
-            round = record.round,
-            selected = record.selected.len(),
-            fit_ms = record.fit_ms,
-            eval_ms = record.eval_ms,
-            score_ms = record.score_ms,
-            select_ms = record.select_ms,
-        );
-        if let Some(metrics) = self.obs.metrics() {
-            metrics.counter_add("al.rounds", 1);
-            metrics.counter_add("al.selected", record.selected.len() as u64);
-            metrics.histogram_record("al.fit_us", (record.fit_ms * 1e3) as u64);
-            metrics.histogram_record("al.eval_us", (record.eval_ms * 1e3) as u64);
-            metrics.histogram_record("al.score_us", (record.score_ms * 1e3) as u64);
-            metrics.histogram_record("al.select_us", (record.select_ms * 1e3) as u64);
-        }
-        if let Some(journal) = self.obs.journal() {
-            journal.record_round(record)?;
-        }
-        Ok(())
+        self.obs.publish_round(record)
     }
 
     /// Run the [`Fit`] stage on the current labeled set (labeling order)
@@ -678,7 +655,7 @@ pub(crate) fn hkld_score_members<'a>(window: impl Iterator<Item = &'a [f64]>) ->
     (members.iter().map(|p| kl(p, &avg)).sum::<f64>() / members.len() as f64).max(0.0)
 }
 
-fn selection_diagnostics(
+pub(crate) fn selection_diagnostics(
     selected: &[usize],
     history: &HistoryStore,
     buf: &mut Vec<f64>,

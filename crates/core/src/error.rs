@@ -65,6 +65,50 @@ pub enum ErrorKind {
         /// The underlying failure.
         source: Box<ErrorKind>,
     },
+    /// A named entity (session, ticket, sample, …) does not exist.
+    /// Service-facing: maps to HTTP 404.
+    NotFound {
+        /// What kind of entity was looked up, e.g. `"session"`.
+        what: &'static str,
+        /// The key that failed to resolve.
+        key: String,
+    },
+    /// A request contradicts established state (a duplicate label with a
+    /// different value, a submit against the wrong ticket, a snapshot
+    /// restored onto a different configuration). Service-facing: maps to
+    /// HTTP 409.
+    Conflict {
+        /// Human-readable description of the contradiction.
+        message: String,
+    },
+    /// The system cannot take the request right now (shutting down,
+    /// admission control); retrying later may succeed. Service-facing:
+    /// maps to HTTP 503.
+    Busy {
+        /// Human-readable description; should say when to retry.
+        message: String,
+    },
+}
+
+impl ErrorKind {
+    /// The single [`ErrorKind`] → HTTP status mapping. Service frontends
+    /// (`histal-serve`) must derive every response status from this —
+    /// never ad hoc per handler — so a given failure kind always renders
+    /// as the same status. Kinds describing bad *input* map to 4xx,
+    /// kinds describing internal failure map to 5xx, and [`Self::Cell`]
+    /// defers to the failure it wraps.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            Self::NotFound { .. } | Self::UnknownName { .. } => 404,
+            Self::Conflict { .. } => 409,
+            Self::Busy { .. } => 503,
+            Self::MissingCapability { .. } | Self::NotEnoughClasses { .. } | Self::Spec { .. } => {
+                400
+            }
+            Self::Journal { .. } | Self::Invariant { .. } => 500,
+            Self::Cell { source, .. } => source.http_status(),
+        }
+    }
 }
 
 impl fmt::Display for ErrorKind {
@@ -92,6 +136,9 @@ impl fmt::Display for ErrorKind {
             Self::Spec { message } => write!(f, "invalid experiment spec: {message}"),
             Self::Invariant { message } => write!(f, "harness invariant violated: {message}"),
             Self::Cell { cell, source } => write!(f, "cell {cell}: {source}"),
+            Self::NotFound { what, key } => write!(f, "{what} `{key}` not found"),
+            Self::Conflict { message } => write!(f, "conflict: {message}"),
+            Self::Busy { message } => write!(f, "busy: {message}"),
         }
     }
 }
@@ -151,6 +198,28 @@ impl Error {
     /// Shorthand for an [`ErrorKind::Invariant`] error.
     pub fn invariant(message: impl fmt::Display) -> Error {
         Error::new(ErrorKind::Invariant {
+            message: message.to_string(),
+        })
+    }
+
+    /// Shorthand for an [`ErrorKind::NotFound`] error.
+    pub fn not_found(what: &'static str, key: impl Into<String>) -> Error {
+        Error::new(ErrorKind::NotFound {
+            what,
+            key: key.into(),
+        })
+    }
+
+    /// Shorthand for an [`ErrorKind::Conflict`] error.
+    pub fn conflict(message: impl fmt::Display) -> Error {
+        Error::new(ErrorKind::Conflict {
+            message: message.to_string(),
+        })
+    }
+
+    /// Shorthand for an [`ErrorKind::Busy`] error.
+    pub fn busy(message: impl fmt::Display) -> Error {
+        Error::new(ErrorKind::Busy {
             message: message.to_string(),
         })
     }

@@ -86,6 +86,7 @@ pub mod error;
 pub mod eval;
 pub mod history;
 pub mod lhs;
+pub mod live;
 pub mod metrics;
 pub mod model;
 pub mod pipeline;
@@ -102,10 +103,11 @@ pub use error::StrategyError;
 pub use error::{Error, ErrorKind};
 pub use eval::{EvalCaps, SampleEval};
 pub use history::HistoryStore;
+pub use live::{Session, SessionSnapshot, SessionStatus, SessionStep, SubmitOutcome, TicketLabels};
 pub use model::Model;
 pub use pipeline::{
-    Annotate, EvalPool, Fit, FoldHistory, HiddenOracle, Oracle, RoundCtx, ScoreBase, Select,
-    SelectCtx, StageTimers,
+    Annotate, EvalPool, Fit, FoldHistory, HiddenOracle, InstantOracle, LabelRequest, LabelResponse,
+    Oracle, RoundCtx, ScoreBase, Select, SelectCtx, StageTimers, SyncOracle, Ticket,
 };
 pub use pool::{Pool, SampleId};
 pub use session::{

@@ -461,13 +461,104 @@ impl Select for LhsSelect {
 // Annotate + Oracle
 // ---------------------------------------------------------------------------
 
-/// The labeling authority: reveals the gold label of a selected sample.
-/// The default [`HiddenOracle`] plays back labels known up front (the
-/// experimental protocol); an interactive deployment would put the human
-/// annotator behind this trait.
+/// Monotonic identifier of one labeling request within a session. Tickets
+/// start at 0 (the initial random labeled set) and increase by one per
+/// selection round, so a ticket doubles as a round cursor: ticket `t + 1`
+/// asks for round `t`'s batch.
+pub type Ticket = u64;
+
+/// A batch labeling request: the annotate boundary of the loop, made
+/// explicit so labels can be produced *outside* the round (by a human
+/// annotator, over the network, out of order). Issued by the driver's
+/// [`OracleAnnotate`] stage and by [`Session`](crate::live::Session).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelRequest {
+    /// Request identifier, unique within the session.
+    pub ticket: Ticket,
+    /// Pool ids to annotate, in selection order (best first). The order
+    /// is part of the request: labels are applied to the pool in this
+    /// order regardless of arrival order, which keeps replays
+    /// byte-identical.
+    pub indices: Vec<SampleId>,
+}
+
+/// Labels answering (part of) a [`LabelRequest`]. A response may be
+/// partial — any subset of the requested ids — and responses for one
+/// ticket may arrive in any order; see
+/// [`Session::submit`](crate::live::Session::submit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelResponse<L> {
+    /// The request being answered.
+    pub ticket: Ticket,
+    /// `(pool id, revealed label)` pairs.
+    pub labels: Vec<(SampleId, L)>,
+}
+
+/// The labeling authority, split into request/fulfill halves so
+/// annotation is not forced to complete inside the round. A simulated
+/// oracle answers a ticket immediately ([`SyncOracle`]); a deployment
+/// with human annotators parks the request and fulfills the ticket when
+/// labels arrive (possibly much later, possibly out of order).
+///
+/// The driver's [`OracleAnnotate`] stage requires fulfilment in the same
+/// call — wrap per-sample oracles in [`SyncOracle`]. For genuinely
+/// asynchronous labels, drive a [`Session`](crate::live::Session), which
+/// surfaces the pending [`LabelRequest`] to the caller instead of
+/// consulting an `Oracle` at all.
 pub trait Oracle<M: Model> {
+    /// Submit a labeling request. Must not block on the labels.
+    fn request(&mut self, request: &LabelRequest, samples: &[M::Sample]);
+
+    /// Poll for the complete response to `ticket`. Returns `None` while
+    /// labels are still outstanding; once returned, the oracle may forget
+    /// the ticket.
+    fn fulfill(&mut self, ticket: Ticket) -> Option<LabelResponse<M::Label>>;
+}
+
+/// The pre-split oracle shape: one call, one label, synchronously. The
+/// experimental protocol (labels known up front) fits this; adapt it to
+/// the ticketed [`Oracle`] protocol with [`SyncOracle`].
+pub trait InstantOracle<M: Model> {
     /// Reveal the label of pool sample `id`.
     fn annotate(&mut self, id: SampleId, sample: &M::Sample) -> M::Label;
+}
+
+/// Adapter: an [`InstantOracle`] driven through the request/fulfill
+/// protocol. `request` annotates every index immediately (in request
+/// order — the historical per-sample query order, so migrated call sites
+/// stay byte-identical) and `fulfill` hands the buffered response back.
+pub struct SyncOracle<M: Model, O> {
+    inner: O,
+    ready: Vec<LabelResponse<M::Label>>,
+}
+
+impl<M: Model, O: InstantOracle<M>> SyncOracle<M, O> {
+    /// Wrap `inner` so every ticket is fulfilled within `request`.
+    pub fn new(inner: O) -> Self {
+        Self {
+            inner,
+            ready: Vec::new(),
+        }
+    }
+}
+
+impl<M: Model, O: InstantOracle<M>> Oracle<M> for SyncOracle<M, O> {
+    fn request(&mut self, request: &LabelRequest, samples: &[M::Sample]) {
+        let labels = request
+            .indices
+            .iter()
+            .map(|&id| (id, self.inner.annotate(id, &samples[id])))
+            .collect();
+        self.ready.push(LabelResponse {
+            ticket: request.ticket,
+            labels,
+        });
+    }
+
+    fn fulfill(&mut self, ticket: Ticket) -> Option<LabelResponse<M::Label>> {
+        let pos = self.ready.iter().position(|r| r.ticket == ticket)?;
+        Some(self.ready.swap_remove(pos))
+    }
 }
 
 /// The standard experimental oracle: every pool label is known up front
@@ -484,10 +575,34 @@ impl<L> HiddenOracle<L> {
     }
 }
 
-impl<M: Model> Oracle<M> for HiddenOracle<M::Label> {
+impl<M: Model> InstantOracle<M> for HiddenOracle<M::Label> {
     fn annotate(&mut self, id: SampleId, _sample: &M::Sample) -> M::Label {
         self.labels[id].clone()
     }
+}
+
+/// Apply a fully-fulfilled response: reveal each label, then move the
+/// whole batch to the labeled side *in request order* (the order the
+/// selector produced), independent of the order labels arrived in.
+/// Panics if the response misses a requested id — callers gate on
+/// completeness first.
+pub(crate) fn apply_response<L: Clone>(
+    request: &LabelRequest,
+    response: &LabelResponse<L>,
+    pool: &mut Pool,
+    revealed: &mut [Option<L>],
+) {
+    for &(id, ref label) in &response.labels {
+        revealed[id] = Some(label.clone());
+    }
+    for &id in &request.indices {
+        assert!(
+            revealed[id].is_some(),
+            "label response for ticket {} misses sample {id}",
+            request.ticket
+        );
+    }
+    pool.label_batch(&request.indices);
 }
 
 /// Stage 6: move the selected batch to the labeled side, revealing
@@ -504,21 +619,34 @@ pub trait Annotate<M: Model> {
     );
 }
 
-/// Default [`Annotate`]: query an [`Oracle`] per sample, then label the
-/// batch in one pool update.
+/// Default [`Annotate`]: issue one ticketed [`LabelRequest`] per batch
+/// and require the [`Oracle`] to fulfill it within the call — the
+/// synchronous experimental protocol. Oracles that cannot answer
+/// immediately do not belong in the batch driver; drive a
+/// [`Session`](crate::live::Session) instead.
 pub struct OracleAnnotate<M: Model> {
     oracle: Box<dyn Oracle<M>>,
+    next_ticket: Ticket,
 }
 
 impl<M: Model> OracleAnnotate<M> {
     /// Annotate by querying `oracle`.
     pub fn new(oracle: Box<dyn Oracle<M>>) -> Self {
-        Self { oracle }
+        Self {
+            oracle,
+            next_ticket: 0,
+        }
+    }
+
+    /// Annotate through a per-sample [`InstantOracle`], adapted via
+    /// [`SyncOracle`].
+    pub fn sync(oracle: impl InstantOracle<M> + 'static) -> Self {
+        Self::new(Box::new(SyncOracle::new(oracle)))
     }
 
     /// The standard setup: a [`HiddenOracle`] over labels known up front.
     pub fn hidden(labels: Vec<M::Label>) -> Self {
-        Self::new(Box::new(HiddenOracle::new(labels)))
+        Self::sync(HiddenOracle::new(labels))
     }
 }
 
@@ -530,10 +658,21 @@ impl<M: Model> Annotate<M> for OracleAnnotate<M> {
         pool: &mut Pool,
         revealed: &mut [Option<M::Label>],
     ) {
-        for &id in selected {
-            revealed[id] = Some(self.oracle.annotate(id, &samples[id]));
-        }
-        pool.label_batch(selected);
+        let request = LabelRequest {
+            ticket: self.next_ticket,
+            indices: selected.to_vec(),
+        };
+        self.next_ticket += 1;
+        self.oracle.request(&request, samples);
+        let response = self.oracle.fulfill(request.ticket).unwrap_or_else(|| {
+            panic!(
+                "the batch driver needs a synchronous oracle but ticket {} \
+                 was not fulfilled within the round; wrap the oracle in \
+                 SyncOracle or drive a live Session instead",
+                request.ticket
+            )
+        });
+        apply_response(&request, &response, pool, revealed);
     }
 }
 

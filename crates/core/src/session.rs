@@ -45,8 +45,9 @@ use rand::SeedableRng;
 use crate::driver::{ActiveLearner, PoolConfig, RoundRecord};
 use crate::error::Error;
 use crate::lhs::LhsSelector;
+use crate::live::{Session, SessionSnapshot, SessionStep, SNAPSHOT_VERSION};
 use crate::model::Model;
-use crate::pipeline::{Oracle, OracleAnnotate};
+use crate::pipeline::{LabelResponse, Oracle, OracleAnnotate};
 use crate::strategy::Strategy;
 
 // ---------------------------------------------------------------------------
@@ -80,6 +81,39 @@ impl SessionObs {
 
     pub(crate) fn journal(&self) -> Option<&RunJournal> {
         self.journal.as_deref()
+    }
+
+    /// Publish a completed round to every attached handle: a debug
+    /// event, the phase-timing histograms (microsecond units so the
+    /// log-bucket resolution is useful at sub-millisecond phases), and
+    /// the crash-safe journal checkpoint. Both drivers — the batch
+    /// [`ActiveLearner`] and the interactive [`crate::live::Session`] —
+    /// route through here, so a round looks identical downstream
+    /// regardless of which loop produced it.
+    pub(crate) fn publish_round(&self, record: &RoundRecord) -> Result<(), Error> {
+        histal_obs::session_event!(
+            self.subscriber(),
+            histal_obs::trace::Level::Debug,
+            "al.round.complete",
+            round = record.round,
+            selected = record.selected.len(),
+            fit_ms = record.fit_ms,
+            eval_ms = record.eval_ms,
+            score_ms = record.score_ms,
+            select_ms = record.select_ms,
+        );
+        if let Some(metrics) = self.metrics() {
+            metrics.counter_add("al.rounds", 1);
+            metrics.counter_add("al.selected", record.selected.len() as u64);
+            metrics.histogram_record("al.fit_us", (record.fit_ms * 1e3) as u64);
+            metrics.histogram_record("al.eval_us", (record.eval_ms * 1e3) as u64);
+            metrics.histogram_record("al.score_us", (record.score_ms * 1e3) as u64);
+            metrics.histogram_record("al.select_us", (record.select_ms * 1e3) as u64);
+        }
+        if let Some(journal) = self.journal() {
+            journal.record_round(record)?;
+        }
+        Ok(())
     }
 }
 
@@ -375,6 +409,107 @@ impl<M: Model> SessionBuilder<M, Ready> {
     pub fn journal(mut self, journal: RunJournal) -> Self {
         self.obs.journal = Some(Arc::new(journal));
         self
+    }
+
+    /// Construct an interactive [`Session`] instead of a batch
+    /// [`ActiveLearner`]: the same pipeline, but the caller drives the
+    /// annotate boundary through `step`/`submit` tickets (see
+    /// [`crate::live`]). A session built with [`pool`] hidden labels can
+    /// answer its own tickets ([`Session::answer_from_hidden`]); one
+    /// built with [`pool_with_oracle`] ignores the oracle — the whole
+    /// point of the interactive form is that labels arrive from outside.
+    ///
+    /// [`pool`]: SessionBuilder::pool
+    /// [`pool_with_oracle`]: SessionBuilder::pool_with_oracle
+    pub fn build_session(self) -> Session<M> {
+        let hidden = if self.oracle.is_none() {
+            Some(self.oracle_labels)
+        } else {
+            None
+        };
+        Session::from_parts(
+            self.model,
+            self.samples,
+            hidden,
+            self.test_samples,
+            self.test_labels,
+            self.strategy.expect("strategy set by typestate"),
+            self.lhs,
+            self.config,
+            self.representations,
+            self.seed,
+            self.obs,
+        )
+    }
+
+    /// Rebuild a session from a [`SessionSnapshot`], replaying its label
+    /// events through the deterministic pipeline. The builder must carry
+    /// the *same* configuration the snapshot was taken from (enforced via
+    /// the snapshot's config hash → [`ErrorKind::Conflict`] on mismatch);
+    /// the restored session is then byte-identical to the one that was
+    /// snapshotted — same RNG position, same pool, same pending ticket
+    /// with the same partially-received labels.
+    ///
+    /// [`ErrorKind::Conflict`]: crate::error::ErrorKind::Conflict
+    pub fn restore(self, snapshot: &SessionSnapshot<M::Label>) -> Result<Session<M>, Error>
+    where
+        M::Label: PartialEq,
+    {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(Error::conflict(format!(
+                "snapshot version {} is not the supported version {SNAPSHOT_VERSION}",
+                snapshot.version
+            )));
+        }
+        let mut session = self.build_session();
+        if snapshot.config_hash != session.config_hash() {
+            return Err(Error::conflict(format!(
+                "snapshot config hash {:#x} does not match this configuration ({:#x})",
+                snapshot.config_hash,
+                session.config_hash()
+            )));
+        }
+        for ticket in &snapshot.tickets {
+            match session.step()? {
+                SessionStep::AwaitingLabels => {}
+                SessionStep::Done => {
+                    return Err(Error::conflict(
+                        "snapshot carries more fulfilled tickets than this \
+                         configuration can replay",
+                    ))
+                }
+            }
+            let pending = session
+                .pending()
+                .expect("awaiting session has a pending request")
+                .ticket;
+            if pending != ticket.ticket {
+                return Err(Error::conflict(format!(
+                    "snapshot ticket {} does not line up with replayed ticket {pending}",
+                    ticket.ticket
+                )));
+            }
+            session.submit(&LabelResponse {
+                ticket: ticket.ticket,
+                labels: ticket.labels.clone(),
+            })?;
+        }
+        // Park on the next ticket and re-deliver the labels that had
+        // already arrived for it.
+        if !snapshot.partial.is_empty() {
+            session.step()?;
+            let ticket = session.pending().map(|p| p.ticket).ok_or_else(|| {
+                Error::conflict(
+                    "snapshot carries partial labels but the replayed session \
+                         has no pending ticket",
+                )
+            })?;
+            session.submit(&LabelResponse {
+                ticket,
+                labels: snapshot.partial.clone(),
+            })?;
+        }
+        Ok(session)
     }
 
     /// Construct the learner.

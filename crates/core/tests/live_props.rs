@@ -1,0 +1,345 @@
+//! Property tests of the interactive [`Session`] against the batch
+//! driver: same pipeline, same bytes.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Driver equivalence** — a `Session` answering its own tickets
+//!    from the hidden labels produces the *identical* `RunResult` (modulo
+//!    wall-clock timings) as `ActiveLearner::run` on the same inputs.
+//! 2. **Arrival-order independence** — chunked, shuffled, duplicated
+//!    `submit` deliveries converge to the same state as one in-order
+//!    delivery per ticket.
+//! 3. **Snapshot/restore byte-identity** — restoring a mid-run snapshot
+//!    onto a fresh builder reproduces the original session exactly:
+//!    finishing both yields equal results.
+
+use proptest::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use histal_core::driver::{ActiveLearner, PoolConfig, RunResult};
+use histal_core::error::ErrorKind;
+use histal_core::eval::{EvalCaps, SampleEval};
+use histal_core::live::SessionStep;
+use histal_core::model::Model;
+use histal_core::pipeline::LabelResponse;
+use histal_core::session::SessionBuilder;
+use histal_core::strategy::{BaseStrategy, HistoryPolicy, Strategy as AlStrategy};
+
+/// Posterior fixed by the sample value; fit is a no-op, metric counts
+/// the labeled set so curves are distinguishable run to run.
+#[derive(Clone)]
+struct FixedModel {
+    fitted: usize,
+}
+
+impl Model for FixedModel {
+    type Sample = f64;
+    type Label = usize;
+
+    fn fit(&mut self, samples: &[&f64], _: &[&usize], _: &mut ChaCha8Rng) {
+        self.fitted = samples.len();
+    }
+
+    fn eval_sample(&self, sample: &f64, _: &EvalCaps, _: u64) -> SampleEval {
+        let p = sample.clamp(0.0, 1.0);
+        SampleEval::from_probs(vec![p, 1.0 - p])
+    }
+
+    fn metric(&self, _: &[&f64], _: &[&usize]) -> f64 {
+        self.fitted as f64
+    }
+}
+
+fn pool_data(n: usize) -> (Vec<f64>, Vec<usize>) {
+    // Irrational-ish stride keeps scores distinct and order nontrivial.
+    let samples: Vec<f64> = (0..n)
+        .map(|i| ((i * 37 + 11) % n) as f64 / n as f64)
+        .collect();
+    let labels: Vec<usize> = samples.iter().map(|&x| usize::from(x >= 0.5)).collect();
+    (samples, labels)
+}
+
+fn builder(
+    n: usize,
+    policy: HistoryPolicy,
+    batch: usize,
+    rounds: usize,
+    seed: u64,
+) -> SessionBuilder<FixedModel, histal_core::session::Ready> {
+    let (samples, labels) = pool_data(n);
+    ActiveLearner::builder(FixedModel { fitted: 0 })
+        .pool(samples, labels)
+        .test(vec![0.1, 0.9], vec![0, 1])
+        .strategy(AlStrategy::new(BaseStrategy::Entropy).with_history(policy))
+        .config(PoolConfig {
+            batch_size: batch,
+            rounds,
+            init_labeled: batch,
+            history_max_len: None,
+            record_history: true,
+            ann: None,
+        })
+        .seed(seed)
+}
+
+/// Wall-clock fields are the one legitimate difference between two runs
+/// of the same computation; zero them before comparing.
+fn canonical(mut result: RunResult) -> String {
+    for round in &mut result.rounds {
+        round.fit_ms = 0.0;
+        round.eval_ms = 0.0;
+        round.score_ms = 0.0;
+        round.select_ms = 0.0;
+    }
+    serde_json::to_string(&result).expect("RunResult serializes")
+}
+
+fn policies() -> impl Strategy<Value = HistoryPolicy> {
+    prop_oneof![
+        Just(HistoryPolicy::CurrentOnly),
+        Just(HistoryPolicy::Hus { k: 2 }),
+        Just(HistoryPolicy::Wshs { l: 3 }),
+        Just(HistoryPolicy::Fhs {
+            l: 3,
+            w_score: 1.0,
+            w_fluct: 0.5
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contract 1: the interactive session answering its own tickets is
+    /// the batch driver, byte for byte.
+    #[test]
+    fn session_matches_driver(
+        n in 8usize..40,
+        batch in 1usize..4,
+        rounds in 1usize..6,
+        seed in 0u64..1000,
+        policy in policies(),
+    ) {
+        let batch_result = builder(n, policy, batch, rounds, seed)
+            .build()
+            .run()
+            .expect("entropy needs no extra capabilities");
+        let live_result = builder(n, policy, batch, rounds, seed)
+            .build_session()
+            .run_hidden()
+            .expect("hidden labels present");
+        prop_assert_eq!(canonical(batch_result), canonical(live_result));
+    }
+
+    /// Contract 2: chunked / shuffled / partially duplicated deliveries
+    /// converge to the in-order result. The shuffle order is driven by
+    /// proptest, independent of the session's own RNG.
+    #[test]
+    fn submission_order_is_irrelevant(
+        n in 8usize..32,
+        batch in 2usize..5,
+        rounds in 1usize..5,
+        seed in 0u64..1000,
+        perm_seed in 0u64..1000,
+        policy in policies(),
+    ) {
+        let reference = builder(n, policy, batch, rounds, seed)
+            .build_session()
+            .run_hidden()
+            .expect("hidden labels present");
+
+        let mut session = builder(n, policy, batch, rounds, seed).build_session();
+        let mut scramble = {
+            use rand::SeedableRng;
+            ChaCha8Rng::seed_from_u64(perm_seed)
+        };
+        loop {
+            match session.step().expect("step never fails for entropy") {
+                SessionStep::Done => break,
+                SessionStep::AwaitingLabels => {
+                    let full = session.answer_from_hidden().expect("hidden labels");
+                    // Shuffle the labels, then deliver one at a time,
+                    // re-sending the previous label alongside each new
+                    // one (duplicate delivery).
+                    let mut labels = full.labels.clone();
+                    use rand::prelude::SliceRandom;
+                    labels.shuffle(&mut scramble);
+                    let mut prev: Option<(usize, usize)> = None;
+                    for &(id, label) in &labels {
+                        let mut chunk = vec![(id, label)];
+                        if let Some(p) = prev {
+                            chunk.push(p);
+                        }
+                        let outcome = session
+                            .submit(&LabelResponse { ticket: full.ticket, labels: chunk })
+                            .expect("valid labels are accepted");
+                        prop_assert_eq!(outcome.accepted, 1);
+                        prop_assert_eq!(outcome.duplicates, usize::from(prev.is_some()));
+                        prev = Some((id, label));
+                    }
+                }
+            }
+        }
+        let scrambled = session.result().expect("session done").clone();
+        prop_assert_eq!(canonical(reference), canonical(scrambled));
+    }
+
+    /// Contract 3: a snapshot taken at any ticket boundary restores to a
+    /// session whose remaining run is identical to the original's.
+    #[test]
+    fn snapshot_restore_is_byte_identical(
+        n in 8usize..32,
+        batch in 1usize..4,
+        rounds in 2usize..6,
+        seed in 0u64..1000,
+        stop_after in 0usize..4,
+        policy in policies(),
+    ) {
+        let mut original = builder(n, policy, batch, rounds, seed).build_session();
+        // Run the original up to `stop_after` fulfilled tickets (or done).
+        let mut fulfilled = 0;
+        while fulfilled < stop_after {
+            match original.step().expect("step") {
+                SessionStep::Done => break,
+                SessionStep::AwaitingLabels => {
+                    let full = original.answer_from_hidden().expect("hidden labels");
+                    original.submit(&full).expect("valid labels");
+                    fulfilled += 1;
+                }
+            }
+        }
+        let snapshot = original.snapshot();
+        prop_assert_eq!(snapshot.tickets.len(), fulfilled);
+
+        let mut restored = builder(n, policy, batch, rounds, seed)
+            .restore(&snapshot)
+            .expect("snapshot matches its own configuration");
+        prop_assert_eq!(
+            serde_json::to_string(&original.status()).unwrap(),
+            serde_json::to_string(&restored.status()).unwrap()
+        );
+        let a = original.run_hidden().expect("hidden labels");
+        let b = restored.run_hidden().expect("hidden labels");
+        prop_assert_eq!(canonical(a), canonical(b));
+    }
+}
+
+#[test]
+fn snapshot_roundtrips_through_json_and_preserves_partial_labels() {
+    let mut session = builder(12, HistoryPolicy::Wshs { l: 3 }, 3, 3, 7).build_session();
+    assert_eq!(session.step().unwrap(), SessionStep::AwaitingLabels);
+    let full = session.answer_from_hidden().unwrap();
+    session.submit(&full).unwrap();
+    assert_eq!(session.step().unwrap(), SessionStep::AwaitingLabels);
+    // Deliver only part of the second ticket.
+    let next = session.answer_from_hidden().unwrap();
+    let partial = LabelResponse {
+        ticket: next.ticket,
+        labels: next.labels[..1].to_vec(),
+    };
+    session.submit(&partial).unwrap();
+
+    let snapshot = session.snapshot();
+    assert_eq!(snapshot.tickets.len(), 1);
+    assert_eq!(snapshot.partial.len(), 1);
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let parsed: histal_core::live::SessionSnapshot<usize> = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed, snapshot);
+
+    let restored = builder(12, HistoryPolicy::Wshs { l: 3 }, 3, 3, 7)
+        .restore(&parsed)
+        .unwrap();
+    assert_eq!(restored.status(), session.status());
+    assert_eq!(restored.status().pending_remaining, next.labels.len() - 1);
+}
+
+#[test]
+fn restore_rejects_mismatched_configuration() {
+    let mut session = builder(12, HistoryPolicy::Wshs { l: 3 }, 3, 3, 7).build_session();
+    session.step().unwrap();
+    let snapshot = session.snapshot();
+    // Different seed → different config hash → Conflict.
+    let err = match builder(12, HistoryPolicy::Wshs { l: 3 }, 3, 3, 8).restore(&snapshot) {
+        Err(err) => err,
+        Ok(_) => panic!("restore onto a different seed must fail"),
+    };
+    assert!(
+        matches!(err.kind, ErrorKind::Conflict { .. }),
+        "got {:?}",
+        err.kind
+    );
+}
+
+#[test]
+fn submit_rejects_conflicts_and_unknowns() {
+    let mut session = builder(12, HistoryPolicy::CurrentOnly, 3, 3, 7).build_session();
+    session.step().unwrap();
+    let full = session.answer_from_hidden().unwrap();
+    let (first_id, first_label) = full.labels[0];
+
+    // Unknown ticket.
+    let err = session
+        .submit(&LabelResponse {
+            ticket: 99,
+            labels: vec![(first_id, first_label)],
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err.kind, ErrorKind::NotFound { .. }),
+        "got {:?}",
+        err.kind
+    );
+
+    // Sample the ticket never asked about.
+    let not_asked = (0..12).find(|id| !full.indices_contains(*id)).unwrap();
+    let err = session
+        .submit(&LabelResponse {
+            ticket: full.ticket,
+            labels: vec![(not_asked, 0)],
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err.kind, ErrorKind::NotFound { .. }),
+        "got {:?}",
+        err.kind
+    );
+
+    // Contradicting an accepted label is a conflict; re-sending the same
+    // value is an acknowledged duplicate.
+    session
+        .submit(&LabelResponse {
+            ticket: full.ticket,
+            labels: vec![(first_id, first_label)],
+        })
+        .unwrap();
+    let err = session
+        .submit(&LabelResponse {
+            ticket: full.ticket,
+            labels: vec![(first_id, 1 - first_label)],
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err.kind, ErrorKind::Conflict { .. }),
+        "got {:?}",
+        err.kind
+    );
+    let again = session
+        .submit(&LabelResponse {
+            ticket: full.ticket,
+            labels: vec![(first_id, first_label)],
+        })
+        .unwrap();
+    assert_eq!(again.duplicates, 1);
+    assert_eq!(again.accepted, 0);
+}
+
+/// Convenience used by the unknown-sample test.
+trait IndicesContains {
+    fn indices_contains(&self, id: usize) -> bool;
+}
+
+impl IndicesContains for LabelResponse<usize> {
+    fn indices_contains(&self, id: usize) -> bool {
+        self.labels.iter().any(|&(i, _)| i == id)
+    }
+}

@@ -14,7 +14,7 @@ use rand_chacha::ChaCha8Rng;
 use histal_core::driver::{ActiveLearner, PoolConfig};
 use histal_core::eval::{EvalCaps, SampleEval};
 use histal_core::model::Model;
-use histal_core::pipeline::Oracle;
+use histal_core::pipeline::{InstantOracle, SyncOracle};
 use histal_core::pool::{Pool, SampleId};
 use histal_core::strategy::{BaseStrategy, HistoryPolicy, Strategy as AlStrategy};
 
@@ -140,7 +140,7 @@ struct RecordingOracle {
     calls: Arc<Mutex<Vec<SampleId>>>,
 }
 
-impl Oracle<FixedModel> for RecordingOracle {
+impl InstantOracle<FixedModel> for RecordingOracle {
     fn annotate(&mut self, id: SampleId, _sample: &f64) -> usize {
         self.calls.lock().unwrap().push(id);
         self.labels[id]
@@ -168,7 +168,7 @@ proptest! {
         let oracle = RecordingOracle { labels, calls: Arc::clone(&calls) };
 
         let mut learner = ActiveLearner::builder(FixedModel)
-            .pool_with_oracle(pool_samples, Box::new(oracle))
+            .pool_with_oracle(pool_samples, Box::new(SyncOracle::new(oracle)))
             .test(vec![0.1, 0.9], vec![0, 1])
             .strategy(AlStrategy::new(BaseStrategy::Entropy).with_history(HistoryPolicy::Wshs { l: 3 }))
             .config(PoolConfig {

@@ -16,7 +16,7 @@
 //! storing only a few hundred counters.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
@@ -280,15 +280,20 @@ impl MetricsRegistry {
 /// `i` of a `rayon::run_indexed` fan-out records into shard `i`; the
 /// merge folds shards `0, 1, …, n−1` in that order regardless of which
 /// worker executed which task.
+///
+/// Shards are `Arc`-shared so long-lived owners (a server's per-tenant
+/// registries, a session holding its tenant's shard) can record into a
+/// shard independently of the `ShardedMetrics` borrow — take one with
+/// [`ShardedMetrics::shard_handle`].
 pub struct ShardedMetrics {
-    shards: Vec<MetricsRegistry>,
+    shards: Vec<Arc<MetricsRegistry>>,
 }
 
 impl ShardedMetrics {
     /// One shard per task index.
     pub fn new(n: usize) -> ShardedMetrics {
         ShardedMetrics {
-            shards: (0..n).map(|_| MetricsRegistry::new()).collect(),
+            shards: (0..n).map(|_| Arc::new(MetricsRegistry::new())).collect(),
         }
     }
 
@@ -305,6 +310,12 @@ impl ShardedMetrics {
     /// The shard for task `index`.
     pub fn shard(&self, index: usize) -> &MetricsRegistry {
         &self.shards[index]
+    }
+
+    /// An owning handle to the shard for task `index` (e.g. to attach it
+    /// to a session builder that wants an `Arc<MetricsRegistry>`).
+    pub fn shard_handle(&self, index: usize) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shards[index])
     }
 
     /// Merge all shards in index order into one registry.

@@ -1,0 +1,433 @@
+//! The session store: journal-backed state for every hosted session.
+//!
+//! Each session owns one JSONL journal under the store's state
+//! directory: a `create` record carrying the normalized
+//! [`SessionConfig`], followed by one `labels` record per accepted
+//! submission chunk. Because the live session is a deterministic replay
+//! of its label events (see `histal_core::live`), that journal *is* the
+//! session: [`Store::open`] rebuilds every session by re-resolving the
+//! config and re-submitting the recorded chunks, landing byte-identical
+//! to the pre-crash state — same RNG position, same pending ticket,
+//! same partially-filled batch. A torn tail line (kill -9 mid-append)
+//! is dropped by the journal reader and truncated on re-open, costing
+//! at most the one chunk that never finished writing.
+//!
+//! Ordering makes the journal safe: a chunk is applied to the session
+//! *first* and journaled only after it was accepted, so the journal
+//! never holds a chunk the pipeline would reject. A crash between
+//! apply and append loses that chunk — the client's retry is absorbed
+//! as duplicates by the first-write-wins submit semantics.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use histal_core::error::Error;
+use histal_core::live::{SessionStatus, SessionStep, SubmitOutcome};
+use histal_core::pipeline::Ticket;
+use histal_core::pool::SampleId;
+use histal_obs::{Journal, JournalReader, MetricsRegistry, ShardedMetrics};
+
+use crate::config::{SessionConfig, TaskCache};
+use crate::session::{AnySession, BatchView, LabelValue};
+
+/// Hard cap on distinct tenants (one metrics shard each).
+pub const MAX_TENANTS: usize = 64;
+
+/// Journal record written once at session creation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CreateRecord {
+    kind: String,
+    id: String,
+    config: SessionConfig,
+}
+
+/// Journal record written per accepted submission chunk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LabelsRecord {
+    kind: String,
+    ticket: Ticket,
+    labels: Vec<(SampleId, LabelValue)>,
+}
+
+/// A session's status plus its serving identity, as listed to clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusView {
+    /// Session id, e.g. `"s000017"`.
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// `"external"` or `"simulated"`.
+    pub oracle: String,
+    /// The live pipeline status.
+    pub status: SessionStatus,
+}
+
+/// One hosted session: the live pipeline behind a mutex, plus its
+/// journal. The mutex is the coalescing point — concurrent
+/// get-next-batch calls serialize here, and every caller after the
+/// first finds the ticket already issued and returns it without
+/// re-entering the pipeline.
+pub struct SessionEntry {
+    /// Session id (also the journal file stem).
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Normalized creation config.
+    pub config: SessionConfig,
+    session: Mutex<AnySession>,
+    journal: Journal,
+}
+
+impl SessionEntry {
+    fn status_view(&self) -> StatusView {
+        StatusView {
+            id: self.id.clone(),
+            tenant: self.tenant.clone(),
+            oracle: self.config.oracle.clone(),
+            status: self.session.lock().unwrap().status(),
+        }
+    }
+}
+
+/// The multi-tenant session store.
+pub struct Store {
+    state_dir: PathBuf,
+    sessions: Mutex<BTreeMap<String, Arc<SessionEntry>>>,
+    tenants: Mutex<Vec<String>>,
+    metrics: ShardedMetrics,
+    tasks: TaskCache,
+    next_id: AtomicU64,
+}
+
+impl Store {
+    /// Open (or create) a store over `state_dir`, replaying every
+    /// session journal found there.
+    pub fn open(state_dir: impl AsRef<Path>) -> Result<Store, Error> {
+        let state_dir = state_dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&state_dir).map_err(Error::journal)?;
+        let store = Store {
+            state_dir: state_dir.clone(),
+            sessions: Mutex::new(BTreeMap::new()),
+            tenants: Mutex::new(Vec::new()),
+            metrics: ShardedMetrics::new(MAX_TENANTS),
+            tasks: TaskCache::new(),
+            next_id: AtomicU64::new(0),
+        };
+
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&state_dir)
+            .map_err(Error::journal)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            store.replay(&path)?;
+        }
+        Ok(store)
+    }
+
+    /// The state directory sessions journal into.
+    pub fn state_dir(&self) -> &Path {
+        &self.state_dir
+    }
+
+    /// Rebuild one session from its journal and register it.
+    fn replay(&self, path: &Path) -> Result<(), Error> {
+        let reader = JournalReader::load(path).map_err(Error::journal)?;
+        let Some(create) = reader.records::<CreateRecord>().into_iter().next() else {
+            // Empty or headerless journal: a crash before the create
+            // record landed. Nothing to resume.
+            return Ok(());
+        };
+        let config = create.config;
+        let shard = self.tenant_shard(&config.tenant)?;
+        let mut session = config.build_session(&self.tasks, shard)?;
+        for record in reader.records::<LabelsRecord>() {
+            session.step()?;
+            session.submit(record.ticket, &record.labels).map_err(|e| {
+                Error::invariant(format!(
+                    "journal {} replays a chunk the pipeline rejects: {e}",
+                    path.display()
+                ))
+            })?;
+        }
+        // Re-open truncates any torn tail so future appends are clean.
+        let journal = Journal::append_to(path).map_err(Error::journal)?;
+
+        if let Some(n) = create
+            .id
+            .strip_prefix('s')
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            self.next_id.fetch_max(n + 1, Ordering::SeqCst);
+        }
+        let entry = Arc::new(SessionEntry {
+            id: create.id.clone(),
+            tenant: config.tenant.clone(),
+            config,
+            session: Mutex::new(session),
+            journal,
+        });
+        self.sessions.lock().unwrap().insert(create.id, entry);
+        Ok(())
+    }
+
+    /// The metrics shard for `tenant`, allocating one for first-seen
+    /// names. A full tenant table is a 503 ([`Error::busy`]).
+    pub fn tenant_shard(&self, tenant: &str) -> Result<Arc<MetricsRegistry>, Error> {
+        let mut tenants = self.tenants.lock().unwrap();
+        if let Some(i) = tenants.iter().position(|t| t == tenant) {
+            return Ok(self.metrics.shard_handle(i));
+        }
+        if tenants.len() >= MAX_TENANTS {
+            return Err(Error::busy(format!(
+                "tenant table is full ({MAX_TENANTS} tenants)"
+            )));
+        }
+        tenants.push(tenant.to_string());
+        Ok(self.metrics.shard_handle(tenants.len() - 1))
+    }
+
+    /// Create a session from a request config: resolve, journal the
+    /// `create` record, register. Returns the id and initial status.
+    pub fn create_session(&self, config: SessionConfig) -> Result<StatusView, Error> {
+        let config = config.normalized();
+        let shard = self.tenant_shard(&config.tenant)?;
+        let session = config.build_session(&self.tasks, Arc::clone(&shard))?;
+
+        let id = format!("s{:06}", self.next_id.fetch_add(1, Ordering::SeqCst));
+        let journal =
+            Journal::create(self.state_dir.join(format!("{id}.jsonl"))).map_err(Error::journal)?;
+        journal
+            .append(&CreateRecord {
+                kind: "create".into(),
+                id: id.clone(),
+                config: config.clone(),
+            })
+            .map_err(Error::journal)?;
+        shard.counter_add("serve.sessions.created", 1);
+
+        let entry = Arc::new(SessionEntry {
+            id: id.clone(),
+            tenant: config.tenant.clone(),
+            config,
+            session: Mutex::new(session),
+            journal,
+        });
+        let view = entry.status_view();
+        self.sessions.lock().unwrap().insert(id, entry);
+        Ok(view)
+    }
+
+    fn entry(&self, id: &str) -> Result<Arc<SessionEntry>, Error> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| Error::not_found("session", id))
+    }
+
+    /// Status of every session, in id order.
+    pub fn list(&self) -> Vec<StatusView> {
+        let entries: Vec<Arc<SessionEntry>> =
+            self.sessions.lock().unwrap().values().cloned().collect();
+        entries.iter().map(|e| e.status_view()).collect()
+    }
+
+    /// Status of one session.
+    pub fn status(&self, id: &str) -> Result<StatusView, Error> {
+        Ok(self.entry(id)?.status_view())
+    }
+
+    /// Get (or compute) the session's next label batch. Advances the
+    /// pipeline when no ticket is outstanding; concurrent callers
+    /// coalesce on the session mutex and share the one computed ticket.
+    pub fn next_batch(&self, id: &str) -> Result<BatchView, Error> {
+        let entry = self.entry(id)?;
+        let mut session = entry.session.lock().unwrap();
+        session.step()?;
+        Ok(session.batch_view())
+    }
+
+    /// Submit a chunk of labels against a ticket: apply through the
+    /// pipeline's first-write-wins semantics, then journal the accepted
+    /// chunk.
+    pub fn submit(
+        &self,
+        id: &str,
+        ticket: Ticket,
+        labels: Vec<(SampleId, LabelValue)>,
+    ) -> Result<SubmitOutcome, Error> {
+        let entry = self.entry(id)?;
+        let mut session = entry.session.lock().unwrap();
+        // Make sure the ticket the client is answering has actually been
+        // issued on this side (a restart may not have re-stepped yet).
+        session.step()?;
+        let outcome = session.submit(ticket, &labels)?;
+        if outcome.accepted > 0 {
+            entry
+                .journal
+                .append(&LabelsRecord {
+                    kind: "labels".into(),
+                    ticket,
+                    labels,
+                })
+                .map_err(Error::journal)?;
+        }
+        let shard = self.tenant_shard(&entry.tenant)?;
+        shard.counter_add("serve.labels.accepted", outcome.accepted as u64);
+        shard.counter_add("serve.labels.duplicate", outcome.duplicates as u64);
+        Ok(outcome)
+    }
+
+    /// Drive a simulated-oracle session to completion, journaling every
+    /// chunk as if a client had submitted it. External-oracle sessions
+    /// are refused with a conflict: their labels must arrive over HTTP.
+    pub fn run_to_completion(&self, id: &str) -> Result<StatusView, Error> {
+        let entry = self.entry(id)?;
+        if !entry.config.is_simulated() {
+            return Err(Error::conflict(format!(
+                "session {id} has an external oracle; labels must be submitted, not simulated"
+            )));
+        }
+        let mut session = entry.session.lock().unwrap();
+        loop {
+            match session.step()? {
+                SessionStep::Done => break,
+                SessionStep::AwaitingLabels => {
+                    let (ticket, labels) = session
+                        .answer_from_hidden()
+                        .ok_or_else(|| Error::invariant("awaiting ticket with no hidden labels"))?;
+                    let outcome = session.submit(ticket, &labels)?;
+                    if outcome.accepted > 0 {
+                        entry
+                            .journal
+                            .append(&LabelsRecord {
+                                kind: "labels".into(),
+                                ticket,
+                                labels,
+                            })
+                            .map_err(Error::journal)?;
+                    }
+                }
+            }
+        }
+        let shard = self.tenant_shard(&entry.tenant)?;
+        shard.counter_add("serve.sessions.completed", 1);
+        drop(session);
+        Ok(entry.status_view())
+    }
+
+    /// The session's snapshot JSON (the byte-identity witness used by
+    /// the crash/resume tests).
+    pub fn snapshot_json(&self, id: &str) -> Result<String, Error> {
+        let entry = self.entry(id)?;
+        let session = entry.session.lock().unwrap();
+        Ok(session.snapshot_json())
+    }
+
+    /// Render every tenant's metrics shard as one text block.
+    pub fn metrics_text(&self) -> String {
+        let tenants = self.tenants.lock().unwrap().clone();
+        let mut out = String::new();
+        for (i, tenant) in tenants.iter().enumerate() {
+            out.push_str(&format!("# tenant {tenant}\n"));
+            for line in self.metrics.shard(i).render().lines() {
+                out.push_str(&format!("{tenant}.{line}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(tenant: &str, oracle: &str) -> SessionConfig {
+        SessionConfig {
+            tenant: tenant.into(),
+            dataset: "mr".into(),
+            strategy: "entropy".into(),
+            scale: 0.05,
+            batch_size: 5,
+            rounds: 2,
+            init_labeled: 10,
+            oracle: oracle.into(),
+            ..SessionConfig::default()
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("histal-serve-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_submit_and_reopen() {
+        let dir = tmp_dir("reopen");
+        let snapshot_before;
+        let id;
+        {
+            let store = Store::open(&dir).unwrap();
+            let view = store
+                .create_session(tiny_config("acme", "external"))
+                .unwrap();
+            id = view.id.clone();
+            let batch = store.next_batch(&id).unwrap();
+            assert_eq!(batch.state, "awaiting");
+            // Answer only part of the batch: the partial state must
+            // survive the reopen.
+            let labels: Vec<(SampleId, LabelValue)> = batch.indices[..2]
+                .iter()
+                .map(|&i| (i, LabelValue::Class(0)))
+                .collect();
+            let outcome = store.submit(&id, batch.ticket, labels).unwrap();
+            assert_eq!(outcome.accepted, 2);
+            assert!(!outcome.batch_complete);
+            snapshot_before = store.snapshot_json(&id).unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.snapshot_json(&id).unwrap(), snapshot_before);
+        let status = store.status(&id).unwrap();
+        assert_eq!(status.tenant, "acme");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulated_run_completes_and_external_run_refused() {
+        let dir = tmp_dir("run");
+        let store = Store::open(&dir).unwrap();
+        let sim = store
+            .create_session(tiny_config("t1", "simulated"))
+            .unwrap();
+        let done = store.run_to_completion(&sim.id).unwrap();
+        assert!(done.status.done);
+        let ext = store.create_session(tiny_config("t1", "external")).unwrap();
+        let err = store.run_to_completion(&ext.id).unwrap_err();
+        assert_eq!(err.kind.http_status(), 409);
+        let metrics = store.metrics_text();
+        assert!(
+            metrics.contains("t1.serve.sessions.completed = 1"),
+            "{metrics}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_session_is_not_found() {
+        let dir = tmp_dir("404");
+        let store = Store::open(&dir).unwrap();
+        let err = store.next_batch("s999999").unwrap_err();
+        assert_eq!(err.kind.http_status(), 404);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

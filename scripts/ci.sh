@@ -65,4 +65,27 @@ echo "==> spec smoke: run --spec specs/fig5.json matches the fig5 golden"
     diff results/fig5.json "$REPO_DIR/crates/bench/tests/goldens/fig5_s005_r1.json"
 )
 
+echo "==> serve smoke: histal-serve end-to-end (external + simulated oracle,"
+echo "    duplicate absorption, per-tenant /metrics, clean shutdown)"
+cargo build -q --release -p histal-serve --bin histal-serve
+SERVE_BIN="$(pwd)/target/release/histal-serve"
+SERVE_ADDR="127.0.0.1:18437"
+(
+    cd "$SMOKE_DIR"
+    "$SERVE_BIN" serve --addr "$SERVE_ADDR" --state-dir serve-state --threads 4 \
+        > serve.log 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://$SERVE_ADDR/healthz" > /dev/null 2>&1; then break; fi
+        sleep 0.1
+    done
+    "$SERVE_BIN" smoke --addr "$SERVE_ADDR"
+    curl -fsS -X POST "http://$SERVE_ADDR/shutdown" > /dev/null
+    wait "$SERVE_PID"
+)
+
+echo "==> serve load: 1000 concurrent simulated sessions (acceptance bar)"
+HISTAL_SERVE_SESSIONS=1000 cargo test -q --release -p histal-serve \
+    --test serve_http concurrent_simulated_sessions_complete_with_tenant_metrics
+
 echo "CI green."
