@@ -3,11 +3,21 @@
 //! [`GridExecutor`] turns an [`ExperimentSpec`] into results: it
 //! resolves datasets/strategies through [`crate::registry`], trains any
 //! LHS selectors the spec needs (deduplicated by training plan), flattens
-//! the `(dataset × group × strategy)` grid into cells, fans the cells out
-//! across the rayon pool (each cell fanning its repeats out in turn), and
-//! groups the outcomes back into report blocks. [`render_spec`] then
-//! prints the blocks according to the spec's [`ReportKind`] and produces
-//! the JSON payload [`write_rendered`] persists.
+//! the `(dataset × group × strategy)` grid into a [`crate::cell_runner::GridCtx`],
+//! and dispatches it to one of two execution paths:
+//!
+//! * **classic** (no `prune` policy): cells fan out across the rayon
+//!   pool run-to-completion, each cell fanning its repeats out in turn
+//!   ([`crate::cell_runner::run_classic`]) — byte-identical to the
+//!   pre-split executor;
+//! * **adaptive** (`prune` set): every `(cell, repeat)` streams round
+//!   by round under the successive-halving scheduler
+//!   ([`crate::scheduler`]), which cuts dominated cells short.
+//!
+//! Outcomes are grouped back into report blocks either way.
+//! [`render_spec`] then prints the blocks according to the spec's
+//! [`ReportKind`] and produces the JSON payload [`write_rendered`]
+//! persists.
 //!
 //! # Determinism contract (journal-key compatibility)
 //!
@@ -23,22 +33,26 @@
 //! hand-coded grids and lets pre-refactor journals resume under the
 //! engine. Do not fold new inputs into these derivations.
 
-use std::time::Instant;
-
-use histal_core::analysis::{area_under_curve, average_curves, selection_stats};
+use histal_core::analysis::{area_under_curve, selection_stats};
 use histal_core::driver::{CurvePoint, PoolConfig, RunResult};
 use histal_core::error::Error;
 use histal_core::lhs::{train_lhs, LhsSelector, LhsTrainerConfig};
 use histal_core::session::fingerprint;
+use histal_core::stats::{paired_bootstrap_ci, paired_permutation, PairedComparison};
 use histal_core::strategy::Strategy;
 use histal_data::TextSpec;
 use histal_obs::span;
 use histal_obs::trace::Level;
 
-use crate::journal::{try_run_cell_opt, JournalCtx};
+pub use crate::cell_runner::CellOutcome;
+use crate::cell_runner::{run_classic, Cell, GridCtx, TaskInstance};
+use crate::journal::JournalCtx;
 use crate::registry::{self, DatasetDef, LhsPlan, Metric};
 use crate::report::{print_curves, print_table, write_json};
-use crate::spec::{render_template, ExperimentSpec, ReportKind};
+use crate::scheduler::{execute_adaptive, AdaptiveSummary};
+use crate::spec::{
+    render_template, BudgetSpec, ExperimentSpec, PruneSpec, ReportKind, SignificanceSpec,
+};
 use crate::tasks::{NerTask, Scale, TextModel, TextTask};
 
 /// Pool configuration for a text dataset: the paper samples 20 batches of
@@ -96,6 +110,7 @@ pub fn seed_for(experiment: &str, dataset: &str, strategy: &str, repeat: usize) 
 /// at another. The strategy goes in via its full `Debug` form, not its
 /// display name — variants that share a name but differ in
 /// hyper-parameters (fig5's WSHS window sweep) must hash apart.
+#[allow(clippy::too_many_arguments)]
 pub fn cell_hash(
     experiment: &str,
     dataset: &str,
@@ -104,6 +119,8 @@ pub fn cell_hash(
     scale: &Scale,
     lhs: bool,
     ner_beam: Option<f64>,
+    budget: Option<&BudgetSpec>,
+    prune: Option<&PruneSpec>,
 ) -> u64 {
     // The beam width is part of the hash because pruned scoring changes
     // cell bytes: a journal written exact must never replay into a
@@ -130,6 +147,24 @@ pub fn cell_hash(
     if let Some(a) = &config.ann {
         ann = format!("ann=t{}b{}p{}", a.tables, a.bits, a.probes);
         parts.push(&ann);
+    }
+    // Budget and prune policies change cell bytes (fewer rounds,
+    // truncated curves), so they join the hash — but, like beam/ann,
+    // only when set: specs without them keep hashing identically to
+    // journals written before the policies existed.
+    let budget_s;
+    if let Some(b) = budget {
+        budget_s = format!(
+            "budget=c{}m{}",
+            b.cost_per_label.unwrap_or(1.0),
+            b.max_cost.unwrap_or(f64::INFINITY)
+        );
+        parts.push(&budget_s);
+    }
+    let prune_s;
+    if let Some(p) = prune {
+        prune_s = format!("prune=c{}m{}", p.checkpoint_rounds(), p.margin_value());
+        parts.push(&prune_s);
     }
     fingerprint(&parts)
 }
@@ -163,63 +198,6 @@ pub fn train_lhs_plan(plan: &LhsPlan, scale: &Scale) -> Result<LhsSelector, Erro
     )
 }
 
-/// One resolved dataset of a grid: the built task plus its pool config.
-enum TaskInstance {
-    Text {
-        task: TextTask,
-        config: PoolConfig,
-        /// Multiclass dataset — LHS entries are skipped (the ranker is
-        /// trained on binary Subj; §5.4 applies it to binary tasks).
-        trec_like: bool,
-    },
-    Ner {
-        task: NerTask,
-        config: PoolConfig,
-    },
-}
-
-impl TaskInstance {
-    fn name(&self) -> &str {
-        match self {
-            Self::Text { task, .. } => &task.name,
-            Self::Ner { task, .. } => &task.name,
-        }
-    }
-
-    fn config(&self) -> &PoolConfig {
-        match self {
-            Self::Text { config, .. } => config,
-            Self::Ner { config, .. } => config,
-        }
-    }
-}
-
-/// One flattened grid cell awaiting execution.
-struct Cell {
-    task: usize,
-    group: usize,
-    strategy: Strategy,
-    /// Index into the trained selector list, for LHS cells.
-    lhs: Option<usize>,
-    /// Report label (spec rename, or the resolved display name).
-    display: String,
-    /// Experiment id for seeds and journal keys (entry override or the
-    /// spec's).
-    experiment: String,
-}
-
-/// One executed cell: the averaged curve plus the raw repeats.
-pub struct CellOutcome {
-    /// Report label of the cell.
-    pub name: String,
-    /// Curves averaged over repeats, `strategy_name` set to `name`.
-    pub avg: RunResult,
-    /// The raw per-repeat results (with round diagnostics / history).
-    pub runs: Vec<RunResult>,
-    /// End-to-end wall clock of the cell (all repeats), for BENCH.
-    pub wall_ms: f64,
-}
-
 /// One report block: the cells of one `(dataset × group)` pair.
 pub struct Block {
     /// Dataset display label (spec rename, or the generated corpus name).
@@ -233,8 +211,9 @@ pub struct Block {
 }
 
 impl Block {
-    /// Total label budget of the block's cells.
-    pub fn budget(&self) -> usize {
+    /// Total label budget of the block's cells (annotations consumed by
+    /// a full run: the seed set plus every selection batch).
+    pub fn label_budget(&self) -> usize {
         self.config.init_labeled + self.config.batch_size * self.config.rounds
     }
 }
@@ -243,6 +222,9 @@ impl Block {
 pub struct GridOutcome {
     /// One block per `(dataset × group)` pair that produced cells.
     pub blocks: Vec<Block>,
+    /// Pruning summary when the spec ran under the adaptive scheduler;
+    /// `None` on the classic run-to-completion path.
+    pub adaptive: Option<AdaptiveSummary>,
 }
 
 /// Executes one [`ExperimentSpec`] deterministically.
@@ -312,6 +294,14 @@ impl<'a> GridExecutor<'a> {
         }
         if let Some(a) = &self.spec.ann {
             config.ann = Some(a.to_config());
+        }
+        // An annotation budget lowers the round count to what the spec
+        // can afford — a shorter run is an exact RNG prefix of the full
+        // one, so this composes with journaling and the scheduler.
+        if let Some(b) = &self.spec.budget {
+            config.rounds = config
+                .rounds
+                .min(b.affordable_rounds(config.init_labeled, config.batch_size));
         }
         if self.spec.report == ReportKind::TrendCensus {
             config.record_history = true;
@@ -434,80 +424,40 @@ impl<'a> GridExecutor<'a> {
             }
         }
 
-        let run_one = |c: usize| -> Result<CellOutcome, Error> {
-            let cell = &cells[c];
-            let inst = &instances[cell.task];
-            let start = Instant::now();
-            let name = cell.strategy.name();
-            let beam = match inst {
-                TaskInstance::Ner { task, .. } => task.score_beam,
-                TaskInstance::Text { .. } => None,
-            };
-            let hash = cell_hash(
-                &cell.experiment,
-                inst.name(),
-                &cell.strategy,
-                inst.config(),
-                &self.scale,
-                cell.lhs.is_some(),
-                beam,
-            );
-            let runs: Vec<Result<RunResult, Error>> = rayon::run_indexed(self.scale.repeats, |r| {
-                let seed = seed_for(&cell.experiment, inst.name(), &name, r);
-                let key = format!("{}/{}/{name}/r{r}", cell.experiment, inst.name());
-                let _span = span!(
-                    Level::Debug,
-                    "harness.cell",
-                    cell = key.clone(),
-                    seed = seed
-                );
-                try_run_cell_opt(self.journal, &key, hash, seed, |j| match inst {
-                    TaskInstance::Text { task, config, .. } => {
-                        if representations {
-                            task.try_run_with_representations_journaled(
-                                cell.strategy.clone(),
-                                config,
-                                seed,
-                                j,
-                            )
-                        } else {
-                            task.try_run_model(
-                                model,
-                                cell.strategy.clone(),
-                                cell.lhs.map(|i| selectors[i].clone()),
-                                config,
-                                seed,
-                                j,
-                            )
-                        }
-                    }
-                    TaskInstance::Ner { task, config } => {
-                        task.try_run_journaled(cell.strategy.clone(), config, seed, j)
-                    }
-                })
-                .map_err(|e| e.in_cell(&key))
-            });
-            let runs: Vec<RunResult> = runs.into_iter().collect::<Result<_, _>>()?;
-            let mut avg = average_curves(&runs);
-            avg.strategy_name = cell.display.clone();
-            Ok(CellOutcome {
-                name: cell.display.clone(),
-                avg,
-                runs,
-                wall_ms: start.elapsed().as_secs_f64() * 1e3,
-            })
+        let ctx = GridCtx {
+            spec,
+            scale: self.scale,
+            journal: self.journal,
+            model,
+            representations,
+            instances,
+            selectors,
+            cells,
         };
-        let outcomes: Vec<Result<CellOutcome, Error>> = if self.serial {
-            (0..cells.len()).map(run_one).collect()
+
+        // Dispatch: specs with a prune policy stream rounds under the
+        // adaptive scheduler; everything else takes the classic
+        // run-to-completion fan-out (byte-identical to the pre-split
+        // executor).
+        let (outcomes, adaptive) = if spec.prune.is_some() {
+            let (outcomes, summary) = execute_adaptive(&ctx)?;
+            let outcomes: Vec<Result<CellOutcome, Error>> = outcomes.into_iter().map(Ok).collect();
+            (outcomes, Some(summary))
         } else {
-            rayon::run_indexed(cells.len(), run_one)
+            let run_one = |c: usize| run_classic(&ctx, c);
+            let outcomes: Vec<Result<CellOutcome, Error>> = if self.serial {
+                (0..ctx.cells.len()).map(run_one).collect()
+            } else {
+                rayon::run_indexed(ctx.cells.len(), run_one)
+            };
+            (outcomes, None)
         };
 
         // Regroup consecutive cells per (dataset, group) into blocks —
         // output order matches the historical serial nested loops.
         let mut blocks: Vec<Block> = Vec::new();
         let mut last_key = None;
-        for (cell, outcome) in cells.iter().zip(outcomes) {
+        for (cell, outcome) in ctx.cells.iter().zip(outcomes) {
             let outcome = outcome?;
             let key = (cell.task, cell.group);
             if last_key != Some(key) {
@@ -516,9 +466,9 @@ impl<'a> GridExecutor<'a> {
                     dataset: spec.datasets[cell.task]
                         .rename
                         .clone()
-                        .unwrap_or_else(|| instances[cell.task].name().to_string()),
+                        .unwrap_or_else(|| ctx.instances[cell.task].name().to_string()),
                     label: spec.groups[cell.group].label.clone(),
-                    config: instances[cell.task].config().clone(),
+                    config: ctx.instances[cell.task].config().clone(),
                     cells: Vec::new(),
                 });
             }
@@ -528,7 +478,7 @@ impl<'a> GridExecutor<'a> {
                 .cells
                 .push(outcome);
         }
-        Ok(GridOutcome { blocks })
+        Ok(GridOutcome { blocks, adaptive })
     }
 }
 
@@ -632,7 +582,7 @@ fn render_metrics(spec: &ExperimentSpec, outcome: &GridOutcome) -> Result<Render
                 row.push(registry::evaluate_metric(
                     m,
                     &cell.avg,
-                    block.budget(),
+                    block.label_budget(),
                     &lookup,
                 ));
             }
@@ -651,7 +601,74 @@ fn render_metrics(spec: &ExperimentSpec, outcome: &GridOutcome) -> Result<Render
     header.extend(metrics.iter().map(|m| m.header()));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     print_table(&spec.title, &header_refs, &rows);
+    if let Some(sig) = &spec.significance {
+        rows.extend(render_significance(sig, outcome)?);
+    }
     Ok(Rendered::Rows(rows))
+}
+
+/// Paired per-repeat metric samples of `cell` vs `baseline`: every
+/// `(repeat, round)` coordinate both curves recorded. Truncated
+/// (pruned/budgeted) curves pair only over their common prefix.
+fn paired_samples(cell: &CellOutcome, baseline: &CellOutcome) -> (Vec<f64>, Vec<f64>) {
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for (run, base) in cell.runs.iter().zip(&baseline.runs) {
+        for (p, q) in run.curve.iter().zip(&base.curve) {
+            a.push(p.metric);
+            b.push(q.metric);
+        }
+    }
+    (a, b)
+}
+
+/// Render the paired-significance table of a metrics report: every
+/// non-baseline cell vs the spec's baseline, per block, with a
+/// bootstrap CI (or permutation interval), a p-value, and a win/loss
+/// verdict over the paired per-round deltas.
+fn render_significance(
+    sig: &SignificanceSpec,
+    outcome: &GridOutcome,
+) -> Result<Vec<Vec<String>>, Error> {
+    let method = sig.method.as_deref().unwrap_or("bootstrap");
+    let iters = sig.iters.unwrap_or(2000);
+    let alpha = sig.alpha.unwrap_or(0.05);
+    let seed = sig.seed.unwrap_or(0x51);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for block in &outcome.blocks {
+        // The baseline can be legitimately absent from a block (LHS
+        // cells are skipped on multiclass datasets) — skip the block.
+        let Some(baseline) = block.cells.iter().find(|c| c.name == sig.baseline) else {
+            continue;
+        };
+        for cell in &block.cells {
+            if cell.name == sig.baseline {
+                continue;
+            }
+            let (a, b) = paired_samples(cell, baseline);
+            let cmp: PairedComparison = match method {
+                "permutation" => paired_permutation(&a, &b, iters, seed, alpha),
+                _ => paired_bootstrap_ci(&a, &b, iters, seed, alpha),
+            };
+            rows.push(vec![
+                block.dataset.clone(),
+                cell.name.clone(),
+                format!("{:+.4}", cmp.mean_diff),
+                format!("[{:+.4}, {:+.4}]", cmp.ci_low, cmp.ci_high),
+                format!("{:.4}", cmp.p_value),
+                cmp.verdict(alpha).to_string(),
+                format!("{}-{}-{}", cmp.wins, cmp.losses, cmp.ties),
+            ]);
+        }
+    }
+    let title = format!("Significance vs {} ({method}, alpha={alpha})", sig.baseline);
+    print_table(
+        &title,
+        &[
+            "Dataset", "Strategy", "d-mean", "CI", "p", "verdict", "W-L-T",
+        ],
+        &rows,
+    );
+    Ok(rows)
 }
 
 fn render_timing(spec: &ExperimentSpec, outcome: &GridOutcome) -> Rendered {

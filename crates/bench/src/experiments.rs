@@ -700,12 +700,30 @@ pub struct BenchCell {
     pub select_ms: f64,
 }
 
+/// Adaptive-scheduler slice of `BENCH_harness.json`: what the pruning
+/// policy of the checked-in diagnostic sweep saved. Cell-rounds are
+/// recorded curve points; `saved_cell_rounds` is the work an exhaustive
+/// run would have spent that the scheduler cut.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct AdaptiveBench {
+    pub spec: String,
+    pub cells: usize,
+    pub pruned_cells: usize,
+    pub scheduled_cell_rounds: usize,
+    pub completed_cell_rounds: usize,
+    pub saved_cell_rounds: usize,
+}
+
 /// Top-level payload of `BENCH_harness.json`.
 #[derive(serde::Serialize, serde::Deserialize)]
 pub struct BenchReport {
     pub git_rev: String,
     pub threads: usize,
     pub cells: Vec<BenchCell>,
+    /// Pruning summary of the adaptive sweep; absent in artifacts
+    /// recorded before the scheduler existed.
+    #[serde(default)]
+    pub adaptive: Option<AdaptiveBench>,
 }
 
 fn git_rev() -> String {
@@ -767,10 +785,11 @@ pub fn bench_check(scale: &Scale) -> Result<(), Error> {
     bench_impl(scale, true)
 }
 
-fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
-    let threads = rayon::current_num_threads();
-    eprintln!("# BENCH: {threads} thread(s), scale {:.2}", scale.factor);
-
+/// The timed grid of `bench` (and, reduced, of `bench --check`): the
+/// text cells, the diversity cell, and — full mode only — the beamed
+/// NER cells. [`grid_perf_gate`] re-times the *full* grid against the
+/// committed artifact, so keep the two callers sharing this builder.
+fn bench_grid_specs(check: bool) -> Vec<ExperimentSpec> {
     let text_datasets = if check {
         vec![DatasetEntry::new("mr")]
     } else {
@@ -820,7 +839,20 @@ fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
             ..Default::default()
         });
     }
+    specs
+}
 
+/// The checked-in adaptive diagnostic sweep (pins its own scale, so
+/// the CLI scale only fills gaps).
+fn adaptive_sweep_spec() -> Result<ExperimentSpec, Error> {
+    embedded_spec(include_str!("../../../specs/adaptive-sweep.json"))
+}
+
+fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
+    let threads = rayon::current_num_threads();
+    eprintln!("# BENCH: {threads} thread(s), scale {:.2}", scale.factor);
+
+    let specs = bench_grid_specs(check);
     let mut cells: Vec<BenchCell> = Vec::new();
     for spec in &specs {
         let outcome = GridExecutor::new(spec, scale).serial().execute()?;
@@ -874,18 +906,37 @@ fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
         obs_overhead_gate(scale, &cells);
         sharded_metrics_gate(scale)?;
         kernel_equivalence_gate()?;
-        ner_perf_gate()?;
-        div_perf_gate()?;
+        grid_perf_gate()?;
+        adaptive_gate()?;
         pool_scaling_gate()?;
         sessions_throughput_gate()?;
         println!("bench --check OK ({} cells)", cells.len());
         return Ok(());
     }
 
+    // The adaptive diagnostic sweep rides along in the artifact: its
+    // pruning counts are deterministic (unlike the timings), so CI can
+    // pin them and EXPERIMENTS.md can cite them.
+    eprintln!("# BENCH: adaptive sweep (specs/adaptive-sweep.json)");
+    let sweep = adaptive_sweep_spec()?;
+    let sweep_outcome = GridExecutor::new(&sweep, scale).serial().execute()?;
+    let summary = sweep_outcome
+        .adaptive
+        .expect("adaptive sweep spec carries a prune policy");
+    let adaptive = Some(AdaptiveBench {
+        spec: "specs/adaptive-sweep.json".into(),
+        cells: sweep_outcome.blocks.iter().map(|b| b.cells.len()).sum(),
+        pruned_cells: summary.pruned_cells,
+        scheduled_cell_rounds: summary.scheduled_cell_rounds,
+        completed_cell_rounds: summary.completed_cell_rounds,
+        saved_cell_rounds: summary.saved_cell_rounds(),
+    });
+
     let report = BenchReport {
         git_rev: git_rev(),
         threads,
         cells,
+        adaptive,
     };
     let body = serde_json::to_string_pretty(&report).expect("serializable bench report");
     let path = "BENCH_harness.json";
@@ -1107,11 +1158,11 @@ fn kernel_equivalence_gate() -> Result<(), Error> {
     Ok(())
 }
 
-/// Look up one committed `BENCH_harness.json` cell for a regression
-/// gate. Returns `None` (after a note) when no comparable reference
-/// exists — file missing, unreadable, recorded under a different thread
-/// count, or the cell absent.
-fn committed_reference(gate: &str, experiment: &str, strategy: &str) -> Option<BenchCell> {
+/// Load the committed `BENCH_harness.json` for a regression gate.
+/// Returns `None` (after a note) when no comparable reference exists —
+/// file missing, unreadable, or recorded under a different thread
+/// count.
+fn committed_report(gate: &str) -> Option<BenchReport> {
     let raw = match std::fs::read_to_string("BENCH_harness.json") {
         Ok(s) => s,
         Err(e) => {
@@ -1134,95 +1185,150 @@ fn committed_reference(gate: &str, experiment: &str, strategy: &str) -> Option<B
         );
         return None;
     }
-    let cell = report
-        .cells
-        .into_iter()
-        .find(|c| c.experiment == experiment && c.strategy == strategy);
-    if cell.is_none() {
-        eprintln!("  {gate}: skipped (no {experiment}/{strategy} cell in reference)");
-    }
-    cell
+    Some(report)
 }
 
-/// Re-time one grid spec serially at the committed bench scale
-/// ([`Scale::quick`], the scale `bench` records) and fail if its wall
-/// clock exceeds the committed `experiment`/`strategy` cell by more than
-/// 20%.
-fn committed_cell_gate(
-    gate: &str,
-    experiment: &str,
-    strategy: &str,
-    spec: ExperimentSpec,
-) -> Result<(), Error> {
-    let Some(reference) = committed_reference(gate, experiment, strategy) else {
+/// `bench --check` gate: harness perf must not regress anywhere in the
+/// timed grid. Re-times the *full* bench grid (text, diversity, beamed
+/// NER) serially at the committed bench scale ([`Scale::quick`], the
+/// scale `bench` records) and fails if any fresh cell's wall clock
+/// exceeds its committed `BENCH_harness.json` twin — matched by
+/// `(experiment, dataset, strategy)` — by more than 20%. Cells without
+/// a committed twin are noted and skipped; pool-scaling rows have their
+/// own gate.
+fn grid_perf_gate() -> Result<(), Error> {
+    let gate = "grid perf gate";
+    let Some(report) = committed_report(gate) else {
         return Ok(());
     };
-    let outcome = GridExecutor::new(&spec, &Scale::quick())
-        .serial()
-        .execute()?;
-    let wall: f64 = outcome
-        .blocks
-        .iter()
-        .flat_map(|b| &b.cells)
-        .map(|c| c.wall_ms)
-        .sum();
-    let limit = reference.wall_ms * 1.2;
-    assert!(
-        wall <= limit,
-        "{gate}: {experiment}/{strategy} wall {wall:.1} ms exceeds {limit:.1} ms \
-         (committed {:.1} ms + 20%)",
-        reference.wall_ms
-    );
-    eprintln!(
-        "  {gate}: {experiment}/{strategy} wall {wall:.1} ms vs committed {:.1} ms (limit {limit:.1})",
-        reference.wall_ms
-    );
+    let (mut compared, mut skipped) = (0usize, 0usize);
+    for spec in bench_grid_specs(false) {
+        // Per-(dataset, strategy) walls of one serial re-timing pass.
+        let time_grid = || -> Result<Vec<(String, String, f64)>, Error> {
+            let outcome = GridExecutor::new(&spec, &Scale::quick())
+                .serial()
+                .execute()?;
+            Ok(outcome
+                .blocks
+                .iter()
+                .flat_map(|b| {
+                    b.cells
+                        .iter()
+                        .map(|c| (b.dataset.clone(), c.name.clone(), c.wall_ms))
+                })
+                .collect())
+        };
+        let mut walls = time_grid()?;
+        let over_limit = |walls: &[(String, String, f64)]| {
+            walls.iter().any(|(dataset, strategy, wall)| {
+                report
+                    .cells
+                    .iter()
+                    .find(|c| {
+                        c.experiment == spec.experiment_id()
+                            && &c.dataset == dataset
+                            && &c.strategy == strategy
+                    })
+                    .is_some_and(|r| *wall > r.wall_ms * 1.2)
+            })
+        };
+        // One retry absorbs transient machine noise — a best-of-two
+        // still catches real regressions, which reproduce.
+        if over_limit(&walls) {
+            eprintln!(
+                "  {gate}: {} over limit on first pass — re-timing once",
+                spec.experiment_id()
+            );
+            for (prev, fresh) in walls.iter_mut().zip(time_grid()?) {
+                prev.2 = prev.2.min(fresh.2);
+            }
+        }
+        for (dataset, strategy, wall) in &walls {
+            let reference = report.cells.iter().find(|c| {
+                c.experiment == spec.experiment_id()
+                    && &c.dataset == dataset
+                    && &c.strategy == strategy
+            });
+            let Some(reference) = reference else {
+                eprintln!(
+                    "  {gate}: no committed {}/{dataset}/{strategy} cell — skipped",
+                    spec.experiment_id()
+                );
+                skipped += 1;
+                continue;
+            };
+            let limit = reference.wall_ms * 1.2;
+            assert!(
+                *wall <= limit,
+                "{gate}: {}/{dataset}/{strategy} wall {wall:.1} ms exceeds {limit:.1} ms \
+                 (committed {:.1} ms + 20%)",
+                spec.experiment_id(),
+                reference.wall_ms
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "{gate} compared no cells");
+    eprintln!("  {gate}: {compared} cell(s) within +20% of committed ({skipped} skipped)");
     Ok(())
 }
 
-/// `bench --check` gate: kernel-layer perf must not regress. Re-times
-/// the bench-ner LC cell against the committed `BENCH_harness.json`
-/// number (+20%).
-fn ner_perf_gate() -> Result<(), Error> {
-    committed_cell_gate(
-        "ner perf gate",
-        "bench-ner",
-        "LC",
-        ExperimentSpec {
-            name: "bench-ner".into(),
-            experiment: "bench-ner".into(),
-            datasets: vec![DatasetEntry::new("conll2003-en")],
-            groups: vec![group(&["LC"])],
-            ner_beam: Some(8.0),
-            ..Default::default()
-        },
-    )
-}
+/// `bench --check` gate: the adaptive scheduler must actually pay for
+/// itself on the checked-in diagnostic sweep — prune at least 30% of
+/// the scheduled cell-rounds — while still reporting the same
+/// per-dataset winning strategy (by mean per-repeat ALC) as an
+/// exhaustive run of the identical spec with pruning off.
+fn adaptive_gate() -> Result<(), Error> {
+    let spec = adaptive_sweep_spec()?;
+    let scale = Scale::quick();
+    let outcome = GridExecutor::new(&spec, &scale).serial().execute()?;
+    let summary = outcome
+        .adaptive
+        .expect("adaptive sweep spec carries a prune policy");
+    let saved = summary.saved_cell_rounds() as f64 / summary.scheduled_cell_rounds.max(1) as f64;
+    assert!(
+        saved >= 0.30,
+        "adaptive gate: pruning saved only {:.0}% of cell-rounds ({} of {})",
+        saved * 100.0,
+        summary.saved_cell_rounds(),
+        summary.scheduled_cell_rounds
+    );
 
-/// `bench --check` gate: the diversity combinators (density weighting +
-/// MMR batch selection, the cosine-heavy path the ANN layer optimizes)
-/// must not regress either. Same +20% contract against the committed
-/// bench-div cell.
-fn div_perf_gate() -> Result<(), Error> {
-    // The cell records the strategy's display name; the diversity
-    // suffixes (`+density+mmr`) are not part of it.
-    committed_cell_gate(
-        "div perf gate",
-        "bench-div",
-        "WSHS(entropy)",
-        ExperimentSpec {
-            name: "bench-div".into(),
-            experiment: "bench-div".into(),
-            split_seed: 0xBE,
-            datasets: vec![DatasetEntry::new("mr")],
-            groups: vec![group(&["WSHS(entropy)+density+mmr"])],
-            pool: Some(PoolSpec {
-                representations: true,
-                ..Default::default()
-            }),
-            ..Default::default()
-        },
-    )
+    let mut exhaustive = spec.clone();
+    exhaustive.prune = None;
+    let full = GridExecutor::new(&exhaustive, &scale).serial().execute()?;
+
+    let winner = |cells: &[CellOutcome], full_points: usize, survivors_only: bool| -> String {
+        cells
+            .iter()
+            .filter(|c| !survivors_only || c.runs.iter().all(|r| r.curve.len() == full_points))
+            .max_by(|a, b| mean_auc(a).partial_cmp(&mean_auc(b)).expect("finite AUCs"))
+            .map(|c| c.name.clone())
+            .expect("non-empty block")
+    };
+    for (adaptive_block, full_block) in outcome.blocks.iter().zip(&full.blocks) {
+        let points = adaptive_block.config.rounds + 1;
+        let picked = winner(&adaptive_block.cells, points, true);
+        let truth = winner(&full_block.cells, points, false);
+        assert_eq!(
+            picked, truth,
+            "adaptive gate: {} winner diverged (adaptive {picked}, exhaustive {truth})",
+            adaptive_block.dataset
+        );
+        eprintln!(
+            "  adaptive gate: {} winner {picked} (matches exhaustive)",
+            adaptive_block.dataset
+        );
+    }
+    eprintln!(
+        "  adaptive gate: saved {}/{} cell-rounds ({:.0}%), {} of {} cells pruned",
+        summary.saved_cell_rounds(),
+        summary.scheduled_cell_rounds,
+        saved * 100.0,
+        summary.pruned_cells,
+        outcome.blocks.iter().map(|b| b.cells.len()).sum::<usize>()
+    );
+    Ok(())
 }
 
 /// `bench --check` gate: pool-scaling smoke. Runs the committed scaling
@@ -1356,6 +1462,7 @@ mod tests {
             include_str!("../../../specs/table2.json"),
             include_str!("../../../specs/table6.json"),
             include_str!("../../../specs/table7.json"),
+            include_str!("../../../specs/adaptive-sweep.json"),
         ] {
             let spec = embedded_spec(json).expect("embedded spec parses");
             spec.validate().expect("embedded spec validates");

@@ -5,6 +5,7 @@
 //! `DESIGN.md` maps experiment ids (E1–E10) to these modules; see
 //! `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
 
+pub mod cell_runner;
 pub mod executor;
 pub mod experiments;
 pub mod journal;
@@ -12,6 +13,7 @@ pub mod plot;
 pub mod registry;
 pub mod report;
 pub mod scaling;
+pub mod scheduler;
 pub mod spec;
 pub mod tasks;
 

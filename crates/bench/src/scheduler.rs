@@ -1,0 +1,297 @@
+//! Adaptive scheduling layer: round-streamed successive halving over a
+//! resolved grid.
+//!
+//! When a spec carries a [`crate::spec::PruneSpec`], the executor hands
+//! its [`GridCtx`] here instead of fanning run-to-completion cells out.
+//! Every `(cell, repeat)` becomes a *slot* holding a live
+//! [`StreamRun`]; the scheduler advances all slots in lockstep to each
+//! decision epoch (every `checkpoint` rounds), compares cells of the
+//! same dataset on their completed-round metrics, and cuts dominated
+//! cells short with [`StopReason::Pruned`].
+//!
+//! # Determinism rules
+//!
+//! * Decisions read **only completed-round curve points**, never
+//!   partial-round state, so they are a pure function of the curves.
+//! * A cell is pruned at epoch `p` iff some same-dataset cell beats it
+//!   by ≥ `margin` on **every** repeat (strictly on at least one) at
+//!   the epoch's curve point. The rule is order-independent and, with
+//!   the strict clause, two cells can never prune each other.
+//! * Slots advance serially in flattened cell order — there is no
+//!   cross-slot parallelism, so thread scheduling can never reorder a
+//!   decision.
+//! * The prune policy joins [`crate::executor::cell_hash`], so a
+//!   journal written under one policy never replays into another.
+//!   Within a policy, a resumed run replays each completed slot's
+//!   (possibly truncated) curve verbatim; decisions recompute from the
+//!   same prefixes and land identically, byte for byte.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use histal_core::analysis::average_curves;
+use histal_core::driver::RunResult;
+use histal_core::error::Error;
+use histal_core::stopping::StopReason;
+use histal_obs::event;
+use histal_obs::span;
+use histal_obs::trace::Level;
+
+use crate::cell_runner::{stream_repeat, CellOutcome, GridCtx};
+use crate::tasks::StreamRun;
+
+/// What adaptive execution did to the grid, for reports and BENCH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveSummary {
+    /// Cell-rounds (recorded curve points) an exhaustive run would
+    /// execute: `slots × (rounds + 1)`.
+    pub scheduled_cell_rounds: usize,
+    /// Cell-rounds actually recorded across all slots.
+    pub completed_cell_rounds: usize,
+    /// Cells cut short by the pruning rule.
+    pub pruned_cells: usize,
+}
+
+impl AdaptiveSummary {
+    /// Cell-rounds the pruning rule avoided.
+    pub fn saved_cell_rounds(&self) -> usize {
+        self.scheduled_cell_rounds
+            .saturating_sub(self.completed_cell_rounds)
+    }
+}
+
+/// One `(cell, repeat)` execution slot.
+#[allow(clippy::large_enum_variant)] // a handful of slots exist at once
+enum SlotState {
+    /// Replayed from the journal — the (possibly truncated) curve a
+    /// previous run recorded under the same config hash.
+    Cached(RunResult),
+    /// A live round-streamed session.
+    Live(StreamRun),
+    /// Finished this run (naturally or pruned), record written.
+    Finished(RunResult),
+}
+
+struct Slot {
+    cell: usize,
+    key: String,
+    seed: u64,
+    state: SlotState,
+}
+
+impl Slot {
+    /// Completed-round curve points visible so far.
+    fn points(&self) -> usize {
+        match &self.state {
+            SlotState::Cached(r) | SlotState::Finished(r) => r.curve.len(),
+            SlotState::Live(run) => run.curve().len(),
+        }
+    }
+
+    /// Metric of completed-round point `i`, if recorded.
+    fn metric_at(&self, i: usize) -> Option<f64> {
+        let curve = match &self.state {
+            SlotState::Cached(r) | SlotState::Finished(r) => &r.curve,
+            SlotState::Live(run) => run.curve(),
+        };
+        curve.get(i).map(|p| p.metric)
+    }
+}
+
+/// Execute the grid adaptively: stream every slot round by round,
+/// pruning dominated cells at each checkpoint epoch. Returns the cell
+/// outcomes in flattened cell order plus the pruning summary.
+pub(crate) fn execute_adaptive(
+    ctx: &GridCtx<'_>,
+) -> Result<(Vec<CellOutcome>, AdaptiveSummary), Error> {
+    let prune = ctx
+        .spec
+        .prune
+        .as_ref()
+        .expect("adaptive path requires a prune policy");
+    let checkpoint = prune.checkpoint_rounds();
+    let margin = prune.margin_value();
+    let repeats = ctx.scale.repeats;
+
+    // Total curve points of each cell's runs (rounds + the initial
+    // point). Uniform within a dataset; datasets may differ.
+    let totals: Vec<usize> = ctx
+        .cells
+        .iter()
+        .map(|cell| ctx.instances[cell.task].config().rounds + 1)
+        .collect();
+
+    // Materialise the slots, cell-major then repeat — replaying any the
+    // journal already completed under this exact policy.
+    let mut slots: Vec<Slot> = Vec::with_capacity(ctx.cells.len() * repeats);
+    for c in 0..ctx.cells.len() {
+        let hash = ctx.hash(c);
+        for r in 0..repeats {
+            let key = ctx.key(c, r);
+            let seed = ctx.seed(c, r);
+            let state = match ctx.journal.and_then(|j| j.cached(&key, hash)) {
+                Some(cached) => {
+                    event!(Level::Info, "journal.replay", cell = key.clone());
+                    SlotState::Cached(cached.clone())
+                }
+                None => {
+                    let journal = ctx.journal.map(|j| j.run_journal(&key, hash, seed));
+                    SlotState::Live(stream_repeat(ctx, c, seed, journal))
+                }
+            };
+            slots.push(Slot {
+                cell: c,
+                key,
+                seed,
+                state,
+            });
+        }
+    }
+
+    let mut alive: Vec<bool> = vec![true; ctx.cells.len()];
+    let mut walls: Vec<f64> = vec![0.0; ctx.cells.len()];
+    let mut pruned_cells = 0usize;
+
+    // Advance one slot's live session to `target` completed points (or
+    // natural completion), journaling the result when it finishes.
+    let advance_to = |slot: &mut Slot, target: usize, walls: &mut [f64]| -> Result<(), Error> {
+        let SlotState::Live(run) = &mut slot.state else {
+            return Ok(());
+        };
+        if run.curve().len() >= target {
+            return Ok(());
+        }
+        let start = Instant::now();
+        let _span = span!(
+            Level::Debug,
+            "harness.cell",
+            cell = slot.key.clone(),
+            seed = slot.seed
+        );
+        let mut done = false;
+        while !done && run.curve().len() < target {
+            done = run.advance_round().map_err(|e| e.in_cell(&slot.key))?;
+        }
+        walls[slot.cell] += start.elapsed().as_secs_f64() * 1e3;
+        if done {
+            let result = run.finish(StopReason::RoundsExhausted);
+            if let Some(j) = ctx.journal {
+                j.try_complete(&slot.key, ctx.hash(slot.cell), slot.seed, &result)?;
+            }
+            slot.state = SlotState::Finished(result);
+        }
+        Ok(())
+    };
+
+    // Cut every live slot of a pruned cell short and checkpoint the
+    // truncated result — an exact prefix of the exhaustive run.
+    let prune_cell = |slots: &mut [Slot], c: usize| -> Result<(), Error> {
+        for slot in slots.iter_mut().filter(|s| s.cell == c) {
+            if let SlotState::Live(run) = &mut slot.state {
+                let result = run.finish(StopReason::Pruned);
+                if let Some(j) = ctx.journal {
+                    j.try_complete(&slot.key, ctx.hash(c), slot.seed, &result)?;
+                }
+                slot.state = SlotState::Finished(result);
+            }
+        }
+        Ok(())
+    };
+
+    let max_total = totals.iter().copied().max().unwrap_or(0);
+    for k in 1.. {
+        let p = k * checkpoint + 1;
+        if p >= max_total {
+            break;
+        }
+        // Lockstep: bring every surviving slot to the epoch's horizon.
+        for slot in &mut slots {
+            if alive[slot.cell] {
+                advance_to(slot, p.min(totals[slot.cell]), &mut walls)?;
+            }
+        }
+        // Decide from the snapshot of survivors — the rule is
+        // order-independent, so computing the doomed set before
+        // applying it keeps resume byte-identical trivially.
+        let survivors: Vec<usize> = (0..ctx.cells.len()).filter(|&c| alive[c]).collect();
+        let metric = |c: usize, i: usize| -> Option<Vec<f64>> {
+            slots
+                .iter()
+                .filter(|s| s.cell == c)
+                .map(|s| s.metric_at(i))
+                .collect()
+        };
+        let mut doomed: Vec<usize> = Vec::new();
+        for &a in &survivors {
+            if totals[a] <= p {
+                continue; // already complete — nothing left to save
+            }
+            let Some(ma) = metric(a, p - 1) else {
+                continue;
+            };
+            let dominated = survivors.iter().any(|&b| {
+                if b == a || ctx.cells[b].task != ctx.cells[a].task {
+                    return false;
+                }
+                let Some(mb) = metric(b, p - 1) else {
+                    return false;
+                };
+                let all = ma.iter().zip(&mb).all(|(a, b)| *b >= *a + margin);
+                let strict = ma.iter().zip(&mb).any(|(a, b)| *b > *a + margin);
+                all && strict
+            });
+            if dominated {
+                doomed.push(a);
+            }
+        }
+        for c in doomed {
+            prune_cell(&mut slots, c)?;
+            alive[c] = false;
+            pruned_cells += 1;
+        }
+    }
+    // Run the survivors out to their full horizon.
+    for slot in &mut slots {
+        if alive[slot.cell] {
+            advance_to(slot, totals[slot.cell], &mut walls)?;
+        }
+    }
+
+    let completed_cell_rounds: usize = slots.iter().map(Slot::points).sum();
+    let summary = AdaptiveSummary {
+        scheduled_cell_rounds: slots.iter().map(|s| totals[s.cell]).sum(),
+        completed_cell_rounds,
+        pruned_cells,
+    };
+
+    // Fold the slots back into per-cell outcomes, repeat order.
+    let mut outcomes: Vec<CellOutcome> = Vec::with_capacity(ctx.cells.len());
+    let mut slots = slots.into_iter();
+    for (c, cell) in ctx.cells.iter().enumerate() {
+        let runs: Vec<RunResult> = slots
+            .by_ref()
+            .take(repeats)
+            .map(|s| match s.state {
+                SlotState::Cached(r) | SlotState::Finished(r) => r,
+                SlotState::Live(_) => unreachable!("slot left live after final advance"),
+            })
+            .collect();
+        let mut avg = average_curves(&runs);
+        avg.strategy_name = cell.display.clone();
+        outcomes.push(CellOutcome {
+            name: cell.display.clone(),
+            avg,
+            runs,
+            wall_ms: walls[c],
+        });
+    }
+    eprintln!(
+        "# adaptive: pruned {}/{} cells, saved {}/{} cell-rounds",
+        summary.pruned_cells,
+        ctx.cells.len(),
+        summary.saved_cell_rounds(),
+        summary.scheduled_cell_rounds
+    );
+    Ok((outcomes, summary))
+}

@@ -77,6 +77,28 @@ pub struct ExperimentSpec {
     /// hash, mirroring `ner_beam`. Requires `pool.representations`.
     #[serde(default)]
     pub ann: Option<AnnSpec>,
+    /// Annotation-cost model: a per-label cost and a total budget
+    /// ceiling. When set, each cell's selection rounds are lowered to
+    /// the largest count the budget affords (`init + k·batch` labels at
+    /// `cost_per_label` each staying within `max_cost`); a shortened run
+    /// is an exact RNG prefix of the full one. Joins the cell hash only
+    /// when set, so budget-less specs keep their pre-existing journal
+    /// hashes.
+    #[serde(default)]
+    pub budget: Option<BudgetSpec>,
+    /// Successive-halving pruning policy for the adaptive scheduler.
+    /// When set, cells run round-streamed and dominated cells stop
+    /// early at checkpoints (see `DESIGN.md` §5.10 for the determinism
+    /// rules). Joins the cell hash only when set — prune-less specs and
+    /// their journals stay byte-identical to the classic executor.
+    #[serde(default)]
+    pub prune: Option<PruneSpec>,
+    /// Paired-significance rendering for [`ReportKind::Metrics`]: every
+    /// non-baseline cell is compared against `baseline` with a paired
+    /// bootstrap or permutation test over the per-repeat curve points.
+    /// Render-only — never part of seeds or cell hashes.
+    #[serde(default)]
+    pub significance: Option<SignificanceSpec>,
     /// Metric columns for [`ReportKind::Metrics`] (see
     /// [`registry::parse_metric`]).
     #[serde(default)]
@@ -210,6 +232,90 @@ impl AnnSpec {
             probes: self.probes.unwrap_or(d.probes),
         }
     }
+}
+
+/// Annotation-cost/budget model. Unset fields take the defaults noted
+/// per field; `max_cost` itself is required (validated) — a budget with
+/// no ceiling caps nothing.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSpec {
+    /// Cost of one annotated sample (default 1.0, i.e. the budget is a
+    /// label count).
+    #[serde(default)]
+    pub cost_per_label: Option<f64>,
+    /// Total annotation budget; rounds stop before the first batch that
+    /// would exceed it.
+    #[serde(default)]
+    pub max_cost: Option<f64>,
+}
+
+impl BudgetSpec {
+    /// The largest selection-round count the budget affords on top of
+    /// the seed set: `init + k·batch` labels at `cost_per_label` each
+    /// must stay within `max_cost`.
+    pub fn affordable_rounds(&self, init_labeled: usize, batch_size: usize) -> usize {
+        let cost = self.cost_per_label.unwrap_or(1.0);
+        let max = match self.max_cost {
+            Some(m) => m,
+            None => return usize::MAX,
+        };
+        let labels = (max / cost).floor();
+        let after_init = labels - init_labeled as f64;
+        if after_init <= 0.0 {
+            0
+        } else {
+            (after_init / batch_size.max(1) as f64).floor() as usize
+        }
+    }
+}
+
+/// Successive-halving pruning policy for the adaptive grid scheduler.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PruneSpec {
+    /// Rounds between pruning decisions (default 2): interim curves are
+    /// compared each time every live cell has completed another
+    /// `checkpoint` selection rounds.
+    #[serde(default)]
+    pub checkpoint: Option<usize>,
+    /// Domination margin (default 0.0): a cell is pruned only when some
+    /// single competitor beats it by at least this much on *every*
+    /// paired repeat (and strictly on at least one).
+    #[serde(default)]
+    pub margin: Option<f64>,
+}
+
+impl PruneSpec {
+    /// Rounds between pruning decisions.
+    pub fn checkpoint_rounds(&self) -> usize {
+        self.checkpoint.unwrap_or(2).max(1)
+    }
+
+    /// Domination margin.
+    pub fn margin_value(&self) -> f64 {
+        self.margin.unwrap_or(0.0)
+    }
+}
+
+/// Paired-significance rendering settings for metric reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SignificanceSpec {
+    /// Display name of the baseline strategy every other cell is
+    /// compared against (an entry's `rename`, or its resolved display
+    /// name).
+    pub baseline: String,
+    /// `"bootstrap"` (default) or `"permutation"`.
+    #[serde(default)]
+    pub method: Option<String>,
+    /// Resampling iterations (default 2000).
+    #[serde(default)]
+    pub iters: Option<usize>,
+    /// Two-sided significance level (default 0.05).
+    #[serde(default)]
+    pub alpha: Option<f64>,
+    /// Resampling RNG seed (default 0x51). Render-only: never part of
+    /// cell seeds or hashes.
+    #[serde(default)]
+    pub seed: Option<u64>,
 }
 
 /// How a grid outcome is rendered.
@@ -508,6 +614,86 @@ impl ExperimentSpec {
                 }
             }
         }
+        if let Some(b) = &self.budget {
+            let cost = b.cost_per_label.unwrap_or(1.0);
+            if !(cost.is_finite() && cost > 0.0) {
+                return Err(Error::invariant(format!(
+                    "`budget.cost_per_label` must be a positive finite cost, got {cost}"
+                )));
+            }
+            match b.max_cost {
+                None => {
+                    return Err(Error::invariant(
+                        "`budget.max_cost` must be set — a budget with no ceiling caps nothing",
+                    ))
+                }
+                Some(m) if !(m.is_finite() && m > 0.0) => {
+                    return Err(Error::invariant(format!(
+                        "`budget.max_cost` must be a positive finite budget, got {m}"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(p) = &self.prune {
+            if p.checkpoint == Some(0) {
+                return Err(Error::invariant(
+                    "`prune.checkpoint` must be at least 1 round between decisions",
+                ));
+            }
+            if let Some(m) = p.margin {
+                if !(m.is_finite() && m >= 0.0) {
+                    return Err(Error::invariant(format!(
+                        "`prune.margin` must be a finite non-negative margin, got {m}"
+                    )));
+                }
+            }
+        }
+        if let Some(s) = &self.significance {
+            match s.method.as_deref() {
+                None | Some("bootstrap") | Some("permutation") => {}
+                Some(other) => {
+                    return Err(Error::unknown_name(
+                        "significance method",
+                        other,
+                        ["bootstrap", "permutation"],
+                    ))
+                }
+            }
+            if s.iters == Some(0) {
+                return Err(Error::invariant(
+                    "`significance.iters` must be at least 1 resampling iteration",
+                ));
+            }
+            if let Some(a) = s.alpha {
+                if !(a > 0.0 && a < 1.0) {
+                    return Err(Error::invariant(format!(
+                        "`significance.alpha` must lie strictly between 0 and 1, got {a}"
+                    )));
+                }
+            }
+            if self.report != ReportKind::Metrics {
+                return Err(Error::invariant(
+                    "`significance` renders into metric tables — set `report: \"metrics\"`",
+                ));
+            }
+            let mut displays = Vec::new();
+            for g in &self.groups {
+                for e in &g.strategies {
+                    displays.push(match &e.rename {
+                        Some(r) => r.clone(),
+                        None => registry::parse_strategy(&e.strategy)?.display_name(),
+                    });
+                }
+            }
+            if !displays.contains(&s.baseline) {
+                return Err(Error::unknown_name(
+                    "significance baseline",
+                    &s.baseline,
+                    displays,
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -563,6 +749,9 @@ mod tests {
             report: ReportKind::Curves,
             ner_beam: None,
             ann: None,
+            budget: None,
+            prune: None,
+            significance: None,
         }
     }
 
@@ -619,6 +808,93 @@ mod tests {
         assert_eq!(spec.experiment_id(), "demo-x");
         spec.experiment.clear();
         assert_eq!(spec.experiment_id(), "demo");
+    }
+
+    fn adaptive_sample() -> ExperimentSpec {
+        let mut spec = sample();
+        spec.budget = Some(BudgetSpec {
+            cost_per_label: Some(2.0),
+            max_cost: Some(500.0),
+        });
+        spec.prune = Some(PruneSpec {
+            checkpoint: Some(2),
+            margin: Some(0.01),
+        });
+        spec.significance = Some(SignificanceSpec {
+            baseline: "entropy".into(),
+            method: Some("permutation".into()),
+            iters: Some(1000),
+            alpha: Some(0.05),
+            seed: Some(7),
+        });
+        spec.report = ReportKind::Metrics;
+        spec
+    }
+
+    #[test]
+    fn adaptive_fields_round_trip() {
+        let spec = adaptive_sample();
+        let json = spec.to_json_pretty();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json_pretty(), json);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_adaptive_fields() {
+        let mut spec = adaptive_sample();
+        spec.budget = Some(BudgetSpec {
+            cost_per_label: Some(1.0),
+            max_cost: None,
+        });
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("max_cost"));
+        let mut spec = adaptive_sample();
+        spec.prune = Some(PruneSpec {
+            checkpoint: Some(0),
+            margin: None,
+        });
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("checkpoint"));
+        let mut spec = adaptive_sample();
+        spec.significance.as_mut().unwrap().method = Some("wilcoxon".into());
+        let msg = spec.validate().unwrap_err().to_string();
+        assert!(
+            msg.contains("wilcoxon") && msg.contains("permutation"),
+            "{msg}"
+        );
+        let mut spec = adaptive_sample();
+        spec.significance.as_mut().unwrap().baseline = "margin".into();
+        let msg = spec.validate().unwrap_err().to_string();
+        assert!(msg.contains("margin") && msg.contains("WSHS l=6"), "{msg}");
+        let mut spec = adaptive_sample();
+        spec.report = ReportKind::Curves;
+        assert!(spec.validate().unwrap_err().to_string().contains("metrics"));
+    }
+
+    #[test]
+    fn budget_affordable_rounds() {
+        let budget = |cost: Option<f64>, max: Option<f64>| BudgetSpec {
+            cost_per_label: cost,
+            max_cost: max,
+        };
+        // 500 labels at cost 1: init 25 + 19 batches of 25 fits exactly.
+        assert_eq!(budget(None, Some(500.0)).affordable_rounds(25, 25), 19);
+        // One label short of the last batch drops a round.
+        assert_eq!(budget(None, Some(499.0)).affordable_rounds(25, 25), 18);
+        // Cost 2 halves the label count.
+        assert_eq!(budget(Some(2.0), Some(500.0)).affordable_rounds(25, 25), 9);
+        // Budget below the seed set affords no selection rounds.
+        assert_eq!(budget(None, Some(10.0)).affordable_rounds(25, 25), 0);
+        // No ceiling → unconstrained (validate() rejects this spec).
+        assert_eq!(budget(None, None).affordable_rounds(25, 25), usize::MAX);
     }
 
     #[test]

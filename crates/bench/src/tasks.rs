@@ -1,9 +1,11 @@
 //! Featurized experiment tasks built from the synthetic corpora.
 
-use histal_core::driver::{ActiveLearner, PoolConfig, RunResult};
+use histal_core::driver::{ActiveLearner, CurvePoint, PoolConfig, RunResult};
 use histal_core::error::Error;
 use histal_core::lhs::LhsSelector;
+use histal_core::live::{Session, SessionStep};
 use histal_core::session::RunJournal;
+use histal_core::stopping::StopReason;
 use histal_core::strategy::Strategy;
 use histal_data::{train_test_split, NerDataset, NerSpec, TextDataset, TextSpec};
 use histal_models::{
@@ -248,6 +250,139 @@ impl TextTask {
     }
 }
 
+/// One grid cell repeat as a round-streamed [`Session`], advanced one
+/// curve point at a time by the adaptive scheduler. The enum erases the
+/// model type so text (logistic / naive bayes) and NER (CRF) cells sit
+/// in one scheduling pool. Driving a `StreamRun` to completion is
+/// byte-identical to the corresponding `builder.build().run()` — the
+/// live-session contract property-tested in `histal-core`.
+pub enum StreamRun {
+    /// Logistic text classifier session.
+    Text(Session<TextClassifier>),
+    /// Naive-bayes text classifier session.
+    Nb(Session<NaiveBayes>),
+    /// CRF tagger session.
+    Ner(Session<CrfTagger>),
+}
+
+impl StreamRun {
+    /// Record one more curve point (one fit/eval/score/select cycle)
+    /// against the hidden labels; returns `true` once the run is done.
+    pub fn advance_round(&mut self) -> Result<bool, Error> {
+        let step = match self {
+            StreamRun::Text(s) => s.run_round_hidden()?,
+            StreamRun::Nb(s) => s.run_round_hidden()?,
+            StreamRun::Ner(s) => s.run_round_hidden()?,
+        };
+        Ok(step == SessionStep::Done)
+    }
+
+    /// The learning curve recorded so far.
+    pub fn curve(&self) -> &[CurvePoint] {
+        match self {
+            StreamRun::Text(s) => s.curve(),
+            StreamRun::Nb(s) => s.curve(),
+            StreamRun::Ner(s) => s.curve(),
+        }
+    }
+
+    /// Finish now (no-op when already done) and take the result — the
+    /// exact prefix a full run would have produced. Pass
+    /// [`StopReason::Pruned`] from the scheduler's early-stop path.
+    pub fn finish(&mut self, reason: StopReason) -> RunResult {
+        match self {
+            StreamRun::Text(s) => {
+                s.finish_early(reason);
+                s.result().expect("finished session has a result").clone()
+            }
+            StreamRun::Nb(s) => {
+                s.finish_early(reason);
+                s.result().expect("finished session has a result").clone()
+            }
+            StreamRun::Ner(s) => {
+                s.finish_early(reason);
+                s.result().expect("finished session has a result").clone()
+            }
+        }
+    }
+}
+
+impl TextTask {
+    /// Round-streamed form of [`Self::try_run_model`]: the same builder
+    /// chain, terminated with `build_session()` so the caller drives the
+    /// rounds.
+    pub fn stream_model(
+        &self,
+        model: TextModel,
+        strategy: Strategy,
+        lhs: Option<LhsSelector>,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> StreamRun {
+        match model {
+            TextModel::LogReg => {
+                let mut builder = ActiveLearner::builder(self.model(0))
+                    .pool(self.pool_docs.clone(), self.pool_labels.clone())
+                    .test(self.test_docs.clone(), self.test_labels.clone())
+                    .strategy(strategy)
+                    .config(config.clone())
+                    .seed(seed);
+                if let Some(l) = lhs {
+                    builder = builder.lhs(l);
+                }
+                if let Some(j) = journal {
+                    builder = builder.journal(j);
+                }
+                StreamRun::Text(builder.build_session())
+            }
+            TextModel::NaiveBayes => {
+                let nb = NaiveBayes::new(NaiveBayesConfig {
+                    n_classes: self.n_classes,
+                    n_features: TEXT_FEATURES,
+                    ..Default::default()
+                });
+                let mut builder = ActiveLearner::builder(nb)
+                    .pool(self.pool_docs.clone(), self.pool_labels.clone())
+                    .test(self.test_docs.clone(), self.test_labels.clone())
+                    .strategy(strategy)
+                    .config(config.clone())
+                    .seed(seed);
+                if let Some(l) = lhs {
+                    builder = builder.lhs(l);
+                }
+                if let Some(j) = journal {
+                    builder = builder.journal(j);
+                }
+                StreamRun::Nb(builder.build_session())
+            }
+        }
+    }
+
+    /// Round-streamed form of
+    /// [`Self::try_run_with_representations_journaled`].
+    pub fn stream_with_representations(
+        &self,
+        strategy: Strategy,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> StreamRun {
+        let reps = self.pool_docs.iter().map(|d| d.features.clone()).collect();
+        let mut builder = ActiveLearner::builder(self.model(0))
+            .pool(self.pool_docs.clone(), self.pool_labels.clone())
+            .test(self.test_docs.clone(), self.test_labels.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(seed)
+            .representations(reps);
+        if let Some(j) = journal {
+            builder = builder.journal(j);
+        }
+        StreamRun::Text(builder.build_session())
+    }
+}
+
 /// A featurized NER task (pool = train split, test = test split).
 #[derive(Clone)]
 pub struct NerTask {
@@ -336,6 +471,26 @@ impl NerTask {
             builder = builder.journal(j);
         }
         builder.build().run()
+    }
+
+    /// Round-streamed form of [`Self::try_run_journaled`].
+    pub fn stream(
+        &self,
+        strategy: Strategy,
+        config: &PoolConfig,
+        seed: u64,
+        journal: Option<RunJournal>,
+    ) -> StreamRun {
+        let mut builder = ActiveLearner::builder(self.model())
+            .pool(self.pool.clone(), self.pool_tags.clone())
+            .test(self.test.clone(), self.test_tags.clone())
+            .strategy(strategy)
+            .config(config.clone())
+            .seed(seed);
+        if let Some(j) = journal {
+            builder = builder.journal(j);
+        }
+        StreamRun::Ner(builder.build_session())
     }
 }
 

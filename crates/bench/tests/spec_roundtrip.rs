@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use proptest::strategy::Just;
 
 use histal_bench::spec::{
-    AnnSpec, DatasetEntry, ExperimentSpec, GroupSpec, PoolSpec, ReportKind, ScaleSpec,
-    StrategyEntry,
+    AnnSpec, BudgetSpec, DatasetEntry, ExperimentSpec, GroupSpec, PoolSpec, PruneSpec, ReportKind,
+    ScaleSpec, SignificanceSpec, StrategyEntry,
 };
 
 /// Short identifier-ish strings, possibly empty, including characters
@@ -70,6 +70,38 @@ fn pool_spec() -> impl Strategy<Value = PoolSpec> {
         )
 }
 
+fn budget_spec() -> impl Strategy<Value = BudgetSpec> {
+    (opt(0.25f64..8.0), opt(1.0f64..4000.0)).prop_map(|(cost_per_label, max_cost)| BudgetSpec {
+        cost_per_label,
+        max_cost,
+    })
+}
+
+fn prune_spec() -> impl Strategy<Value = PruneSpec> {
+    (opt(1usize..8), opt(0.0f64..0.2))
+        .prop_map(|(checkpoint, margin)| PruneSpec { checkpoint, margin })
+}
+
+fn significance_spec() -> impl Strategy<Value = SignificanceSpec> {
+    (
+        NAME,
+        opt(prop_oneof![
+            Just("bootstrap".to_string()),
+            Just("permutation".to_string())
+        ]),
+        opt(1usize..5000),
+        opt(0.001f64..0.5),
+        opt(0u64..u64::MAX),
+    )
+        .prop_map(|(baseline, method, iters, alpha, seed)| SignificanceSpec {
+            baseline,
+            method,
+            iters,
+            alpha,
+            seed,
+        })
+}
+
 fn report_kind() -> impl Strategy<Value = ReportKind> {
     prop_oneof![
         Just(ReportKind::Curves),
@@ -98,12 +130,18 @@ fn spec() -> impl Strategy<Value = ExperimentSpec> {
             opt(pool_spec()),
         ),
         (prop::collection::vec(NAME, 0..3), opt(NAME), report_kind()),
+        (
+            opt(budget_spec()),
+            opt(prune_spec()),
+            opt(significance_spec()),
+        ),
     )
         .prop_map(
             |(
                 (name, experiment, split_seed, model, datasets),
                 (groups, title, json_key, scale, pool),
                 (metrics, dataset_column, report),
+                (budget, prune, significance),
             )| ExperimentSpec {
                 name,
                 experiment,
@@ -125,6 +163,9 @@ fn spec() -> impl Strategy<Value = ExperimentSpec> {
                 // Same story: `ann` requires representations-bearing
                 // text specs; pinned by `ann_round_trips`.
                 ann: None,
+                budget,
+                prune,
+                significance,
             },
         )
 }

@@ -103,7 +103,10 @@ pub use error::StrategyError;
 pub use error::{Error, ErrorKind};
 pub use eval::{EvalCaps, SampleEval};
 pub use history::HistoryStore;
-pub use live::{Session, SessionSnapshot, SessionStatus, SessionStep, SubmitOutcome, TicketLabels};
+pub use live::{
+    RoundObserver, Session, SessionSnapshot, SessionStatus, SessionStep, SubmitOutcome,
+    TicketLabels,
+};
 pub use model::Model;
 pub use pipeline::{
     Annotate, EvalPool, Fit, FoldHistory, HiddenOracle, InstantOracle, LabelRequest, LabelResponse,

@@ -81,6 +81,22 @@ pub enum SessionStep {
     Done,
 }
 
+/// Observer of interim learning-curve progress, invoked after each
+/// curve point is recorded (once per round's pre-selection fit, plus the
+/// final fit). The callback runs *between* pipeline stages with only a
+/// shared view of the curve, so installing one cannot perturb RNG
+/// consumption, stage order, or span structure — the streamed run stays
+/// byte-identical to an unobserved one.
+///
+/// This is the hook behind the adaptive grid executor: the scheduler
+/// reads interim curves between rounds to decide which cells keep
+/// running.
+pub trait RoundObserver: Send {
+    /// One new curve point was recorded; `curve` is the full curve so
+    /// far (the new point is `curve.last()`).
+    fn on_round(&mut self, curve: &[CurvePoint]);
+}
+
 /// What one [`Session::submit`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SubmitOutcome {
@@ -230,6 +246,7 @@ pub struct Session<M: Model> {
     result: Option<RunResult>,
     stop_reason: Option<StopReason>,
     config_hash: u64,
+    round_observer: Option<Box<dyn RoundObserver>>,
 }
 
 impl<M: Model> Session<M> {
@@ -330,7 +347,16 @@ impl<M: Model> Session<M> {
             result: None,
             stop_reason: None,
             config_hash,
+            round_observer: None,
         }
+    }
+
+    /// Install a [`RoundObserver`] that is called after every recorded
+    /// curve point. Attach before the first [`Session::step`] to see the
+    /// whole curve; the observer never affects the computation (see the
+    /// trait docs).
+    pub fn set_round_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        self.round_observer = Some(observer);
     }
 
     /// Fingerprint of the session configuration; stamped on snapshots.
@@ -594,6 +620,21 @@ impl<M: Model> Session<M> {
             n_labeled: self.pool.n_labeled(),
             metric,
         });
+        if let Some(observer) = &mut self.round_observer {
+            observer.on_round(&self.curve);
+        }
+    }
+
+    /// Finish the run now with the rounds completed so far — the
+    /// adaptive scheduler's early-stop path. The truncated
+    /// [`RunResult`] is exactly the prefix a full run would have
+    /// produced (the pipeline never looks ahead), so a pruned run is
+    /// journal-compatible with any later decision to extend it. No-op
+    /// if the session is already done.
+    pub fn finish_early(&mut self, reason: StopReason) {
+        if !matches!(self.phase, Phase::Done) {
+            self.finish(reason);
+        }
     }
 
     fn finish(&mut self, reason: StopReason) {
@@ -774,6 +815,38 @@ where
             seed: self.seed,
             tickets: self.fulfilled.clone(),
             partial,
+        }
+    }
+
+    /// Drive the session against its own hidden labels until exactly
+    /// one more learning-curve point has been recorded — one
+    /// fit/eval/score/select cycle — or the run completes. This is the
+    /// incremental unit of the round-streamed grid executor: after `k`
+    /// calls on a fresh session, [`Session::curve`] holds `k` points
+    /// (the metric with `init + (k−1)·batch` labels) and the batch of
+    /// round `k−1` is selected but not yet applied, byte-identical to
+    /// the prefix of an uninterrupted [`Session::run_hidden`].
+    ///
+    /// Returns [`SessionStep::Done`] once the final fit has run (the
+    /// result is then available); errors if the session was built
+    /// without hidden labels.
+    pub fn run_round_hidden(&mut self) -> Result<SessionStep, Error> {
+        let target = self.curve.len() + 1;
+        loop {
+            match self.step()? {
+                SessionStep::Done => return Ok(SessionStep::Done),
+                SessionStep::AwaitingLabels => {
+                    if self.curve.len() >= target {
+                        return Ok(SessionStep::AwaitingLabels);
+                    }
+                    let response = self.answer_from_hidden().ok_or_else(|| {
+                        Error::invariant(
+                            "run_round_hidden needs a session built with pool() hidden labels",
+                        )
+                    })?;
+                    self.submit(&response)?;
+                }
+            }
         }
     }
 

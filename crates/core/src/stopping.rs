@@ -22,6 +22,9 @@ pub enum StopReason {
     TargetReached,
     /// No improvement ≥ `min_delta` for `patience` consecutive rounds.
     Plateau,
+    /// An external scheduler stopped the run early (e.g. the adaptive
+    /// grid executor pruning a dominated cell).
+    Pruned,
 }
 
 /// Composable stopping rule evaluated after each round's metric.

@@ -222,6 +222,69 @@ proptest! {
         let b = restored.run_hidden().expect("hidden labels");
         prop_assert_eq!(canonical(a), canonical(b));
     }
+
+    /// Contract 4: driving the session one round at a time
+    /// (`run_round_hidden`) with a `RoundObserver` installed yields a
+    /// byte-identical prefix of the uninterrupted run, and the observer
+    /// sees every curve point exactly once, in order.
+    #[test]
+    fn round_streaming_is_a_byte_identical_prefix(
+        n in 8usize..32,
+        batch in 1usize..4,
+        rounds in 2usize..6,
+        seed in 0u64..1000,
+        cut in 1usize..5,
+        policy in policies(),
+    ) {
+        use std::sync::{Arc, Mutex};
+
+        use histal_core::driver::CurvePoint;
+        use histal_core::live::RoundObserver;
+        use histal_core::stopping::StopReason;
+
+        let full = builder(n, policy, batch, rounds, seed)
+            .build_session()
+            .run_hidden()
+            .expect("hidden labels present");
+
+        struct Spy(Arc<Mutex<Vec<usize>>>);
+        impl RoundObserver for Spy {
+            fn on_round(&mut self, curve: &[CurvePoint]) {
+                self.0.lock().expect("spy lock").push(curve.len());
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut session = builder(n, policy, batch, rounds, seed).build_session();
+        session.set_round_observer(Box::new(Spy(seen.clone())));
+        let mut done = false;
+        for _ in 0..cut {
+            if session.run_round_hidden().expect("hidden labels") == SessionStep::Done {
+                done = true;
+                break;
+            }
+        }
+        let points = session.curve().len();
+        prop_assert_eq!(
+            seen.lock().expect("spy lock").clone(),
+            (1..=points).collect::<Vec<usize>>()
+        );
+        let curve_json =
+            |c: &[CurvePoint]| serde_json::to_string(c).expect("curve serializes");
+        prop_assert_eq!(curve_json(session.curve()), curve_json(&full.curve[..points]));
+        if !done {
+            session.finish_early(StopReason::Pruned);
+            prop_assert_eq!(session.stop_reason(), Some(StopReason::Pruned));
+        }
+        let truncated = session.result().expect("finished session").clone();
+        prop_assert_eq!(curve_json(&truncated.curve), curve_json(&full.curve[..points]));
+        let selections = |rounds: &[histal_core::driver::RoundRecord]| -> Vec<(usize, Vec<usize>)> {
+            rounds.iter().map(|r| (r.round, r.selected.clone())).collect()
+        };
+        prop_assert_eq!(
+            selections(&truncated.rounds),
+            selections(&full.rounds[..truncated.rounds.len()])
+        );
+    }
 }
 
 #[test]

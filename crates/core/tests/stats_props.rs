@@ -1,10 +1,15 @@
 //! Property-based tests for the significance tests and run analysis.
 
 use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use histal_core::analysis::{area_under_curve, deficiency};
 use histal_core::driver::{CurvePoint, RunResult};
-use histal_core::stats::{paired_bootstrap, wilcoxon_signed_rank};
+use histal_core::stats::{
+    paired_bootstrap, paired_bootstrap_ci, paired_permutation, wilcoxon_signed_rank,
+    PairedComparison,
+};
 
 fn run_from(metrics: &[f64]) -> RunResult {
     RunResult {
@@ -24,6 +29,105 @@ fn run_from(metrics: &[f64]) -> RunResult {
 
 fn samples_strategy() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..1.0, 1..30)
+}
+
+// ---------------------------------------------------------------------
+// From-scratch reference implementations of the interval estimators.
+//
+// These replicate the *documented* algorithms — resample counts, RNG
+// draw order, quantile interpolation, p-value formulas — independently
+// of `stats.rs`, and the proptests below pin the library bit-for-bit
+// against them. A refactor that silently changes the RNG stream or the
+// quantile maths breaks these, which is the point: journaled reports
+// cite these numbers.
+// ---------------------------------------------------------------------
+
+/// Linear-interpolation quantile (ascending `sorted`, non-empty).
+fn ref_quantile(sorted: &[f64], q: f64) -> f64 {
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() as f64 - 1.0);
+    let below = sorted[pos.floor() as usize];
+    let above = sorted[pos.ceil() as usize];
+    below + (above - below) * (pos - pos.floor())
+}
+
+fn ref_census(diffs: &[f64]) -> (usize, usize, usize) {
+    let wins = diffs.iter().filter(|d| **d > 1e-15).count();
+    let losses = diffs.iter().filter(|d| **d < -1e-15).count();
+    (wins, losses, diffs.len() - wins - losses)
+}
+
+/// Reference paired bootstrap: percentile CI over resampled mean
+/// differences, sign-based two-sided p.
+fn ref_bootstrap(a: &[f64], b: &[f64], iters: usize, seed: u64, alpha: f64) -> PairedComparison {
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean: f64 = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..iters)
+        .map(|_| {
+            (0..diffs.len())
+                .map(|_| diffs[rng.gen_range(0..diffs.len())])
+                .sum::<f64>()
+                / diffs.len() as f64
+        })
+        .collect();
+    let opposite = means
+        .iter()
+        .filter(|m| (**m >= 0.0) != (mean >= 0.0) || **m == 0.0)
+        .count();
+    means.sort_by(|x, y| x.total_cmp(y));
+    let (wins, losses, ties) = ref_census(&diffs);
+    PairedComparison {
+        mean_diff: mean,
+        ci_low: ref_quantile(&means, alpha / 2.0),
+        ci_high: ref_quantile(&means, 1.0 - alpha / 2.0),
+        p_value: (2.0 * (opposite as f64 + 1.0) / (iters as f64 + 1.0)).min(1.0),
+        wins,
+        losses,
+        ties,
+    }
+}
+
+/// Reference sign-flip permutation test: basic (pivotal) CI from the
+/// null distribution, `(extreme + 1)/(iters + 1)` p.
+fn ref_permutation(a: &[f64], b: &[f64], iters: usize, seed: u64, alpha: f64) -> PairedComparison {
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean: f64 = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..iters)
+        .map(|_| {
+            diffs
+                .iter()
+                .map(|d| if rng.gen::<bool>() { -d } else { *d })
+                .sum::<f64>()
+                / diffs.len() as f64
+        })
+        .collect();
+    let extreme = means.iter().filter(|m| m.abs() >= mean.abs()).count();
+    means.sort_by(|x, y| x.total_cmp(y));
+    let (wins, losses, ties) = ref_census(&diffs);
+    PairedComparison {
+        mean_diff: mean,
+        ci_low: mean - ref_quantile(&means, 1.0 - alpha / 2.0),
+        ci_high: mean - ref_quantile(&means, alpha / 2.0),
+        p_value: ((extreme as f64 + 1.0) / (iters as f64 + 1.0)).min(1.0),
+        wins,
+        losses,
+        ties,
+    }
+}
+
+/// Paired inputs guaranteed non-degenerate: one appended pair always
+/// differs by at least 0.2, so the estimators never hit the all-tied
+/// degenerate branch.
+fn paired_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..24),
+        (0.0f64..0.4, 0.6f64..1.0),
+    )
+        .prop_map(|(mut pairs, anchor)| {
+            pairs.push(anchor);
+            pairs.into_iter().unzip()
+        })
 }
 
 proptest! {
@@ -64,6 +168,64 @@ proptest! {
         let lo = metrics.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = metrics.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(auc >= lo - 1e-12 && auc <= hi + 1e-12, "auc {auc} outside [{lo}, {hi}]");
+    }
+
+    /// `paired_bootstrap_ci` is bit-identical to the from-scratch
+    /// reference: same RNG stream, same quantiles, same p-value.
+    #[test]
+    fn bootstrap_ci_matches_reference(
+        (a, b) in paired_strategy(),
+        iters in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let lib = paired_bootstrap_ci(&a, &b, iters, seed, 0.05);
+        let reference = ref_bootstrap(&a, &b, iters, seed, 0.05);
+        prop_assert_eq!(lib, reference);
+    }
+
+    /// `paired_permutation` is bit-identical to the from-scratch
+    /// reference.
+    #[test]
+    fn permutation_matches_reference(
+        (a, b) in paired_strategy(),
+        iters in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let lib = paired_permutation(&a, &b, iters, seed, 0.05);
+        let reference = ref_permutation(&a, &b, iters, seed, 0.05);
+        prop_assert_eq!(lib, reference);
+    }
+
+    /// Swapping the inputs of the permutation test negates the mean
+    /// difference, mirrors the CI, and keeps the p-value: the sign
+    /// flips consume the identical RNG stream either way.
+    #[test]
+    fn permutation_swap_symmetry((a, b) in paired_strategy(), seed in 0u64..1000) {
+        let ab = paired_permutation(&a, &b, 100, seed, 0.05);
+        let ba = paired_permutation(&b, &a, 100, seed, 0.05);
+        prop_assert!((ab.mean_diff + ba.mean_diff).abs() < 1e-12);
+        prop_assert!((ab.ci_low + ba.ci_high).abs() < 1e-9, "{} vs {}", ab.ci_low, ba.ci_high);
+        prop_assert!((ab.ci_high + ba.ci_low).abs() < 1e-9);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+        prop_assert_eq!((ab.wins, ab.losses, ab.ties), (ba.losses, ba.wins, ba.ties));
+    }
+
+    /// Interval estimators behave like probabilities and intervals: CI
+    /// ends ordered, p in (0, 1], and the identical-input degenerate
+    /// case collapses to a point interval with p = 1.
+    #[test]
+    fn interval_estimators_basic_shape((a, b) in paired_strategy(), seed in 0u64..1000) {
+        for cmp in [
+            paired_bootstrap_ci(&a, &b, 150, seed, 0.05),
+            paired_permutation(&a, &b, 150, seed, 0.05),
+        ] {
+            prop_assert!(cmp.ci_low <= cmp.ci_high + 1e-12);
+            prop_assert!(cmp.p_value > 0.0 && cmp.p_value <= 1.0);
+            prop_assert_eq!(cmp.wins + cmp.losses + cmp.ties, a.len());
+        }
+        let same = paired_bootstrap_ci(&a, &a, 150, seed, 0.05);
+        prop_assert_eq!(same.p_value, 1.0);
+        prop_assert_eq!(same.ci_low, same.ci_high);
     }
 
     /// Deficiency is positive, and reciprocal under argument swap when

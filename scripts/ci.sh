@@ -28,7 +28,8 @@ cargo bench -p histal-bench --no-run
 
 echo "==> histal-experiments bench --check"
 echo "    (harness smoke + obs/metrics gates + scalar-vs-lanes kernel"
-echo "     equivalence + bench-ner and bench-div perf-regression guards"
+echo "     equivalence + grid-wide perf-regression guard vs BENCH_harness.json"
+echo "     + adaptive-sweep gate: >=30% cell-rounds saved, winners match"
 echo "     + 10k pool-scaling smoke: ANN must beat exact per combinator)"
 cargo run -q --release -p histal-bench --bin histal-experiments -- \
     bench --check --scale 0.02 --repeats 1
@@ -63,6 +64,21 @@ echo "==> spec smoke: run --spec specs/fig5.json matches the fig5 golden"
         > spec.out 2> /dev/null
     diff spec.out "$REPO_DIR/crates/bench/tests/goldens/fig5_s005_r1.stdout"
     diff results/fig5.json "$REPO_DIR/crates/bench/tests/goldens/fig5_s005_r1.json"
+)
+
+echo "==> adaptive smoke: run --spec specs/adaptive-sweep.json prunes, journals,"
+echo "    and resumes byte-identically (pruning decisions included)"
+(
+    cd "$SMOKE_DIR"
+    "$BIN" run --spec "$REPO_DIR/specs/adaptive-sweep.json" \
+        --journal adaptive.jsonl > adaptive-first.out 2> adaptive-first.err
+    grep -q '# adaptive: pruned' adaptive-first.err
+    grep -q '"kind":"cell"' adaptive.jsonl
+    # Tear the journal tail, then resume: stdout must not change.
+    truncate -s -50 adaptive.jsonl
+    "$BIN" resume run --spec "$REPO_DIR/specs/adaptive-sweep.json" \
+        --journal adaptive.jsonl > adaptive-second.out 2> /dev/null
+    diff adaptive-first.out adaptive-second.out
 )
 
 echo "==> serve smoke: histal-serve end-to-end (external + simulated oracle,"
