@@ -19,7 +19,13 @@
 //!   table6     Scores of selected samples        (Table 6)
 //!   table7     LHS feature ablation              (Table 7)
 //!   run        Execute an arbitrary experiment grid: `run --spec FILE`
+//!              (files with `"kind": "transfer"` run as train×apply
+//!              transfer matrices, see EXPERIMENTS.md)
 //!   spec-check Parse + validate every spec file:  `spec-check [DIR]`
+//!   selector-train  Train a learned selector and save it as an HLRN1
+//!              artifact: `selector-train <TOKEN> <DATASET> <OUT>`
+//!   selector-apply  Load a saved selector and run it on a dataset:
+//!              `selector-apply <ARTIFACT> <DATASET>`
 //!   bench      Per-cell harness timings → BENCH_harness.json
 //!              (`bench --check`: CI smoke on a reduced grid, no artifact)
 //!   resume     Re-run a journaled command, replaying completed cells:
@@ -56,6 +62,9 @@ use histal_bench::journal::JournalCtx;
 use histal_bench::scaling::{is_pool_scaling_json, PoolScalingSpec};
 use histal_bench::spec::ExperimentSpec;
 use histal_bench::tasks::Scale;
+use histal_bench::transfer::{
+    is_transfer_json, run_transfer, selector_apply, selector_train, TransferSpec,
+};
 use histal_core::error::Error;
 use histal_obs::trace::{set_subscriber, Level, StderrSubscriber};
 
@@ -237,7 +246,21 @@ fn main() {
                 eprintln!("usage: histal-experiments run --spec FILE [--journal FILE]");
                 std::process::exit(2);
             };
-            load_spec(path).and_then(|spec| run_spec(&spec, &scale, journal.as_ref()).map(|_| ()))
+            run_spec_file(path, &scale, journal.as_ref())
+        }
+        "selector-train" => {
+            if positional.len() != 3 {
+                eprintln!("usage: histal-experiments selector-train <TOKEN> <DATASET> <OUT>");
+                std::process::exit(2);
+            }
+            selector_train(&positional[0], &positional[1], &positional[2], &scale)
+        }
+        "selector-apply" => {
+            if positional.len() != 2 {
+                eprintln!("usage: histal-experiments selector-apply <ARTIFACT> <DATASET>");
+                std::process::exit(2);
+            }
+            selector_apply(&positional[0], &positional[1], &scale)
         }
         "compare" => {
             if positional.len() != 2 {
@@ -282,13 +305,21 @@ fn main() {
     eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
 }
 
-/// Load and validate an [`ExperimentSpec`] from a JSON file.
-fn load_spec(path: &str) -> Result<ExperimentSpec, Error> {
+/// Execute one spec file, routing on its `kind`: transfer specs run as
+/// train×apply matrices, everything else as an ordinary experiment grid.
+fn run_spec_file(path: &str, scale: &Scale, journal: Option<&JournalCtx>) -> Result<(), Error> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| Error::spec(format!("cannot read spec {path}: {e}")))?;
-    let spec = ExperimentSpec::from_json(&body).map_err(|e| Error::spec(format!("{path}: {e}")))?;
-    spec.validate()?;
-    Ok(spec)
+    if is_transfer_json(&body) {
+        let spec =
+            TransferSpec::from_json(&body).map_err(|e| Error::spec(format!("{path}: {e}")))?;
+        run_transfer(&spec, scale, journal).map(|_| ())
+    } else {
+        let spec =
+            ExperimentSpec::from_json(&body).map_err(|e| Error::spec(format!("{path}: {e}")))?;
+        spec.validate()?;
+        run_spec(&spec, scale, journal).map(|_| ())
+    }
 }
 
 /// Parse + validate every `*.json` under `dir`; exit nonzero if any
@@ -310,13 +341,17 @@ fn spec_check(dir: &str) {
     let mut failures = 0usize;
     for path in &paths {
         let shown = path.display();
-        // Files carrying `"kind": "pool-scaling"` use the scaling-grid
-        // schema, not the experiment-grid one.
+        // Files carrying a `kind` discriminator use their own schema
+        // (`pool-scaling`, `transfer`); everything else is an
+        // experiment grid.
         let parsed = std::fs::read_to_string(path)
             .map_err(|e| Error::spec(format!("cannot read: {e}")))
             .and_then(|body| {
                 if is_pool_scaling_json(&body) {
                     PoolScalingSpec::from_json(&body)
+                        .and_then(|spec| spec.validate().map(|()| spec.name))
+                } else if is_transfer_json(&body) {
+                    TransferSpec::from_json(&body)
                         .and_then(|spec| spec.validate().map(|()| spec.name))
                 } else {
                     ExperimentSpec::from_json(&body)
@@ -351,7 +386,7 @@ fn bad_flag(name: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|run|spec-check|bench|resume|all> \
+        "usage: histal-experiments <table2|table3|table4|fig3-text|fig3-ner|table5|fig4|fig5|table6|table7|run|spec-check|selector-train|selector-apply|bench|resume|all> \
          [--full|--quick|--check] [--repeats N] [--scale F] [--threads N] [--targets a,b,c] \
          [--variant paper|ar|linear|autocorr] [--spec FILE] [--journal FILE] [--trace[=info|debug|trace]]"
     );

@@ -65,6 +65,9 @@ pub(crate) struct Cell {
     pub(crate) strategy: Strategy,
     /// Index into the trained selector list, for LHS cells.
     pub(crate) lhs: Option<usize>,
+    /// Non-classic selector tag (`lal`, `meta`, `train=DS`), for the
+    /// replay-guard hash; `None` keeps classic LHS hashes untouched.
+    pub(crate) lhs_variant: Option<String>,
     /// Report label (spec rename, or the resolved display name).
     pub(crate) display: String,
     /// Experiment id for seeds and journal keys (entry override or the
@@ -114,6 +117,7 @@ impl GridCtx<'_> {
             inst.config(),
             &self.scale,
             cell.lhs.is_some(),
+            cell.lhs_variant.as_deref(),
             beam,
             self.spec.budget.as_ref(),
             self.spec.prune.as_ref(),

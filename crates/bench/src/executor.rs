@@ -36,7 +36,10 @@
 use histal_core::analysis::{area_under_curve, selection_stats};
 use histal_core::driver::{CurvePoint, PoolConfig, RunResult};
 use histal_core::error::Error;
-use histal_core::lhs::{train_lhs, LhsSelector, LhsTrainerConfig};
+use histal_core::lhs::{
+    train_learned_artifacts, LearnedTrainerConfig, LhsArtifacts, LhsSelector, LhsTrainerConfig,
+    TargetKind,
+};
 use histal_core::session::fingerprint;
 use histal_core::stats::{paired_bootstrap_ci, paired_permutation, PairedComparison};
 use histal_core::strategy::Strategy;
@@ -118,6 +121,7 @@ pub fn cell_hash(
     config: &PoolConfig,
     scale: &Scale,
     lhs: bool,
+    lhs_variant: Option<&str>,
     ner_beam: Option<f64>,
     budget: Option<&BudgetSpec>,
     prune: Option<&PruneSpec>,
@@ -134,6 +138,15 @@ pub fn cell_hash(
     let scale_s = format!("factor={} repeats={}", scale.factor, scale.repeats);
     let lhs_s = if lhs { "lhs" } else { "no-lhs" };
     let mut parts: Vec<&str> = vec![experiment, dataset, &strategy_dbg, &pool, &scale_s, lhs_s];
+    // Non-classic selector configurations (LAL targets, meta-features,
+    // train= overrides) change cell bytes, so the variant tag joins the
+    // hash — but only when set: classic LHS cells keep hashing
+    // identically to journals written before the variants existed.
+    let variant_s;
+    if let Some(v) = lhs_variant {
+        variant_s = format!("selector={v}");
+        parts.push(&variant_s);
+    }
     let beam;
     if let Some(b) = ner_beam {
         beam = format!("beam={b}");
@@ -169,32 +182,68 @@ pub fn cell_hash(
     fingerprint(&parts)
 }
 
-/// Train the LHS selector on the Subj-analogue dataset per a spec-level
-/// training plan — §4.4's protocol: "train a ranker on an applicable
-/// labeled dataset and apply it on other unlabeled datasets of the same
-/// task". Training failures propagate as structured errors.
-pub fn train_lhs_plan(plan: &LhsPlan, scale: &Scale) -> Result<LhsSelector, Error> {
-    let subj = TextTask::build(&TextSpec::subj(), scale, 0x53_42);
-    let config = LhsTrainerConfig {
-        base: plan.base,
-        rounds: 8,
-        candidates_per_round: 24,
-        init_labeled: 25,
-        add_per_round: 5,
-        level_interval: 0.0,
-        features: plan.features,
-        predictor: plan.predictor.clone(),
-        ranker: plan.ranker.clone(),
-        selector_candidate_pool: 75,
+/// The learned-trainer configuration a spec-level plan lowers into:
+/// the historical Subj-analogue protocol's simulation parameters, with
+/// the plan's feature/predictor/ranker/target choices on top.
+fn learned_config(plan: &LhsPlan) -> LearnedTrainerConfig {
+    LearnedTrainerConfig {
+        trainer: LhsTrainerConfig {
+            base: plan.base,
+            rounds: 8,
+            candidates_per_round: 24,
+            init_labeled: 25,
+            add_per_round: 5,
+            level_interval: 0.0,
+            features: plan.features,
+            predictor: plan.predictor.clone(),
+            ranker: plan.ranker.clone(),
+            selector_candidate_pool: 75,
+        },
+        target: plan.target,
+        use_meta: plan.use_meta,
+    }
+}
+
+/// The `(experiment, dataset)` pair a plan's training seed derives from.
+/// Classic pairwise plans keep the historical `("lhs-train", "subj")`
+/// stream byte-for-byte; pointwise (LAL) plans get their own experiment
+/// id, and `train=DATASET` swaps the dataset component.
+fn train_seed_parts(plan: &LhsPlan) -> (&'static str, &str) {
+    let experiment = match plan.target {
+        TargetKind::Pairwise => "lhs-train",
+        TargetKind::Pointwise => "lal-train",
     };
-    train_lhs(
-        &subj.model(0),
-        &subj.pool_docs,
-        &subj.pool_labels,
-        &subj.test_docs,
-        &subj.test_labels,
-        &config,
-        seed_for("lhs-train", "subj", plan.base.name(), 0),
+    (experiment, plan.train.as_deref().unwrap_or("subj"))
+}
+
+/// Train the learned selector per a spec-level training plan — §4.4's
+/// protocol: "train a ranker on an applicable labeled dataset and apply
+/// it on other unlabeled datasets of the same task". The training corpus
+/// defaults to the Subj analogue; `train=DATASET` substitutes any text
+/// dataset (the transfer grid's rows). Training failures propagate as
+/// structured errors.
+pub fn train_lhs_plan(plan: &LhsPlan, scale: &Scale) -> Result<LhsSelector, Error> {
+    Ok(train_lhs_plan_artifacts(plan, scale)?.into_selector())
+}
+
+/// [`train_lhs_plan`] in serializable form — the `selector-train` CLI
+/// saves the returned artifacts as an `HLRN1` file.
+pub fn train_lhs_plan_artifacts(plan: &LhsPlan, scale: &Scale) -> Result<LhsArtifacts, Error> {
+    let (experiment, train_name) = train_seed_parts(plan);
+    let tspec = match &plan.train {
+        None => TextSpec::subj(),
+        Some(name) => TextSpec::by_name(name)
+            .ok_or_else(|| Error::spec(format!("unknown selector training dataset `{name}`")))?,
+    };
+    let corpus = TextTask::build(&tspec, scale, 0x53_42);
+    train_learned_artifacts(
+        &corpus.model(0),
+        &corpus.pool_docs,
+        &corpus.pool_labels,
+        &corpus.test_docs,
+        &corpus.test_labels,
+        &learned_config(plan),
+        seed_for(experiment, train_name, plan.base.name(), 0),
     )
 }
 
@@ -225,6 +274,10 @@ pub struct GridOutcome {
     /// Pruning summary when the spec ran under the adaptive scheduler;
     /// `None` on the classic run-to-completion path.
     pub adaptive: Option<AdaptiveSummary>,
+    /// Wall clock of each *fresh* selector training this grid performed,
+    /// as `(plan label, ms)` in training order. Deduplicated plans
+    /// appear once; grids without learned selectors leave it empty.
+    pub selector_train_ms: Vec<(String, f64)>,
 }
 
 /// Executes one [`ExperimentSpec`] deterministically.
@@ -360,6 +413,7 @@ impl<'a> GridExecutor<'a> {
         let mut resolved: Vec<Vec<(registry::ResolvedStrategy, Option<usize>)>> = Vec::new();
         let mut selectors: Vec<LhsSelector> = Vec::new();
         let mut selector_keys: Vec<String> = Vec::new();
+        let mut selector_train_ms: Vec<(String, f64)> = Vec::new();
         for group in &spec.groups {
             let mut row = Vec::new();
             for entry in &group.strategies {
@@ -378,7 +432,10 @@ impl<'a> GridExecutor<'a> {
                         let idx = match selector_keys.iter().position(|k| *k == key) {
                             Some(i) => i,
                             None => {
+                                let start = std::time::Instant::now();
                                 selectors.push(train_lhs_plan(plan, &self.scale)?);
+                                selector_train_ms
+                                    .push((plan.label(), start.elapsed().as_secs_f64() * 1e3));
                                 selector_keys.push(key);
                                 selectors.len() - 1
                             }
@@ -414,6 +471,7 @@ impl<'a> GridExecutor<'a> {
                         group: gi,
                         strategy: r.strategy.clone(),
                         lhs: *lhs,
+                        lhs_variant: r.lhs.as_ref().and_then(|p| p.variant()),
                         display: entry.rename.clone().unwrap_or_else(|| r.display_name()),
                         experiment: entry
                             .experiment
@@ -478,7 +536,11 @@ impl<'a> GridExecutor<'a> {
                 .cells
                 .push(outcome);
         }
-        Ok(GridOutcome { blocks, adaptive })
+        Ok(GridOutcome {
+            blocks,
+            adaptive,
+            selector_train_ms,
+        })
     }
 }
 

@@ -37,6 +37,7 @@ use crate::registry::{self, ResolvedStrategy, FHS_WF, FHS_WS, WINDOW};
 use crate::report::{print_curves, print_table, write_json};
 use crate::spec::{DatasetEntry, ExperimentSpec, GroupSpec, PoolSpec, ReportKind, StrategyEntry};
 use crate::tasks::{Scale, TextTask};
+use crate::transfer::{execute_transfer, inject_train, TransferSpec};
 
 fn hus(base: BaseStrategy) -> Strategy {
     Strategy::new(base).with_history(HistoryPolicy::Hus { k: WINDOW })
@@ -714,6 +715,27 @@ pub struct AdaptiveBench {
     pub saved_cell_rounds: usize,
 }
 
+/// One cell of the checked-in transfer matrix
+/// (`specs/transfer-matrix.json`): `strategy` trained on `train`,
+/// deployed on `apply`. The ALC is deterministic (unlike the timings),
+/// so EXPERIMENTS.md can cite these rows directly.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TransferBenchRow {
+    pub strategy: String,
+    pub train: String,
+    pub apply: String,
+    pub alc: f64,
+}
+
+/// Wall clock of one deduplicated selector training performed by the
+/// transfer grid, keyed by the plan label (e.g. `LAL(entropy)@mr`).
+/// [`selector_train_gate`] re-times these against the committed values.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SelectorTrainBench {
+    pub selector: String,
+    pub wall_ms: f64,
+}
+
 /// Top-level payload of `BENCH_harness.json`.
 #[derive(serde::Serialize, serde::Deserialize)]
 pub struct BenchReport {
@@ -724,6 +746,13 @@ pub struct BenchReport {
     /// recorded before the scheduler existed.
     #[serde(default)]
     pub adaptive: Option<AdaptiveBench>,
+    /// Measured transfer matrix of `specs/transfer-matrix.json`; empty
+    /// in artifacts recorded before transfer grids existed.
+    #[serde(default)]
+    pub transfer: Vec<TransferBenchRow>,
+    /// Selector-training wall clocks of the transfer grid.
+    #[serde(default)]
+    pub selector_train: Vec<SelectorTrainBench>,
 }
 
 fn git_rev() -> String {
@@ -848,6 +877,13 @@ fn adaptive_sweep_spec() -> Result<ExperimentSpec, Error> {
     embedded_spec(include_str!("../../../specs/adaptive-sweep.json"))
 }
 
+/// The checked-in cross-dataset transfer matrix.
+fn transfer_matrix_spec() -> Result<TransferSpec, Error> {
+    let spec = TransferSpec::from_json(include_str!("../../../specs/transfer-matrix.json"))?;
+    spec.validate()?;
+    Ok(spec)
+}
+
 fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
     let threads = rayon::current_num_threads();
     eprintln!("# BENCH: {threads} thread(s), scale {:.2}", scale.factor);
@@ -910,6 +946,7 @@ fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
         adaptive_gate()?;
         pool_scaling_gate()?;
         sessions_throughput_gate()?;
+        selector_train_gate()?;
         println!("bench --check OK ({} cells)", cells.len());
         return Ok(());
     }
@@ -932,11 +969,37 @@ fn bench_impl(scale: &Scale, check: bool) -> Result<(), Error> {
         saved_cell_rounds: summary.saved_cell_rounds(),
     });
 
+    // The cross-dataset transfer matrix rides along too: its ALCs are
+    // deterministic, and the deduplicated selector-training wall clocks
+    // give `selector_train_gate` its reference.
+    eprintln!("# BENCH: transfer matrix (specs/transfer-matrix.json)");
+    let transfer_outcome = execute_transfer(&transfer_matrix_spec()?, scale, None, true)?;
+    let transfer = transfer_outcome
+        .rows
+        .iter()
+        .map(|r| TransferBenchRow {
+            strategy: r.strategy.clone(),
+            train: r.train.clone(),
+            apply: r.apply.clone(),
+            alc: r.alc,
+        })
+        .collect();
+    let selector_train = transfer_outcome
+        .selector_train_ms
+        .iter()
+        .map(|(selector, wall_ms)| SelectorTrainBench {
+            selector: selector.clone(),
+            wall_ms: *wall_ms,
+        })
+        .collect();
+
     let report = BenchReport {
         git_rev: git_rev(),
         threads,
         cells,
         adaptive,
+        transfer,
+        selector_train,
     };
     let body = serde_json::to_string_pretty(&report).expect("serializable bench report");
     let path = "BENCH_harness.json";
@@ -1270,6 +1333,91 @@ fn grid_perf_gate() -> Result<(), Error> {
     }
     assert!(compared > 0, "{gate} compared no cells");
     eprintln!("  {gate}: {compared} cell(s) within +20% of committed ({skipped} skipped)");
+    Ok(())
+}
+
+/// `bench --check` gate: selector training must not regress. Re-times
+/// only the *deduplicated* selector trainings of the checked-in
+/// transfer matrix (not the full apply grid) at the committed bench
+/// scale and fails if any exceeds its committed
+/// `BENCH_harness.json` twin — matched by plan label — by more than
+/// 20%. Skipped when the committed artifact predates transfer grids.
+fn selector_train_gate() -> Result<(), Error> {
+    let gate = "selector train gate";
+    let Some(report) = committed_report(gate) else {
+        return Ok(());
+    };
+    if report.selector_train.is_empty() {
+        eprintln!("  {gate}: skipped (no committed selector_train rows)");
+        return Ok(());
+    }
+    // The same dedup the executor performs: one training per distinct
+    // plan cache key across the strategy × train grid.
+    let spec = transfer_matrix_spec()?;
+    let mut plans = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    for train in &spec.train {
+        for token in &spec.strategies {
+            let plan = registry::parse_strategy(&inject_train(token, train))?
+                .lhs
+                .expect("transfer strategies are selector tokens");
+            let key = plan.cache_key();
+            if !keys.contains(&key) {
+                keys.push(key);
+                plans.push(plan);
+            }
+        }
+    }
+    let time_all = |plans: &[registry::LhsPlan]| -> Result<Vec<f64>, Error> {
+        plans
+            .iter()
+            .map(|plan| {
+                let start = std::time::Instant::now();
+                train_lhs_plan(plan, &Scale::quick())?;
+                Ok(start.elapsed().as_secs_f64() * 1e3)
+            })
+            .collect()
+    };
+    let reference = |label: &str| {
+        report
+            .selector_train
+            .iter()
+            .find(|r| r.selector == label)
+            .map(|r| r.wall_ms)
+    };
+    let mut walls = time_all(&plans)?;
+    let over_limit = |walls: &[f64]| {
+        plans
+            .iter()
+            .zip(walls)
+            .any(|(plan, wall)| reference(&plan.label()).is_some_and(|r| *wall > r * 1.2))
+    };
+    // One retry absorbs transient machine noise — a best-of-two still
+    // catches real regressions, which reproduce.
+    if over_limit(&walls) {
+        eprintln!("  {gate}: over limit on first pass — re-timing once");
+        for (prev, fresh) in walls.iter_mut().zip(time_all(&plans)?) {
+            *prev = prev.min(fresh);
+        }
+    }
+    let (mut compared, mut skipped) = (0usize, 0usize);
+    for (plan, wall) in plans.iter().zip(&walls) {
+        let label = plan.label();
+        let Some(committed) = reference(&label) else {
+            eprintln!("  {gate}: no committed {label} row — skipped");
+            skipped += 1;
+            continue;
+        };
+        let limit = committed * 1.2;
+        assert!(
+            *wall <= limit,
+            "{gate}: {label} train wall {wall:.1} ms exceeds {limit:.1} ms \
+             (committed {committed:.1} ms + 20%)"
+        );
+        compared += 1;
+    }
+    assert!(compared > 0, "{gate} compared no selectors");
+    eprintln!("  {gate}: {compared} selector(s) within +20% of committed ({skipped} skipped)");
     Ok(())
 }
 

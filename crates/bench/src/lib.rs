@@ -16,5 +16,6 @@ pub mod scaling;
 pub mod scheduler;
 pub mod spec;
 pub mod tasks;
+pub mod transfer;
 
 pub use tasks::{NerTask, Scale, TextTask};

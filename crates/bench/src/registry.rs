@@ -27,7 +27,7 @@
 use histal_core::analysis::{area_under_curve, format_cost, samples_to_target};
 use histal_core::driver::RunResult;
 use histal_core::error::Error;
-use histal_core::lhs::{LhsFeatureConfig, PredictorKind, RankerKind};
+use histal_core::lhs::{LhsFeatureConfig, PredictorKind, RankerKind, TargetKind};
 use histal_core::strategy::{BaseStrategy, DensityConfig, HistoryPolicy, MmrConfig, Strategy};
 use histal_data::{NerSpec, TextSpec};
 use histal_ltr::LambdaMartConfig;
@@ -47,7 +47,7 @@ pub const BASE_NAMES: &[&str] = &[
 
 /// Wrapper names the grammar accepts (shown as `WRAPPER(base)` in
 /// error listings).
-pub const WRAPPER_NAMES: &[&str] = &["HUS", "WSHS", "FHS", "HKLD", "LHS"];
+pub const WRAPPER_NAMES: &[&str] = &["HUS", "WSHS", "FHS", "HKLD", "LHS", "LAL"];
 
 /// Everything a strategy token resolves to. `strategy` is what the
 /// driver runs (and what seeds / journal cell keys derive from — for an
@@ -85,15 +85,72 @@ pub struct LhsPlan {
     pub predictor: PredictorKind,
     /// Learning-to-rank model.
     pub ranker: RankerKind,
+    /// Target shape the training simulation emits: pairwise ranking
+    /// groups (`LHS`) or pointwise regression deltas (`LAL`).
+    pub target: TargetKind,
+    /// Append pool-level meta-features (label ratio, pool size, round,
+    /// score moments) to every feature row — the transfer-enabling block.
+    pub use_meta: bool,
+    /// Training dataset override (`train=DATASET`); `None` keeps the
+    /// historical Subj-analogue protocol.
+    pub train: Option<String>,
 }
 
 impl LhsPlan {
     /// Cache key: two plans with equal keys train identical selectors.
+    /// New components join only when set, so classic `LHS(...)` plans
+    /// keep their historical keys.
     pub fn cache_key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{:?}|{:?}|{:?}|{:?}",
             self.base, self.features, self.predictor, self.ranker
-        )
+        );
+        if let Some(v) = self.variant() {
+            key.push('|');
+            key.push_str(&v);
+        }
+        key
+    }
+
+    /// Human-readable selector label (`LHS(entropy)`, `LAL(entropy)@mr`)
+    /// for training-time tables and the BENCH artifact. Non-default
+    /// meta-feature settings join as an explicit `{meta=...}` block so
+    /// two plans never share a label while training different rankers.
+    pub fn label(&self) -> String {
+        let wrapper = match self.target {
+            TargetKind::Pairwise => "LHS",
+            TargetKind::Pointwise => "LAL",
+        };
+        let meta_default = self.target == TargetKind::Pointwise;
+        let meta = if self.use_meta == meta_default {
+            String::new()
+        } else {
+            format!("{{meta={}}}", if self.use_meta { "on" } else { "off" })
+        };
+        let train = self
+            .train
+            .as_deref()
+            .map(|ds| format!("@{ds}"))
+            .unwrap_or_default();
+        format!("{wrapper}{meta}({}){train}", self.base.name())
+    }
+
+    /// Compact tag of everything that departs from the classic LHS
+    /// configuration, `None` for a default plan. Joins the replay-guard
+    /// cell hash only when set, so classic cells keep their historical
+    /// hashes while `LAL` / `train=` / `meta=` cells hash apart.
+    pub fn variant(&self) -> Option<String> {
+        let mut parts = Vec::new();
+        if self.target == TargetKind::Pointwise {
+            parts.push("lal".to_string());
+        }
+        if self.use_meta {
+            parts.push("meta".to_string());
+        }
+        if let Some(ds) = &self.train {
+            parts.push(format!("train={ds}"));
+        }
+        (!parts.is_empty()).then(|| parts.join(","))
     }
 }
 
@@ -174,21 +231,47 @@ fn param_bool(p: &Param<'_>) -> Result<bool, Error> {
     }
 }
 
+/// Unknown `key=value` wrapper parameter — an [`ErrorKind::UnknownName`]
+/// listing the valid parameter names, matching the strategy-token error
+/// style (so a typo'd `LHS{predicter=...}` reads like a typo'd wrapper).
+///
+/// [`ErrorKind::UnknownName`]: histal_core::error::ErrorKind
 fn unknown_param(wrapper: &str, p: &Param<'_>, valid: &[&str]) -> Error {
-    Error::spec(format!(
-        "unknown parameter `{}` for {wrapper} (valid: {})",
-        p.key,
-        valid.join(", ")
-    ))
+    let what = match wrapper {
+        "HUS" => "HUS parameter",
+        "WSHS" => "WSHS parameter",
+        "FHS" => "FHS parameter",
+        "HKLD" => "HKLD parameter",
+        "LHS" => "LHS parameter",
+        "LAL" => "LAL parameter",
+        _ => "wrapper parameter",
+    };
+    Error::unknown_name(what, p.key.clone(), valid.iter().copied())
 }
 
-fn lhs_plan(base: BaseStrategy, params: &[Param<'_>]) -> Result<LhsPlan, Error> {
+/// Shared plan parser behind the `LHS{...}` and `LAL{...}` tokens.
+/// `wrapper` picks the defaults: `LHS` is the classic pairwise ranker
+/// without meta-features; `LAL` defaults to pointwise regression targets
+/// with the pool-level meta block (the transferable configuration).
+fn lhs_plan(
+    wrapper: &'static str,
+    base: BaseStrategy,
+    params: &[Param<'_>],
+) -> Result<LhsPlan, Error> {
     let mut features = LhsFeatureConfig {
         window: WINDOW,
         ..Default::default()
     };
     let mut predictor = PredictorKind::default();
     let mut ranker = RankerKind::LambdaMart(LambdaMartConfig::default());
+    let lal = wrapper == "LAL";
+    let target = if lal {
+        TargetKind::Pointwise
+    } else {
+        TargetKind::Pairwise
+    };
+    let mut use_meta = lal;
+    let mut train: Option<String> = None;
     for p in params {
         match p.key.as_str() {
             "window" => features.window = param_usize(p)?,
@@ -227,9 +310,21 @@ fn lhs_plan(base: BaseStrategy, params: &[Param<'_>]) -> Result<LhsPlan, Error> 
                     }
                 }
             }
+            "meta" => use_meta = param_bool(p)?,
+            "train" => {
+                let name = p.value.trim();
+                if TextSpec::by_name(name).is_none() {
+                    return Err(Error::unknown_name(
+                        "selector training dataset",
+                        name,
+                        TextSpec::NAMES.iter().copied(),
+                    ));
+                }
+                train = Some(name.to_ascii_lowercase());
+            }
             _ => {
                 return Err(unknown_param(
-                    "LHS",
+                    wrapper,
                     p,
                     &[
                         "window",
@@ -241,6 +336,8 @@ fn lhs_plan(base: BaseStrategy, params: &[Param<'_>]) -> Result<LhsPlan, Error> 
                         "autocorr",
                         "predictor",
                         "ranker",
+                        "meta",
+                        "train",
                     ],
                 ))
             }
@@ -251,6 +348,9 @@ fn lhs_plan(base: BaseStrategy, params: &[Param<'_>]) -> Result<LhsPlan, Error> 
         features,
         predictor,
         ranker,
+        target,
+        use_meta,
+        train,
     })
 }
 
@@ -378,11 +478,22 @@ pub fn parse_strategy(token: &str) -> Result<ResolvedStrategy, Error> {
                         display: None,
                     }
                 }
-                "LHS" => ResolvedStrategy {
-                    strategy: Strategy::new(base),
-                    lhs: Some(lhs_plan(base, &params)?),
-                    display: Some(format!("LHS({})", base.name())),
-                },
+                wrapper @ ("LHS" | "LAL") => {
+                    let wrapper: &'static str = if wrapper == "LAL" { "LAL" } else { "LHS" };
+                    let plan = lhs_plan(wrapper, base, &params)?;
+                    // `train=` joins the display so transfer rows stay
+                    // distinguishable in reports; plain tokens keep the
+                    // historical label.
+                    let display = match &plan.train {
+                        Some(ds) => format!("{wrapper}({})@{ds}", base.name()),
+                        None => format!("{wrapper}({})", base.name()),
+                    };
+                    ResolvedStrategy {
+                        strategy: Strategy::new(base),
+                        lhs: Some(plan),
+                        display: Some(display),
+                    }
+                }
                 _ => {
                     return Err(Error::unknown_name(
                         "strategy wrapper",
@@ -707,6 +818,62 @@ mod tests {
         assert!(!plan.features.use_fluctuation);
         assert!(matches!(plan.predictor, PredictorKind::Ar { order: 3 }));
         assert!(matches!(plan.ranker, RankerKind::Linear(_)));
+    }
+
+    #[test]
+    fn parse_lal_plans() {
+        let r = parse_strategy("LAL(entropy)").unwrap();
+        assert_eq!(r.strategy.name(), "entropy");
+        assert_eq!(r.display_name(), "LAL(entropy)");
+        let plan = r.lhs.unwrap();
+        assert_eq!(plan.target, TargetKind::Pointwise);
+        assert!(plan.use_meta, "LAL defaults to meta-features on");
+        assert_eq!(plan.label(), "LAL(entropy)");
+        // Classic LHS keeps its default cache key (no variant suffix)
+        // while LAL hashes apart.
+        let classic = parse_strategy("LHS(entropy)").unwrap().lhs.unwrap();
+        assert_eq!(classic.variant(), None);
+        assert!(plan.variant().is_some());
+        assert_ne!(plan.cache_key(), classic.cache_key());
+        // Meta can be toggled on either wrapper.
+        let plan = parse_strategy("LAL{meta=off}(LC)").unwrap().lhs.unwrap();
+        assert!(!plan.use_meta);
+        assert_eq!(plan.label(), "LAL{meta=off}(LC)");
+    }
+
+    #[test]
+    fn parse_train_modifier() {
+        let r = parse_strategy("LHS{train=mr}(entropy)").unwrap();
+        assert_eq!(r.display_name(), "LHS(entropy)@mr");
+        let plan = r.lhs.unwrap();
+        assert_eq!(plan.train.as_deref(), Some("mr"));
+        assert_eq!(plan.label(), "LHS(entropy)@mr");
+        assert_eq!(plan.variant().as_deref(), Some("train=mr"));
+        let default = parse_strategy("LHS(entropy)").unwrap().lhs.unwrap();
+        assert_ne!(plan.cache_key(), default.cache_key());
+        // Unknown training datasets fail up front with the valid list.
+        let e = parse_strategy("LHS{train=imdb}(entropy)").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ErrorKind::UnknownName {
+                what: "selector training dataset",
+                ..
+            }
+        ));
+        assert!(e.to_string().contains("mr"), "{e}");
+    }
+
+    #[test]
+    fn unknown_selector_params_list_valid_names() {
+        for token in ["LHS{bogus=1}(entropy)", "LAL{bogus=1}(entropy)"] {
+            let e = parse_strategy(token).unwrap_err();
+            let msg = e.to_string();
+            assert!(matches!(e.kind, ErrorKind::UnknownName { .. }), "{msg}");
+            assert!(msg.contains("bogus"), "{msg}");
+            for valid in ["window", "predictor", "ranker", "meta", "train"] {
+                assert!(msg.contains(valid), "{token}: {msg} missing {valid}");
+            }
+        }
     }
 
     #[test]

@@ -123,3 +123,33 @@ fn fig5_resumes_pre_refactor_journal_byte_identically() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Same contract for the fig3-text grid, whose LHS cells now route
+/// through the `histal_core::learned` subsystem: a pre-refactor journal
+/// must replay byte-identically with every cell recognized.
+#[test]
+fn fig3_text_resumes_pre_refactor_journal_byte_identically() {
+    let dir = scratch("fig3t-resume");
+    let journal = dir.join("fig3_text.jsonl");
+    std::fs::copy(goldens().join("fig3_text_s002_r1.jsonl"), &journal)
+        .expect("copy golden journal");
+    let (stdout, stderr) = run(
+        &dir,
+        &[
+            "resume",
+            "fig3-text",
+            "--journal",
+            journal.to_str().unwrap(),
+        ],
+    );
+    assert!(
+        stderr.contains("# resume: 42 completed cell(s) in journal"),
+        "journal cells not recognized:\n{stderr}"
+    );
+    assert_eq!(
+        stdout,
+        golden("fig3_text_s002_r1.stdout"),
+        "resumed fig3-text stdout drifted from the pre-refactor golden"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

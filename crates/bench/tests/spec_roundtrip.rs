@@ -236,10 +236,12 @@ proptest! {
 
 /// Every checked-in spec file must parse, validate, and round-trip
 /// byte-idempotently. Files declaring `"kind": "pool-scaling"` follow
-/// the scaling-grid schema; everything else is an [`ExperimentSpec`].
+/// the scaling-grid schema, `"kind": "transfer"` the transfer-matrix
+/// schema; everything else is an [`ExperimentSpec`].
 #[test]
 fn checked_in_specs_parse_validate_and_round_trip() {
     use histal_bench::scaling::{is_pool_scaling_json, PoolScalingSpec};
+    use histal_bench::transfer::{is_transfer_json, TransferSpec};
 
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
     let mut paths: Vec<_> = std::fs::read_dir(dir)
@@ -250,6 +252,7 @@ fn checked_in_specs_parse_validate_and_round_trip() {
     paths.sort();
     let mut experiment_specs = 0usize;
     let mut scaling_specs = 0usize;
+    let mut transfer_specs = 0usize;
     for path in paths {
         let body = std::fs::read_to_string(&path).unwrap();
         if is_pool_scaling_json(&body) {
@@ -264,6 +267,28 @@ fn checked_in_specs_parse_validate_and_round_trip() {
                 spec,
                 spec2,
                 "{}: round trip changed the spec",
+                path.display()
+            );
+            continue;
+        }
+        if is_transfer_json(&body) {
+            transfer_specs += 1;
+            let spec = TransferSpec::from_json(&body)
+                .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: validate failed: {e}", path.display()));
+            let json1 = spec.to_json_pretty();
+            let spec2 = TransferSpec::from_json(&json1).unwrap();
+            assert_eq!(
+                spec,
+                spec2,
+                "{}: round trip changed the spec",
+                path.display()
+            );
+            assert_eq!(
+                json1,
+                spec2.to_json_pretty(),
+                "{}: serialization not idempotent",
                 path.display()
             );
             continue;
@@ -295,5 +320,9 @@ fn checked_in_specs_parse_validate_and_round_trip() {
     assert!(
         scaling_specs >= 1,
         "expected the checked-in pool-scaling spec, found {scaling_specs}"
+    );
+    assert!(
+        transfer_specs >= 1,
+        "expected the checked-in transfer spec, found {transfer_specs}"
     );
 }

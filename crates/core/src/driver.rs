@@ -8,6 +8,8 @@
 //! so the same driver executes both the text-classification and NER
 //! experiments (and user-provided models).
 
+use std::sync::Arc;
+
 use rand::prelude::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -147,7 +149,9 @@ pub struct ActiveLearner<M: Model> {
     test_samples: Vec<M::Sample>,
     test_labels: Vec<M::Label>,
     strategy: Strategy,
-    lhs: Option<LhsSelector>,
+    /// Shared trained selector: the `Select` stage borrows this via
+    /// [`Arc`] each run instead of deep-cloning the trained ensemble.
+    lhs: Option<Arc<LhsSelector>>,
     config: PoolConfig,
     /// Optional sparse representations for density/MMR combinators.
     representations: Option<Vec<SparseVec>>,
@@ -193,7 +197,7 @@ impl<M: Model> ActiveLearner<M> {
             test_samples,
             test_labels,
             strategy,
-            lhs,
+            lhs: lhs.map(Arc::new),
             config,
             representations,
             rng,
@@ -279,7 +283,7 @@ impl<M: Model> ActiveLearner<M> {
             None => Box::new(PolicyFold::new(self.strategy.history)),
         };
         let mut select_stage: Box<dyn Select> = if let Some(lhs) = &self.lhs {
-            Box::new(LhsSelect(lhs.clone()))
+            Box::new(LhsSelect(Arc::clone(lhs)))
         } else if let (Some(cfg), true) = (self.strategy.mmr, geometry.is_some()) {
             Box::new(MmrSelect(cfg))
         } else if self.strategy.kcenter && geometry.is_some() {
@@ -391,6 +395,8 @@ impl<M: Model> ActiveLearner<M> {
                 geometry: geometry.as_ref(),
                 index: neighbor_index,
                 batch,
+                round,
+                n_labeled: pool.n_labeled(),
                 scratch: &mut ctx.sim,
                 seq_buf: &mut ctx.seq_buf,
             });

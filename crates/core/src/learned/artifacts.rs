@@ -1,0 +1,286 @@
+//! Serializable trained artifacts and the versioned `HLRN1` file format.
+//!
+//! [`LhsArtifacts`] is the serializable bundle of everything the trainer
+//! produces (ranker + predictor + feature layout). [`save_artifacts`] /
+//! [`load_artifacts`] wrap it in a versioned JSON envelope — magic
+//! `"HLRN1"`, schema version, provenance — so a selector trained on
+//! dataset A in one process can be persisted and applied to dataset B in
+//! another (the Chu & Lin cross-dataset transfer protocol as a file).
+//!
+//! The envelope is JSON for the same reason the model persistence layer
+//! (`histal-models`) is: the vendored toolchain has no binary
+//! serialization dependency, and selector artifacts are kilobytes. The
+//! magic + version are *inside* the JSON, checked on load; a future
+//! incompatible layout bumps [`ARTIFACT_VERSION`] and readers reject
+//! mismatches instead of misinterpreting fields.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use histal_ltr::{LambdaMart, LinearRanker, PointwiseRegressor, Ranker};
+use histal_tseries::{ArPredictor, HoltPredictor, LstmPredictor, SequencePredictor};
+
+use crate::error::Error;
+
+use super::features::LhsFeatureConfig;
+use super::selector::LhsSelector;
+
+/// Serializable bundle of everything the trainer produces. Lets a
+/// ranker trained once on a labeled dataset (the paper trains on Subj) be
+/// persisted and deployed on other datasets later — the §4.4 transfer
+/// protocol as an artifact.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct LhsArtifacts {
+    /// The trained ranking model.
+    pub ranker: TrainedRanker,
+    /// The trained next-score predictor.
+    pub predictor: TrainedPredictor,
+    /// Feature layout the ranker was trained with.
+    pub features: LhsFeatureConfig,
+    /// Candidate-set size for deployment.
+    pub candidate_pool: usize,
+    /// Whether the ranker was trained with (and the selector must append)
+    /// pool-level meta-features. Defaults to `false` so artifacts written
+    /// before the field existed load unchanged.
+    #[serde(default)]
+    pub use_meta: bool,
+}
+
+/// A concrete trained ranker (serializable counterpart of `dyn Ranker`).
+#[derive(Clone, Serialize, Deserialize)]
+pub enum TrainedRanker {
+    /// LambdaMART ensemble.
+    LambdaMart(LambdaMart),
+    /// Pairwise-logistic linear ranker.
+    Linear(LinearRanker),
+    /// Pointwise expected-error-reduction regressor (LAL).
+    Pointwise(PointwiseRegressor),
+}
+
+/// A concrete trained predictor (serializable counterpart of
+/// `dyn SequencePredictor`).
+#[derive(Clone, Serialize, Deserialize)]
+pub enum TrainedPredictor {
+    /// Scalar LSTM.
+    Lstm(LstmPredictor),
+    /// AR(p) least squares.
+    Ar(ArPredictor),
+    /// Holt double exponential smoothing.
+    Holt(HoltPredictor),
+}
+
+impl Ranker for TrainedRanker {
+    fn score(&self, features: &[f64]) -> f64 {
+        match self {
+            Self::LambdaMart(m) => m.score(features),
+            Self::Linear(m) => m.score(features),
+            Self::Pointwise(m) => m.score(features),
+        }
+    }
+}
+
+impl SequencePredictor for TrainedPredictor {
+    fn predict_next(&self, seq: &[f64]) -> f64 {
+        match self {
+            Self::Lstm(p) => p.predict_next(seq),
+            Self::Ar(p) => p.predict_next(seq),
+            Self::Holt(p) => p.predict_next(seq),
+        }
+    }
+}
+
+impl LhsArtifacts {
+    /// Build the runtime selector from these artifacts.
+    pub fn into_selector(self) -> LhsSelector {
+        LhsSelector::new(
+            Box::new(self.ranker),
+            Box::new(self.predictor),
+            self.features,
+            self.candidate_pool,
+        )
+        .with_meta(self.use_meta)
+    }
+}
+
+/// Magic string identifying a learned-selector artifact file.
+pub const ARTIFACT_MAGIC: &str = "HLRN1";
+
+/// Current artifact schema version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Where an artifact came from: enough to reconstruct the deployment
+/// configuration (base strategy for seeding/naming) and to audit the
+/// transfer matrix ("trained on A, applied to B").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactProvenance {
+    /// Dataset the selector was trained on (e.g. `"mr"`).
+    pub trained_on: String,
+    /// Base strategy name (e.g. `"entropy"`).
+    pub base: String,
+    /// Target shape: `"pairwise"` (LHS) or `"pointwise"` (LAL).
+    pub target: String,
+    /// Training seed.
+    pub seed: u64,
+}
+
+/// The on-disk envelope: magic + version checked on load, then the
+/// provenance and the artifacts themselves.
+#[derive(Serialize, Deserialize)]
+struct Hlrn1Envelope {
+    magic: String,
+    version: u32,
+    provenance: ArtifactProvenance,
+    artifacts: LhsArtifacts,
+}
+
+/// Write `artifacts` to `path` as an `HLRN1` envelope.
+pub fn save_artifacts(
+    artifacts: &LhsArtifacts,
+    provenance: &ArtifactProvenance,
+    path: &Path,
+) -> Result<(), Error> {
+    let envelope = Hlrn1Envelope {
+        magic: ARTIFACT_MAGIC.to_string(),
+        version: ARTIFACT_VERSION,
+        provenance: provenance.clone(),
+        artifacts: artifacts.clone(),
+    };
+    let body = serde_json::to_string(&envelope)
+        .map_err(|e| Error::spec(format!("serializing artifact: {e}")))?;
+    std::fs::write(path, body)
+        .map_err(|e| Error::spec(format!("writing artifact {}: {e}", path.display())))
+}
+
+/// Load an `HLRN1` envelope from `path`, rejecting wrong magic or
+/// version.
+pub fn load_artifacts(path: &Path) -> Result<(LhsArtifacts, ArtifactProvenance), Error> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| Error::spec(format!("reading artifact {}: {e}", path.display())))?;
+    let envelope: Hlrn1Envelope = serde_json::from_str(&body)
+        .map_err(|e| Error::spec(format!("parsing artifact {}: {e}", path.display())))?;
+    if envelope.magic != ARTIFACT_MAGIC {
+        return Err(Error::conflict(format!(
+            "artifact {} has magic {:?}, expected {ARTIFACT_MAGIC:?}",
+            path.display(),
+            envelope.magic
+        )));
+    }
+    if envelope.version != ARTIFACT_VERSION {
+        return Err(Error::conflict(format!(
+            "artifact {} has schema version {}, this build reads {ARTIFACT_VERSION}",
+            path.display(),
+            envelope.version
+        )));
+    }
+    Ok((envelope.artifacts, envelope.provenance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorKind;
+    use histal_ltr::{PointwiseConfig, TreeConfig};
+
+    fn tiny_artifacts() -> LhsArtifacts {
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..8).map(|i| if i < 4 { 0.0 } else { 1.0 }).collect();
+        let regressor = PointwiseRegressor::fit_trees(
+            &rows,
+            &targets,
+            &PointwiseConfig {
+                n_trees: 3,
+                learning_rate: 0.5,
+                tree: TreeConfig::default(),
+                l2: 1.0,
+            },
+        );
+        LhsArtifacts {
+            ranker: TrainedRanker::Pointwise(regressor),
+            predictor: TrainedPredictor::Holt(HoltPredictor::fit(&[vec![0.1, 0.2, 0.3]])),
+            features: LhsFeatureConfig::default(),
+            candidate_pool: 75,
+            use_meta: true,
+        }
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("histal-hlrn1-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn hlrn1_round_trips_across_save_load() {
+        let artifacts = tiny_artifacts();
+        let provenance = ArtifactProvenance {
+            trained_on: "mr".into(),
+            base: "entropy".into(),
+            target: "pointwise".into(),
+            seed: 42,
+        };
+        let path = tmp_path("roundtrip.json");
+        save_artifacts(&artifacts, &provenance, &path).expect("save");
+        let (loaded, prov) = load_artifacts(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(prov, provenance);
+        assert_eq!(loaded.candidate_pool, artifacts.candidate_pool);
+        assert!(loaded.use_meta);
+        // The loaded ranker scores identically to the saved one.
+        for row in [vec![0.5], vec![3.5], vec![6.0]] {
+            assert_eq!(loaded.ranker.score(&row), artifacts.ranker.score(&row));
+        }
+        let selector = loaded.into_selector();
+        assert!(selector.uses_meta());
+    }
+
+    #[test]
+    fn hlrn1_rejects_wrong_version_and_magic() {
+        let artifacts = tiny_artifacts();
+        let provenance = ArtifactProvenance::default();
+        let path = tmp_path("version.json");
+        save_artifacts(&artifacts, &provenance, &path).expect("save");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let bumped = body.replace("\"version\":1", "\"version\":999");
+        std::fs::write(&path, &bumped).expect("rewrite");
+        let Err(err) = load_artifacts(&path) else {
+            panic!("version mismatch accepted")
+        };
+        assert!(matches!(err.kind, ErrorKind::Conflict { .. }), "{err}");
+        let wrong_magic = body.replace("\"HLRN1\"", "\"HXXX9\"");
+        std::fs::write(&path, &wrong_magic).expect("rewrite");
+        let Err(err) = load_artifacts(&path) else {
+            panic!("magic mismatch accepted")
+        };
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err.kind, ErrorKind::Conflict { .. }), "{err}");
+    }
+
+    #[test]
+    fn hlrn1_missing_and_corrupt_files_error() {
+        let missing = tmp_path("does-not-exist.json");
+        assert!(load_artifacts(&missing).is_err());
+        let path = tmp_path("corrupt.json");
+        std::fs::write(&path, "{not json").expect("write");
+        let Err(err) = load_artifacts(&path) else {
+            panic!("corrupt artifact accepted")
+        };
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err.kind, ErrorKind::Spec { .. }), "{err}");
+    }
+
+    #[test]
+    fn artifacts_without_meta_field_load_with_default() {
+        // Pre-meta artifact JSON (no `use_meta` key) must deserialize
+        // with `use_meta = false`.
+        let artifacts = LhsArtifacts {
+            use_meta: false,
+            ..tiny_artifacts()
+        };
+        let mut json = serde_json::to_string(&artifacts).expect("serialize");
+        json = json.replace(",\"use_meta\":false", "");
+        assert!(!json.contains("use_meta"));
+        let loaded: LhsArtifacts = serde_json::from_str(&json).expect("deserialize");
+        assert!(!loaded.use_meta);
+    }
+}

@@ -1,0 +1,47 @@
+//! The learned-selector subsystem: LHS (§4.4, Algorithm 1) and LAL.
+//!
+//! LHS casts sample selection as learning-to-rank: each active-learning
+//! iteration is a *query*, the candidate samples are its *documents*, and
+//! the graded relevance of a candidate is how much adding it actually
+//! improved the model (`Eval(M′) − Eval(M)`, bucketed into levels). LAL
+//! (Konyushkova et al.) keeps the same simulation but regresses the raw
+//! improvement deltas pointwise, and — combined with pool-level
+//! meta-features — produces selectors that transfer across datasets
+//! (Chu & Lin).
+//!
+//! The subsystem is layered so each concern is data, not a bolt-on:
+//!
+//! * [`features`] — per-sample history features ([`LhsFeatureConfig`]:
+//!   raw window, fluctuation, Mann–Kendall trend, predicted next score,
+//!   output distribution) plus pool-level meta-features
+//!   ([`PoolMetaFeatures`]) and the §4.4.1 candidate set;
+//! * [`targets`] — the two-phase Algorithm 1 training simulation,
+//!   generalized over [`TargetKind`] (pairwise ranking groups for LHS,
+//!   pointwise expected-error-reduction targets for LAL);
+//! * [`artifacts`] — the serializable trained bundle and the versioned
+//!   `HLRN1` file format ([`save_artifacts`] / [`load_artifacts`]) for
+//!   cross-process, cross-dataset deployment;
+//! * [`selector`] — the runtime [`LearnedSelector`] behind the
+//!   pipeline's `Select` stage (the historical `LhsSelector` name is an
+//!   alias).
+//!
+//! The legacy `histal_core::lhs` module re-exports everything here, so
+//! pre-refactor imports keep compiling; the classic LHS configuration
+//! (pairwise targets, no meta block) follows the exact code path — and
+//! RNG stream — it always did.
+
+pub mod artifacts;
+pub mod features;
+pub mod selector;
+pub mod targets;
+
+pub use artifacts::{
+    load_artifacts, save_artifacts, ArtifactProvenance, LhsArtifacts, TrainedPredictor,
+    TrainedRanker, ARTIFACT_MAGIC, ARTIFACT_VERSION,
+};
+pub use features::{candidate_set, LhsFeatureConfig, PoolMetaFeatures, META_FEATURE_WIDTH};
+pub use selector::{LearnedSelector, LhsSelector};
+pub use targets::{
+    bucket_levels, train_learned, train_learned_artifacts, train_lhs, train_lhs_artifacts,
+    LearnedTrainerConfig, LhsTrainerConfig, PredictorKind, RankerKind, TargetKind,
+};

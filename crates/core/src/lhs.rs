@@ -1,855 +1,17 @@
 //! LHS — Learn from Historical Sequences (§4.4, Algorithm 1).
 //!
-//! LHS casts sample selection as learning-to-rank: each active-learning
-//! iteration is a *query*, the candidate samples are its *documents*, and
-//! the graded relevance of a candidate is how much adding it actually
-//! improved the model (`Eval(M′) − Eval(M)`, bucketed into levels). A
-//! LambdaMART ranker is trained on features extracted from the historical
-//! evaluation sequence:
-//!
-//! 1. the raw last-`l` window of historical scores,
-//! 2. the fluctuation (window variance),
-//! 3. the Mann–Kendall trend statistic,
-//! 4. the predicted next score (LSTM, or AR(p) for the ablation),
-//! 5. the model's output probability distribution.
-//!
-//! The trained [`LhsSelector`] then ranks a candidate set (top entropy ∪
-//! top LC, §4.4.1) each round and selects the best batch.
+//! The implementation moved to the layered [`crate::learned`] module
+//! family (`features` / `targets` / `artifacts` / `selector`); this
+//! module re-exports the complete public surface under its historical
+//! path, so `histal_core::lhs::{train_lhs, LhsSelector, ...}` keeps
+//! compiling. The classic LHS configuration is byte-identical to the
+//! pre-refactor monolith — see [`crate::learned::targets`] for the
+//! contract.
 
-use rand::prelude::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
-
-use histal_ltr::{
-    LambdaMart, LambdaMartConfig, LinearRanker, LinearRankerConfig, QueryGroup, Ranker,
-    RankingDataset,
+pub use crate::learned::{
+    bucket_levels, candidate_set, load_artifacts, save_artifacts, train_learned,
+    train_learned_artifacts, train_lhs, train_lhs_artifacts, ArtifactProvenance, LearnedSelector,
+    LearnedTrainerConfig, LhsArtifacts, LhsFeatureConfig, LhsSelector, LhsTrainerConfig,
+    PoolMetaFeatures, PredictorKind, RankerKind, TargetKind, TrainedPredictor, TrainedRanker,
+    ARTIFACT_MAGIC, ARTIFACT_VERSION, META_FEATURE_WIDTH,
 };
-use histal_tseries::{
-    autocorrelation, last_window, mann_kendall, window_variance, ArPredictor, HoltPredictor,
-    LstmConfig, LstmPredictor, SequencePredictor,
-};
-
-use crate::driver::{mix_seed, top_k};
-use crate::error::Error;
-use crate::eval::SampleEval;
-use crate::history::HistoryStore;
-use crate::model::Model;
-use crate::pool::Pool;
-use crate::strategy::BaseStrategy;
-
-/// Which feature groups the ranker sees — each toggle corresponds to one
-/// row of the paper's ablation study (Table 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LhsFeatureConfig {
-    /// History window length `l` for the raw-score features.
-    pub window: usize,
-    /// Number of probability features (posterior sorted descending,
-    /// padded/truncated to this width).
-    pub n_prob_features: usize,
-    /// Include the raw last-`l` historical scores.
-    pub use_history: bool,
-    /// Include the window variance (fluctuation).
-    pub use_fluctuation: bool,
-    /// Include the Mann–Kendall trend statistics.
-    pub use_trend: bool,
-    /// Include the predicted next score.
-    pub use_prediction: bool,
-    /// Include the output probability distribution.
-    pub use_probs: bool,
-    /// Include the lag-1 autocorrelation of the window — an *extension*
-    /// feature beyond the paper (its conclusion calls for exploring more
-    /// sequence features): separates oscillating from drifting histories
-    /// at equal variance.
-    pub use_autocorr: bool,
-}
-
-impl Default for LhsFeatureConfig {
-    fn default() -> Self {
-        Self {
-            window: 5,
-            n_prob_features: 2,
-            use_history: true,
-            use_fluctuation: true,
-            use_trend: true,
-            use_prediction: true,
-            use_probs: true,
-            use_autocorr: false,
-        }
-    }
-}
-
-impl LhsFeatureConfig {
-    /// Total feature-vector width under this configuration.
-    pub fn width(&self) -> usize {
-        let mut w = 0;
-        if self.use_history {
-            w += self.window;
-        }
-        if self.use_fluctuation {
-            w += 1;
-        }
-        if self.use_trend {
-            w += 2; // z statistic and tau
-        }
-        if self.use_prediction {
-            w += 1;
-        }
-        if self.use_probs {
-            w += self.n_prob_features;
-        }
-        if self.use_autocorr {
-            w += 1;
-        }
-        w
-    }
-
-    /// Extract the ranking features for one sample.
-    ///
-    /// `seq` is the historical evaluation sequence *including* the current
-    /// iteration's score; `eval` is the current model evaluation.
-    pub fn extract(
-        &self,
-        seq: &[f64],
-        eval: &SampleEval,
-        predictor: &dyn SequencePredictor,
-    ) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.width());
-        if self.use_history {
-            let w = last_window(seq, self.window);
-            // Left-pad with zeros so early iterations produce fixed-width rows.
-            out.extend(std::iter::repeat(0.0).take(self.window - w.len()));
-            out.extend_from_slice(w);
-        }
-        if self.use_fluctuation {
-            out.push(window_variance(seq, self.window));
-        }
-        if self.use_trend {
-            let mk = mann_kendall(last_window(seq, self.window));
-            out.push(mk.z);
-            out.push(mk.tau);
-        }
-        if self.use_prediction {
-            out.push(predictor.predict_next(seq));
-        }
-        if self.use_probs {
-            let mut probs = eval.probs.clone();
-            probs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-            probs.resize(self.n_prob_features, 0.0);
-            out.extend_from_slice(&probs[..self.n_prob_features]);
-        }
-        if self.use_autocorr {
-            out.push(autocorrelation(last_window(seq, self.window), 1));
-        }
-        out
-    }
-}
-
-/// Which next-score predictor to train (§4.4.2 feature 4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub enum PredictorKind {
-    /// The paper's choice: a small scalar LSTM.
-    Lstm(LstmConfig),
-    /// Ablation alternative: AR(p) least squares.
-    Ar {
-        /// Autoregressive order.
-        order: usize,
-    },
-    /// Ablation alternative: Holt double exponential smoothing (gains
-    /// grid-fitted on the history corpus).
-    Holt,
-}
-
-impl Default for PredictorKind {
-    fn default() -> Self {
-        Self::Lstm(LstmConfig::default())
-    }
-}
-
-/// Which learning-to-rank model to train.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub enum RankerKind {
-    /// The paper's choice (LambdaMART, Wu et al. 2010).
-    LambdaMart(LambdaMartConfig),
-    /// Ablation alternative: pairwise-logistic linear ranker.
-    Linear(LinearRankerConfig),
-}
-
-impl Default for RankerKind {
-    fn default() -> Self {
-        Self::LambdaMart(LambdaMartConfig::default())
-    }
-}
-
-/// Serializable bundle of everything [`train_lhs`] produces. Lets a
-/// ranker trained once on a labeled dataset (the paper trains on Subj) be
-/// persisted and deployed on other datasets later — the §4.4 transfer
-/// protocol as an artifact.
-#[derive(Clone, Serialize, Deserialize)]
-pub struct LhsArtifacts {
-    /// The trained ranking model.
-    pub ranker: TrainedRanker,
-    /// The trained next-score predictor.
-    pub predictor: TrainedPredictor,
-    /// Feature layout the ranker was trained with.
-    pub features: LhsFeatureConfig,
-    /// Candidate-set size for deployment.
-    pub candidate_pool: usize,
-}
-
-/// A concrete trained ranker (serializable counterpart of `dyn Ranker`).
-#[derive(Clone, Serialize, Deserialize)]
-pub enum TrainedRanker {
-    /// LambdaMART ensemble.
-    LambdaMart(LambdaMart),
-    /// Pairwise-logistic linear ranker.
-    Linear(LinearRanker),
-}
-
-/// A concrete trained predictor (serializable counterpart of
-/// `dyn SequencePredictor`).
-#[derive(Clone, Serialize, Deserialize)]
-pub enum TrainedPredictor {
-    /// Scalar LSTM.
-    Lstm(LstmPredictor),
-    /// AR(p) least squares.
-    Ar(ArPredictor),
-    /// Holt double exponential smoothing.
-    Holt(HoltPredictor),
-}
-
-impl Ranker for TrainedRanker {
-    fn score(&self, features: &[f64]) -> f64 {
-        match self {
-            Self::LambdaMart(m) => m.score(features),
-            Self::Linear(m) => m.score(features),
-        }
-    }
-}
-
-impl SequencePredictor for TrainedPredictor {
-    fn predict_next(&self, seq: &[f64]) -> f64 {
-        match self {
-            Self::Lstm(p) => p.predict_next(seq),
-            Self::Ar(p) => p.predict_next(seq),
-            Self::Holt(p) => p.predict_next(seq),
-        }
-    }
-}
-
-impl LhsArtifacts {
-    /// Build the runtime selector from these artifacts.
-    pub fn into_selector(self) -> LhsSelector {
-        LhsSelector::new(
-            Box::new(self.ranker),
-            Box::new(self.predictor),
-            self.features,
-            self.candidate_pool,
-        )
-    }
-}
-
-/// A trained LHS selection component: ranker + predictor + feature
-/// layout. Cheaply cloneable (the trained parts are shared), so one
-/// trained selector can serve many runs.
-#[derive(Clone)]
-pub struct LhsSelector {
-    ranker: std::sync::Arc<dyn Ranker>,
-    predictor: std::sync::Arc<dyn SequencePredictor>,
-    features: LhsFeatureConfig,
-    /// Candidate-set size (union of top-entropy and top-LC slices,
-    /// §4.4.1). Clamped to the pool size at selection time.
-    candidate_pool: usize,
-}
-
-impl LhsSelector {
-    /// Assemble a selector from pre-trained parts.
-    pub fn new(
-        ranker: Box<dyn Ranker>,
-        predictor: Box<dyn SequencePredictor>,
-        features: LhsFeatureConfig,
-        candidate_pool: usize,
-    ) -> Self {
-        assert!(candidate_pool > 0, "candidate pool must be positive");
-        Self {
-            ranker: std::sync::Arc::from(ranker),
-            predictor: std::sync::Arc::from(predictor),
-            features,
-            candidate_pool,
-        }
-    }
-
-    /// The feature configuration the ranker was trained with.
-    pub fn feature_config(&self) -> &LhsFeatureConfig {
-        &self.features
-    }
-
-    /// Whether ranking features read the full posterior vector, so the
-    /// driver must request [`EvalCaps::probs`] from the model.
-    pub fn needs_probs(&self) -> bool {
-        self.features.use_probs
-    }
-
-    /// Rank the candidate set and return up to `batch` positions into
-    /// `unlabeled`, best first.
-    pub fn select(
-        &self,
-        unlabeled: &[usize],
-        evals: &[SampleEval],
-        history: &HistoryStore,
-        batch: usize,
-    ) -> Vec<usize> {
-        self.select_with_scratch(unlabeled, evals, history, batch, &mut Vec::new())
-    }
-
-    /// [`Self::select`] with a caller-owned scratch buffer for
-    /// materializing each candidate's (possibly ring-wrapped) history
-    /// window, so repeated rounds allocate no per-candidate sequence
-    /// copies. The driver's `LhsSelect` stage reuses one buffer across
-    /// the whole run.
-    pub fn select_with_scratch(
-        &self,
-        unlabeled: &[usize],
-        evals: &[SampleEval],
-        history: &HistoryStore,
-        batch: usize,
-        seq_buf: &mut Vec<f64>,
-    ) -> Vec<usize> {
-        let candidates = candidate_set(evals, self.candidate_pool);
-        let rows: Vec<Vec<f64>> = candidates
-            .iter()
-            .map(|&pos| {
-                history.seq(unlabeled[pos]).copy_into(seq_buf);
-                self.features
-                    .extract(seq_buf, &evals[pos], self.predictor.as_ref())
-            })
-            .collect();
-        let scores = self.ranker.score_batch(&rows);
-        let best = top_k(&scores, batch.min(candidates.len()));
-        best.into_iter().map(|i| candidates[i]).collect()
-    }
-}
-
-/// Build the candidate set of §4.4.1: the union of the top-`k/2` samples
-/// by entropy and by least confidence. Returns positions into `evals`.
-pub fn candidate_set(evals: &[SampleEval], pool: usize) -> Vec<usize> {
-    let k = pool.min(evals.len());
-    if k == evals.len() {
-        return (0..evals.len()).collect();
-    }
-    let half = k.div_ceil(2);
-    let ent: Vec<f64> = evals.iter().map(|e| e.entropy).collect();
-    let lc: Vec<f64> = evals.iter().map(|e| e.least_confidence).collect();
-    let mut picked: Vec<usize> = Vec::with_capacity(k);
-    let mut seen = vec![false; evals.len()];
-    for &pos in top_k(&ent, half).iter().chain(top_k(&lc, half).iter()) {
-        if !seen[pos] {
-            seen[pos] = true;
-            picked.push(pos);
-        }
-    }
-    // Top up from entropy order if the union was smaller than k.
-    if picked.len() < k {
-        for pos in top_k(&ent, evals.len()) {
-            if !seen[pos] {
-                seen[pos] = true;
-                picked.push(pos);
-                if picked.len() == k {
-                    break;
-                }
-            }
-        }
-    }
-    picked
-}
-
-/// Configuration for the Algorithm 1 trainer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LhsTrainerConfig {
-    /// The base strategy whose scores populate the historical sequences.
-    pub base: BaseStrategy,
-    /// Algorithm 1 outer iterations (ranking query groups).
-    pub rounds: usize,
-    /// Candidate-set size per round (model-retrain trials per round).
-    pub candidates_per_round: usize,
-    /// Initial labeled set size.
-    pub init_labeled: usize,
-    /// Candidates with the highest measured delta moved to `L` per round.
-    pub add_per_round: usize,
-    /// Bucket width for converting deltas into ranking levels; `0.0`
-    /// buckets each group into four equal-width levels (the paper uses a
-    /// fixed interval like 0.01, which assumes a known metric scale).
-    pub level_interval: f64,
-    /// Feature layout for the ranker.
-    pub features: LhsFeatureConfig,
-    /// Next-score predictor to train.
-    pub predictor: PredictorKind,
-    /// Ranking model to train.
-    pub ranker: RankerKind,
-    /// Candidate-set size used at *selection* time by the produced
-    /// [`LhsSelector`].
-    pub selector_candidate_pool: usize,
-}
-
-impl Default for LhsTrainerConfig {
-    fn default() -> Self {
-        Self {
-            base: BaseStrategy::Entropy,
-            rounds: 8,
-            candidates_per_round: 24,
-            init_labeled: 25,
-            add_per_round: 5,
-            level_interval: 0.0,
-            features: LhsFeatureConfig::default(),
-            predictor: PredictorKind::default(),
-            ranker: RankerKind::default(),
-            selector_candidate_pool: 75,
-        }
-    }
-}
-
-/// Train an LHS selector per Algorithm 1 (see [`train_lhs_artifacts`]
-/// for the serializable form).
-pub fn train_lhs<M>(
-    prototype: &M,
-    samples: &[M::Sample],
-    labels: &[M::Label],
-    eval_samples: &[M::Sample],
-    eval_labels: &[M::Label],
-    config: &LhsTrainerConfig,
-    seed: u64,
-) -> Result<LhsSelector, Error>
-where
-    M: Model + Clone,
-    M::Sample: Clone,
-    M::Label: Clone,
-{
-    train_lhs_artifacts(
-        prototype,
-        samples,
-        labels,
-        eval_samples,
-        eval_labels,
-        config,
-        seed,
-    )
-    .map(LhsArtifacts::into_selector)
-}
-
-/// Train an LHS selector per Algorithm 1 on a fully labeled dataset
-/// (the paper uses Subj) and a held-out evaluation split, returning the
-/// serializable [`LhsArtifacts`].
-///
-/// Phase 1 simulates plain active learning with the base strategy to
-/// collect historical sequences and trains the next-score predictor on
-/// them. Phase 2 reruns the loop measuring `Eval(M′) − Eval(M)` for every
-/// candidate, forming one ranking query group per round, and fits the
-/// ranker.
-pub fn train_lhs_artifacts<M>(
-    prototype: &M,
-    samples: &[M::Sample],
-    labels: &[M::Label],
-    eval_samples: &[M::Sample],
-    eval_labels: &[M::Label],
-    config: &LhsTrainerConfig,
-    seed: u64,
-) -> Result<LhsArtifacts, Error>
-where
-    M: Model + Clone,
-    M::Sample: Clone,
-    M::Label: Clone,
-{
-    assert_eq!(
-        samples.len(),
-        labels.len(),
-        "training samples/labels misaligned"
-    );
-    assert_eq!(
-        eval_samples.len(),
-        eval_labels.len(),
-        "eval samples/labels misaligned"
-    );
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    // Beyond the base strategy's own needs, Algorithm 1 builds its
-    // candidate set from entropy + LC and may featurize posteriors.
-    let mut caps = config.base.caps();
-    caps.entropy = true;
-    caps.probs = caps.probs || config.features.use_probs;
-
-    // ---- Phase 1: collect history sequences, train the predictor. ----
-    let mut sim = Simulation::new(
-        prototype.clone(),
-        samples,
-        labels,
-        config.init_labeled,
-        &mut rng,
-    );
-    for round in 0..config.rounds {
-        sim.fit(&mut rng);
-        let (unlabeled, base_scores) = sim.score_pool(config.base, &caps, seed, round, &mut rng)?;
-        let batch = config.add_per_round.min(unlabeled.len());
-        let picks = top_k(&base_scores, batch);
-        let ids: Vec<usize> = picks.iter().map(|&p| unlabeled[p]).collect();
-        sim.label(&ids);
-    }
-    let sequences = sim.history.non_empty_sequences();
-    let predictor: TrainedPredictor = match &config.predictor {
-        PredictorKind::Lstm(cfg) => {
-            TrainedPredictor::Lstm(LstmPredictor::fit(&sequences, cfg.clone(), &mut rng))
-        }
-        PredictorKind::Ar { order } => TrainedPredictor::Ar(ArPredictor::fit(&sequences, *order)),
-        PredictorKind::Holt => TrainedPredictor::Holt(HoltPredictor::fit(&sequences)),
-    };
-
-    // ---- Phase 2: Algorithm 1 — measure deltas, build ranking data. ----
-    let mut sim = Simulation::new(
-        prototype.clone(),
-        samples,
-        labels,
-        config.init_labeled,
-        &mut rng,
-    );
-    let eval_s: Vec<&M::Sample> = eval_samples.iter().collect();
-    let eval_l: Vec<&M::Label> = eval_labels.iter().collect();
-    let mut dataset = RankingDataset::new();
-    for round in 0..config.rounds {
-        sim.fit(&mut rng);
-        let base_metric = sim.model.metric(&eval_s, &eval_l);
-        let (unlabeled, _) = sim.score_pool(config.base, &caps, seed, round, &mut rng)?;
-        if unlabeled.is_empty() {
-            break;
-        }
-        let evals = &sim.last_evals;
-        let candidates = candidate_set(evals, config.candidates_per_round);
-        // Trial-retrain for every candidate in parallel (line 7 of Alg. 1).
-        let labeled_ids = sim.pool.labeled().to_vec();
-        let deltas: Vec<f64> = candidates
-            .par_iter()
-            .map(|&pos| {
-                let id = unlabeled[pos];
-                let mut trial = sim.model.clone();
-                let mut trial_ids = labeled_ids.clone();
-                trial_ids.push(id);
-                let s: Vec<&M::Sample> = trial_ids.iter().map(|&i| &samples[i]).collect();
-                let l: Vec<&M::Label> = trial_ids.iter().map(|&i| &labels[i]).collect();
-                let mut trial_rng =
-                    ChaCha8Rng::seed_from_u64(mix_seed(seed, round as u64, id as u64));
-                trial.fit(&s, &l, &mut trial_rng);
-                trial.metric(&eval_s, &eval_l) - base_metric
-            })
-            .collect();
-        let rows: Vec<Vec<f64>> = candidates
-            .iter()
-            .map(|&pos| {
-                config.features.extract(
-                    &sim.history.seq(unlabeled[pos]).to_vec(),
-                    &evals[pos],
-                    &predictor,
-                )
-            })
-            .collect();
-        let levels = bucket_levels(&deltas, config.level_interval);
-        dataset.push(QueryGroup::new(rows, levels));
-        // Line 11: move the highest-delta candidates into L.
-        let best = top_k(&deltas, config.add_per_round.min(candidates.len()));
-        let ids: Vec<usize> = best.iter().map(|&i| unlabeled[candidates[i]]).collect();
-        sim.label(&ids);
-    }
-
-    let ranker: TrainedRanker = match &config.ranker {
-        RankerKind::LambdaMart(cfg) => TrainedRanker::LambdaMart(LambdaMart::fit(&dataset, cfg)),
-        RankerKind::Linear(cfg) => {
-            TrainedRanker::Linear(LinearRanker::fit(&dataset, cfg, &mut rng))
-        }
-    };
-    Ok(LhsArtifacts {
-        ranker,
-        predictor,
-        features: config.features,
-        candidate_pool: config.selector_candidate_pool,
-    })
-}
-
-/// Convert raw improvement deltas into graded relevance levels (§4.4.3):
-/// with a fixed `interval`, level = number of intervals above the group
-/// minimum; with `interval == 0`, each group spans four equal-width
-/// levels. Degenerate groups (all deltas equal) get all-zero levels.
-pub fn bucket_levels(deltas: &[f64], interval: f64) -> Vec<f64> {
-    if deltas.is_empty() {
-        return Vec::new();
-    }
-    let min = deltas.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    if (max - min) < 1e-12 {
-        return vec![0.0; deltas.len()];
-    }
-    let width = if interval > 0.0 {
-        interval
-    } else {
-        (max - min) / 4.0
-    };
-    deltas
-        .iter()
-        .map(|&d| {
-            let level = ((d - min) / width).floor();
-            // Cap so the max delta is its own level even with rounding.
-            level.min(((max - min) / width).floor())
-        })
-        .collect()
-}
-
-/// Internal simulation state shared by the two phases of [`train_lhs`]:
-/// the same [`Pool`] partition the driver uses, minus the pipeline
-/// plumbing the trainer does not need.
-struct Simulation<'a, M: Model> {
-    model: M,
-    samples: &'a [M::Sample],
-    labels: &'a [M::Label],
-    pool: Pool,
-    history: HistoryStore,
-    last_evals: Vec<SampleEval>,
-}
-
-impl<'a, M: Model> Simulation<'a, M> {
-    fn new(
-        model: M,
-        samples: &'a [M::Sample],
-        labels: &'a [M::Label],
-        init: usize,
-        rng: &mut ChaCha8Rng,
-    ) -> Self {
-        let n = samples.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(rng);
-        let mut pool = Pool::new(n);
-        pool.label_batch(&order[..init.min(n)]);
-        Self {
-            model,
-            samples,
-            labels,
-            pool,
-            history: HistoryStore::new(n),
-            last_evals: Vec::new(),
-        }
-    }
-
-    fn fit(&mut self, rng: &mut ChaCha8Rng) {
-        let s: Vec<&M::Sample> = self
-            .pool
-            .labeled()
-            .iter()
-            .map(|&i| &self.samples[i])
-            .collect();
-        let l: Vec<&M::Label> = self
-            .pool
-            .labeled()
-            .iter()
-            .map(|&i| &self.labels[i])
-            .collect();
-        self.model.fit(&s, &l, rng);
-    }
-
-    /// Evaluate the unlabeled pool, appending base scores to the history.
-    /// Returns the unlabeled ids and their base scores; evals are stashed
-    /// in `last_evals` (parallel to the returned ids).
-    fn score_pool(
-        &mut self,
-        base: BaseStrategy,
-        caps: &crate::eval::EvalCaps,
-        seed: u64,
-        round: usize,
-        rng: &mut ChaCha8Rng,
-    ) -> Result<(Vec<usize>, Vec<f64>), Error> {
-        let unlabeled: Vec<usize> = self.pool.unlabeled().to_vec();
-        let model = &self.model;
-        let samples = self.samples;
-        self.last_evals = unlabeled
-            .par_iter()
-            .map(|&id| {
-                model.eval_sample(&samples[id], caps, mix_seed(seed, round as u64, id as u64))
-            })
-            .collect();
-        let mut scores = Vec::with_capacity(unlabeled.len());
-        for eval in &self.last_evals {
-            let r: f64 = rand::Rng::gen(rng);
-            scores.push(base.base_score(eval, r)?);
-        }
-        for (&id, &s) in unlabeled.iter().zip(&scores) {
-            self.history.append(id, s);
-        }
-        Ok((unlabeled, scores))
-    }
-
-    fn label(&mut self, ids: &[usize]) {
-        for &id in ids {
-            if !self.pool.is_labeled(id) {
-                self.pool.label(id);
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    struct ConstPredictor(f64);
-    impl SequencePredictor for ConstPredictor {
-        fn predict_next(&self, _seq: &[f64]) -> f64 {
-            self.0
-        }
-    }
-
-    #[test]
-    fn feature_width_matches_extract() {
-        let cfg = LhsFeatureConfig::default();
-        let eval = SampleEval::from_probs(vec![0.6, 0.4]);
-        let feats = cfg.extract(&[0.1, 0.2, 0.3], &eval, &ConstPredictor(0.5));
-        assert_eq!(feats.len(), cfg.width());
-    }
-
-    #[test]
-    fn history_features_left_padded() {
-        let cfg = LhsFeatureConfig {
-            window: 4,
-            use_fluctuation: false,
-            use_trend: false,
-            use_prediction: false,
-            use_probs: false,
-            ..Default::default()
-        };
-        let eval = SampleEval::default();
-        let feats = cfg.extract(&[0.9], &eval, &ConstPredictor(0.0));
-        assert_eq!(feats, vec![0.0, 0.0, 0.0, 0.9]);
-    }
-
-    #[test]
-    fn toggles_remove_feature_groups() {
-        let full = LhsFeatureConfig::default();
-        let no_trend = LhsFeatureConfig {
-            use_trend: false,
-            ..full
-        };
-        assert_eq!(full.width() - no_trend.width(), 2);
-        let no_probs = LhsFeatureConfig {
-            use_probs: false,
-            ..full
-        };
-        assert_eq!(full.width() - no_probs.width(), full.n_prob_features);
-        let with_acf = LhsFeatureConfig {
-            use_autocorr: true,
-            ..full
-        };
-        assert_eq!(with_acf.width() - full.width(), 1);
-    }
-
-    #[test]
-    fn autocorr_feature_extracted_when_enabled() {
-        let cfg = LhsFeatureConfig {
-            window: 6,
-            use_history: false,
-            use_fluctuation: false,
-            use_trend: false,
-            use_prediction: false,
-            use_probs: false,
-            use_autocorr: true,
-            n_prob_features: 2,
-        };
-        let eval = SampleEval::default();
-        let osc = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
-        let feats = cfg.extract(&osc, &eval, &ConstPredictor(0.0));
-        assert_eq!(feats.len(), 1);
-        assert!(feats[0] < -0.5, "oscillation ACF {}", feats[0]);
-    }
-
-    #[test]
-    fn probs_sorted_and_padded() {
-        let cfg = LhsFeatureConfig {
-            window: 1,
-            n_prob_features: 3,
-            use_history: false,
-            use_fluctuation: false,
-            use_trend: false,
-            use_prediction: false,
-            use_probs: true,
-            use_autocorr: false,
-        };
-        let eval = SampleEval::from_probs(vec![0.3, 0.7]);
-        let feats = cfg.extract(&[], &eval, &ConstPredictor(0.0));
-        assert_eq!(feats, vec![0.7, 0.3, 0.0]);
-    }
-
-    #[test]
-    fn candidate_set_unions_entropy_and_lc() {
-        // Sample 0: high entropy, low LC. Sample 1: low entropy, high LC.
-        // Sample 2: low both. Pool of 2 must pick 0 and 1.
-        let e0 = SampleEval {
-            entropy: 1.0,
-            least_confidence: 0.0,
-            ..Default::default()
-        };
-        let e1 = SampleEval {
-            entropy: 0.0,
-            least_confidence: 1.0,
-            ..Default::default()
-        };
-        let e2 = SampleEval::default();
-        let picked = candidate_set(&[e0, e1, e2], 2);
-        assert!(picked.contains(&0) && picked.contains(&1));
-        assert_eq!(picked.len(), 2);
-    }
-
-    #[test]
-    fn candidate_set_small_pool_returns_all() {
-        let evals = vec![SampleEval::default(); 3];
-        assert_eq!(candidate_set(&evals, 10), vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn candidate_set_tops_up_on_overlap() {
-        // All samples identical: entropy-top and LC-top overlap fully; the
-        // set must still reach the requested size.
-        let evals = vec![SampleEval::from_probs(vec![0.5, 0.5]); 6];
-        assert_eq!(candidate_set(&evals, 4).len(), 4);
-    }
-
-    #[test]
-    fn bucket_levels_fixed_interval() {
-        // The paper's worked example: interval 0.01 over
-        // [0.01, 0.015, 0.02, 0.008, 0.025] → levels {0,0,1,0,1} relative
-        // to min 0.008… the paper groups into 3 levels; with floor
-        // semantics: (d - 0.008)/0.01 → [0.2,0.7,1.2,0,1.7] → [0,0,1,0,1].
-        let levels = bucket_levels(&[0.01, 0.015, 0.02, 0.008, 0.025], 0.01);
-        assert_eq!(levels, vec![0.0, 0.0, 1.0, 0.0, 1.0]);
-    }
-
-    #[test]
-    fn bucket_levels_auto_spans_four_buckets() {
-        let levels = bucket_levels(&[0.0, 0.25, 0.5, 0.75, 1.0], 0.0);
-        assert_eq!(levels, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
-    }
-
-    #[test]
-    fn bucket_levels_degenerate_and_empty() {
-        assert_eq!(bucket_levels(&[0.5, 0.5], 0.0), vec![0.0, 0.0]);
-        assert!(bucket_levels(&[], 0.01).is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "positive")]
-    fn selector_zero_pool_panics() {
-        struct ZeroRanker;
-        impl Ranker for ZeroRanker {
-            fn score(&self, _f: &[f64]) -> f64 {
-                0.0
-            }
-        }
-        let _ = LhsSelector::new(
-            Box::new(ZeroRanker),
-            Box::new(ConstPredictor(0.0)),
-            LhsFeatureConfig::default(),
-            0,
-        );
-    }
-}

@@ -85,6 +85,7 @@ pub mod driver;
 pub mod error;
 pub mod eval;
 pub mod history;
+pub mod learned;
 pub mod lhs;
 pub mod live;
 pub mod metrics;

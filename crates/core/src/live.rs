@@ -44,6 +44,8 @@
 //! journals label events through `histal-obs` and rebuilds snapshots on
 //! boot.
 
+use std::sync::Arc;
+
 use rand::prelude::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -218,7 +220,9 @@ pub struct Session<M: Model> {
     test_samples: Vec<M::Sample>,
     test_labels: Vec<M::Label>,
     strategy: Strategy,
-    lhs: Option<LhsSelector>,
+    /// Shared trained selector (see [`LhsSelect`]); kept for caps and
+    /// naming, shared with the select stage via [`Arc`].
+    lhs: Option<Arc<LhsSelector>>,
     config: PoolConfig,
     rng: ChaCha8Rng,
     seed: u64,
@@ -295,8 +299,9 @@ impl<M: Model> Session<M> {
             Some(k) => Box::new(HkldFold::new(k, n, config.history_max_len)),
             None => Box::new(PolicyFold::new(strategy.history)),
         };
+        let lhs = lhs.map(Arc::new);
         let select_stage: Box<dyn Select + Send> = if let Some(lhs) = &lhs {
-            Box::new(LhsSelect(lhs.clone()))
+            Box::new(LhsSelect(Arc::clone(lhs)))
         } else if let (Some(cfg), true) = (strategy.mmr, geometry.is_some()) {
             Box::new(MmrSelect(cfg))
         } else if strategy.kcenter && geometry.is_some() {
@@ -483,6 +488,8 @@ impl<M: Model> Session<M> {
             geometry: self.geometry.as_ref(),
             index: self.ann_index.as_ref().map(|i| i as &dyn NeighborIndex),
             batch,
+            round,
+            n_labeled: self.pool.n_labeled(),
             scratch: &mut self.ctx.sim,
             seq_buf: &mut self.ctx.seq_buf,
         });

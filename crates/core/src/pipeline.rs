@@ -33,6 +33,7 @@
 //! [`ActiveLearner`]: crate::driver::ActiveLearner
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -44,7 +45,7 @@ use crate::driver::{hkld_score_members, mix_seed, top_k};
 use crate::error::Error;
 use crate::eval::{EvalCaps, SampleEval};
 use crate::history::HistoryStore;
-use crate::lhs::LhsSelector;
+use crate::learned::{LearnedSelector, PoolMetaFeatures};
 use crate::model::Model;
 use crate::pool::{Pool, SampleId};
 use crate::strategy::combinators::{kcenter_select, mmr_select, SimScratch};
@@ -378,6 +379,10 @@ pub struct SelectCtx<'a> {
     pub index: Option<&'a dyn NeighborIndex>,
     /// Batch size, already clamped to the pool.
     pub batch: usize,
+    /// Zero-based selection round index.
+    pub round: usize,
+    /// Labeled-set size going into this round.
+    pub n_labeled: usize,
     /// Shared similarity scratch.
     pub scratch: &'a mut SimScratch,
     /// Scratch for materializing history windows.
@@ -440,19 +445,31 @@ impl Select for KCenterSelect {
     }
 }
 
-/// The learned LHS selector: ranks a candidate set (union of top-entropy
-/// and top-LC) with the trained ranker instead of sorting by the folded
-/// scores.
-pub struct LhsSelect(pub LhsSelector);
+/// The learned selector stage (LHS/LAL): ranks a candidate set (union of
+/// top-entropy and top-LC) with the trained ranker instead of sorting by
+/// the folded scores. Holds the selector behind an [`Arc`] — the trained
+/// ranker and predictor are immutable at selection time, so the stage
+/// shares one trained instance with the driver instead of deep-cloning
+/// the model ensemble per run.
+pub struct LhsSelect(pub Arc<LearnedSelector>);
 
 impl Select for LhsSelect {
     fn select(&mut self, ctx: SelectCtx<'_>) -> Vec<usize> {
-        self.0.select_with_scratch(
+        let meta = self.0.uses_meta().then(|| {
+            PoolMetaFeatures::from_evals(
+                ctx.evals,
+                ctx.n_labeled,
+                ctx.n_labeled + ctx.unlabeled.len(),
+                ctx.round,
+            )
+        });
+        self.0.select_with_meta(
             ctx.unlabeled,
             ctx.evals,
             ctx.history,
             ctx.batch,
             ctx.seq_buf,
+            meta.as_ref(),
         )
     }
 }

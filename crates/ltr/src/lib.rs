@@ -11,18 +11,21 @@
 //! * [`tree`] — regression trees with Newton leaf values,
 //! * [`metrics`] — DCG / NDCG,
 //! * [`lambdamart`] — the boosted LambdaMART ranker,
-//! * [`linear`] — a pairwise-logistic linear ranker (ablation baseline).
+//! * [`linear`] — a pairwise-logistic linear ranker (ablation baseline),
+//! * [`pointwise`] — a pointwise regression ranker (the LAL substrate).
 
 pub mod dataset;
 pub mod lambdamart;
 pub mod linear;
 pub mod metrics;
+pub mod pointwise;
 pub mod tree;
 
 pub use dataset::{QueryGroup, RankingDataset};
 pub use lambdamart::{LambdaMart, LambdaMartConfig};
 pub use linear::{LinearRanker, LinearRankerConfig};
 pub use metrics::{dcg_at, ndcg_at, ndcg_of_ranking};
+pub use pointwise::{PointwiseConfig, PointwiseRegressor};
 pub use tree::{RegressionTree, TreeConfig};
 
 /// A trained model that scores feature vectors for ranking.

@@ -30,7 +30,8 @@ echo "==> histal-experiments bench --check"
 echo "    (harness smoke + obs/metrics gates + scalar-vs-lanes kernel"
 echo "     equivalence + grid-wide perf-regression guard vs BENCH_harness.json"
 echo "     + adaptive-sweep gate: >=30% cell-rounds saved, winners match"
-echo "     + 10k pool-scaling smoke: ANN must beat exact per combinator)"
+echo "     + 10k pool-scaling smoke: ANN must beat exact per combinator"
+echo "     + selector-train wall-time guard vs committed selector_train rows)"
 cargo run -q --release -p histal-bench --bin histal-experiments -- \
     bench --check --scale 0.02 --repeats 1
 
@@ -79,6 +80,26 @@ echo "    and resumes byte-identically (pruning decisions included)"
     "$BIN" resume run --spec "$REPO_DIR/specs/adaptive-sweep.json" \
         --journal adaptive.jsonl > adaptive-second.out 2> /dev/null
     diff adaptive-first.out adaptive-second.out
+)
+
+echo "==> transfer smoke: selector train -> save -> load -> apply across datasets,"
+echo "    and the checked-in transfer matrix runs end-to-end"
+(
+    cd "$SMOKE_DIR"
+    # Cross-process cross-dataset transfer: train on MR, persist the
+    # HLRN1 artifact, reload it in a fresh process and deploy on SST-2.
+    "$BIN" selector-train 'LAL(entropy)' mr lal-mr.hlrn --scale 0.05 \
+        > /dev/null 2>&1
+    test -s lal-mr.hlrn
+    "$BIN" selector-apply lal-mr.hlrn sst2 --scale 0.05 \
+        > apply.out 2> /dev/null
+    grep -q '^ALC 0\.' apply.out
+    "$BIN" run --spec "$REPO_DIR/specs/transfer-matrix.json" --scale 0.02 \
+        > transfer.out 2> transfer.err
+    grep -q 'Transfer ALC — LHS(entropy)' transfer.out
+    grep -q 'Transfer ALC — LAL(entropy)' transfer.out
+    grep -q '# selector train: ' transfer.err
+    test -s results/transfer-matrix.json
 )
 
 echo "==> serve smoke: histal-serve end-to-end (external + simulated oracle,"
